@@ -1,0 +1,106 @@
+"""X1 — constraint discovery: the rule-bootstrap pipeline.
+
+Extension experiment (DESIGN.md §3 allows ablations beyond the paper's
+figures): the demo notes rules can be "derived from cfds and matching
+dependencies for which discovery algorithms are already in place" — we
+built those algorithms, so this bench measures them: discovery cost vs
+sample size, and the *equivalence gate* — rules derived from mined
+constraints must chase dirty tuples to the same fixes as the
+hand-written scenario rules.
+"""
+
+import pytest
+
+from repro import CerFix, CertaintyMode, RuleSet
+from repro.bench.harness import BenchResult, save_table, time_call
+from repro.core.chase import chase
+from repro.discovery.cfd import discover_constant_cfds
+from repro.discovery.fd import discover_fds
+from repro.discovery.md import discover_mds
+from repro.master.manager import MasterDataManager
+from repro.rules.derive import editing_rules_from_cfds, editing_rules_from_md
+from repro.scenarios import hospital
+
+SAMPLE_SIZES = (100, 400, 1600)
+
+VOCAB_TARGETS = ["measure_name", "condition", "category", "state_name", "county_code"]
+VOCAB_LHS = ["measure_code", "state", "county"]
+
+
+@pytest.fixture(scope="module")
+def master():
+    return hospital.generate_master(60, seed=21)
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = BenchResult(
+        "X1 — discovery: cost vs sample size (hospital scenario)",
+        ("sample rows", "FDs", "constant CFDs", "CFD rows", "MDs", "seconds"),
+    )
+    yield result
+    result.note("extension: the 'discovery algorithms already in place' of paper §2")
+    save_table(result, "x1_discovery.txt")
+
+
+@pytest.mark.parametrize("n", SAMPLE_SIZES)
+def test_discovery_cost(benchmark, table, master, n):
+    sample = hospital.clean_inputs_from_master(master, n, seed=22)
+    by_id = {r["provider_id"]: r for r in master.rows()}
+    pairs = [(t.to_dict(), by_id[t["provider_id"]]) for t in sample.rows()][:150]
+
+    def run():
+        fds = discover_fds(sample, max_lhs=1, targets=VOCAB_TARGETS)
+        cfds = discover_constant_cfds(
+            sample, max_lhs=1, min_support=3,
+            lhs_candidates=VOCAB_LHS, targets=VOCAB_TARGETS,
+        )
+        mds = discover_mds(pairs, md_id="provider")
+        return fds, cfds, mds
+
+    fds, cfds, mds = benchmark.pedantic(run, rounds=2, iterations=1)
+    seconds, _ = time_call(run, repeat=1)
+    rows = sum(len(c.tableau) for c in cfds)
+    table.add(n, len(fds), len(cfds), rows, len(mds), f"{seconds:.3f}")
+    assert cfds and mds
+
+
+def test_mined_rules_equivalent_to_handwritten(benchmark, table, master):
+    """The equivalence gate: mined-and-derived rules produce the same
+    certain fixes as the scenario's hand-written rule set."""
+    sample = hospital.clean_inputs_from_master(master, 800, seed=23)
+    by_id = {r["provider_id"]: r for r in master.rows()}
+    pairs = [(t.to_dict(), by_id[t["provider_id"]]) for t in sample.rows()][:150]
+
+    cfds = discover_constant_cfds(
+        sample, max_lhs=2, min_support=3,
+        lhs_candidates=["measure_code", "state", "county"],
+        targets=VOCAB_TARGETS + ["stateavg"],
+    )
+    md = next(
+        m for m in discover_mds(pairs, md_id="provider")
+        if m.md_id == "provider_provider_id"
+    )
+    mined = RuleSet(
+        editing_rules_from_cfds(cfds) + editing_rules_from_md(md),
+        hospital.INPUT_SCHEMA,
+        hospital.MASTER_SCHEMA,
+    )
+    handwritten = hospital.hospital_ruleset()
+    manager = MasterDataManager(master)
+
+    workload = hospital.generate_workload(master, 60, rate=0.3, seed=24)
+    validated = ["provider_id", "measure_code", "score", "sample"]
+
+    def chase_both():
+        agreements = 0
+        for dirty_row, clean_row in zip(workload.dirty.rows(), workload.clean.rows()):
+            a = chase(dirty_row.to_dict(), validated, mined, manager)
+            b = chase(dirty_row.to_dict(), validated, handwritten, manager)
+            if a.values == b.values == clean_row.to_dict():
+                agreements += 1
+        return agreements
+
+    agreements = benchmark.pedantic(chase_both, rounds=1, iterations=1)
+    assert agreements == 60
+    table.add("(equivalence)", "-", len(cfds), "-", 1, f"{agreements}/60 fixes identical")

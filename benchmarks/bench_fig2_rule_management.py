@@ -1,0 +1,76 @@
+"""E1 — Fig. 2: rule management and the automatic consistency check.
+
+Reproduces the Fig. 2 rule table (ϕ1–ϕ9 with their patterns) and measures
+the static analysis the demo runs on rule import ("CerFix automatically
+tests whether the specified eRs make sense w.r.t. master data") across
+master-data sizes.
+
+Paper shape to reproduce: the nine rules are accepted as consistent
+(unique fix for any input tuple); the check's cost grows with master
+size but stays interactive.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchResult, save_table, time_call
+from repro.core.consistency import check_consistency
+from repro.master.manager import MasterDataManager
+from repro.scenarios import uk_customers as uk
+
+MASTER_SIZES = (10, 100, 1000)
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = BenchResult(
+        "E1 / Fig.2 — rule management: consistency check vs master size",
+        ("master size", "consistent", "conflicts", "cross-entity", "ambiguities",
+         "pairs checked", "seconds"),
+    )
+    yield result
+    result.note("paper: the nine rules phi1..phi9 import cleanly and lead to a unique fix")
+    save_table(result, "e1_fig2_rule_management.txt")
+
+
+def test_fig2_rule_table(benchmark, table):
+    """The Fig. 2 rule listing itself (correctness gate for the bench)."""
+    rules = benchmark(uk.paper_rules)
+    assert len(rules) == 9
+    assert rules[8].pattern.render() == "(AC!=0800)"  # the editable ≠0800 pattern
+
+
+@pytest.mark.parametrize("size", MASTER_SIZES)
+def test_consistency_check(benchmark, table, size):
+    master = MasterDataManager(uk.generate_master(size, seed=size))
+    ruleset = uk.paper_ruleset()
+
+    report = benchmark(lambda: check_consistency(ruleset, master, samples=20))
+    seconds, _ = time_call(lambda: check_consistency(ruleset, master, samples=20), repeat=1)
+    assert report.is_consistent
+    table.add(
+        len(master),
+        report.is_consistent,
+        len(report.conflicts),
+        len(report.cross_entity_conflicts),
+        len(report.ambiguities),
+        report.pairs_checked,
+        f"{seconds:.3f}",
+    )
+
+
+def test_inconsistent_rules_detected(benchmark, table):
+    """Negative control: a contradicting constant rule is caught."""
+    from repro.core.pattern import Eq, PatternTuple
+    from repro.core.rule import Constant, EditingRule
+
+    bad = EditingRule(
+        "bad", (), "city", Constant("Atlantis"), PatternTuple({"AC": Eq("131")})
+    )
+    ruleset = uk.paper_ruleset().add(bad)
+    master = MasterDataManager(uk.generate_master(100, seed=7))
+    report = benchmark(lambda: check_consistency(ruleset, master, samples=10))
+    assert not report.is_consistent
+    assert any(c.rule1 == "bad" or c.rule2 == "bad" for c in report.conflicts)
+    table.add(len(master), report.is_consistent, len(report.conflicts),
+              len(report.cross_entity_conflicts), len(report.ambiguities),
+              report.pairs_checked, "(negative control)")

@@ -1,0 +1,167 @@
+"""E2 — Fig. 3: the data monitor's interactive certain fixing.
+
+Reproduces the Fig. 3(a–c) walkthrough (two rounds, the exact fixes the
+paper narrates) and measures what the paper remarks on: "the most
+time-consuming procedure is to compute suggestions. To reduce the cost,
+CerFix pre-computes a set of certain regions" — we benchmark suggestion
+computation per strategy and the pre-computation ablation.
+
+Paper shape to reproduce: CORE_FIRST reaches the certain fix for the
+Fig. 3 tuple in exactly 2 rounds with fixes FN:'M.'→'Mark' (ϕ4),
+LN (ϕ5), city (ϕ9) in round 1 and str (ϕ2) in round 2; REGION/SEMANTIC
+strategies trade rounds for suggestion cost.
+"""
+
+import pytest
+
+from repro import CerFix, CertaintyMode, OracleUser
+from repro.bench.harness import BenchResult, save_table, time_call
+from repro.monitor.suggest import SuggestionStrategy, compute_suggestion
+from repro.monitor.user import CautiousUser, SelectiveUser
+from repro.scenarios import uk_customers as uk
+
+
+@pytest.fixture(scope="module")
+def engine():
+    master = uk.paper_master()
+    eng = CerFix(
+        uk.paper_ruleset(),
+        master,
+        mode=CertaintyMode.SCENARIO,
+        scenario=uk.scenario_tuples(master),
+    )
+    eng.precompute_regions(k=5)
+    return eng
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = BenchResult(
+        "E2 / Fig.3 — data monitor: strategy ablation on the Fig. 3 tuple",
+        ("strategy", "rounds to certain fix", "round-1 suggestion",
+         "suggestion seconds"),
+    )
+    yield result
+    result.note("paper walkthrough: 2 rounds; round 1 suggests {AC, phn, type, item}")
+    save_table(result, "e2_fig3_data_monitor.txt")
+
+
+def test_fig3_exact_walkthrough(benchmark, engine):
+    """Correctness gate: the interaction reproduces the paper exactly."""
+    benchmark(lambda: engine.session(uk.fig3_tuple(), "fig3-bench"))
+    session = engine.session(uk.fig3_tuple(), "fig3")
+    truth = uk.fig3_truth()
+    s1 = session.suggestion()
+    assert s1.attrs == ("AC", "phn", "type", "item")
+    r1 = session.validate({a: truth[a] for a in s1.attrs})
+    assert [s.rule_id for s in r1.steps] == ["phi4", "phi5", "phi9"]
+    s2 = session.suggestion()
+    assert s2.attrs == ("zip",)
+    session.validate({"zip": truth["zip"]})
+    assert session.is_complete and session.round_no == 2
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    [SuggestionStrategy.CORE_FIRST, SuggestionStrategy.REGION, SuggestionStrategy.SEMANTIC],
+)
+def test_suggestion_strategies(benchmark, engine, table, strategy):
+    truth = uk.fig3_truth()
+
+    def first_suggestion():
+        return compute_suggestion(
+            uk.fig3_tuple(), frozenset(), engine.ruleset, engine.master,
+            strategy=strategy, regions=engine.regions,
+            mode=engine.mode, scenario=engine.scenario,
+        )
+
+    suggestion = benchmark(first_suggestion)
+    seconds, _ = time_call(first_suggestion, repeat=3)
+
+    session = engine.session(uk.fig3_tuple(), f"fig3-{strategy.value}", strategy=strategy)
+    assert session.run(OracleUser(truth))
+    assert session.fixed_values() == truth
+    table.add(
+        strategy.value,
+        session.round_no,
+        "{" + ", ".join(suggestion.attrs) + "}",
+        f"{seconds * 1e3:.2f} ms",
+    )
+
+
+def test_precomputed_regions_ablation(benchmark, engine, table):
+    """The paper's precomputation remark: REGION suggestions are cheap when
+    regions are precomputed; computing them inline costs the region search."""
+    def with_precompute():
+        return compute_suggestion(
+            uk.fig3_tuple(), frozenset(), engine.ruleset, engine.master,
+            strategy=SuggestionStrategy.REGION, regions=engine.regions,
+        )
+
+    def without_precompute():
+        from repro.core.region_finder import find_certain_regions
+
+        regions = find_certain_regions(
+            engine.ruleset, engine.master, k=5,
+            mode=engine.mode, scenario=engine.scenario,
+        )
+        return compute_suggestion(
+            uk.fig3_tuple(), frozenset(), engine.ruleset, engine.master,
+            strategy=SuggestionStrategy.REGION, regions=regions,
+        )
+
+    benchmark(with_precompute)
+    cheap, _ = time_call(with_precompute, repeat=3)
+    costly, _ = time_call(without_precompute, repeat=3)
+    assert costly > cheap
+    table.add("region (precomputed)", "-", "-", f"{cheap * 1e3:.2f} ms")
+    table.add("region (computed inline)", "-", "-", f"{costly * 1e3:.2f} ms")
+
+
+@pytest.fixture(scope="module")
+def users_table():
+    result = BenchResult(
+        "E2 — user-model ablation (UK stream, 100 tuples, rate 0.25)",
+        ("user model", "certain fixes", "mean rounds", "user %", "auto %"),
+    )
+    yield result
+    result.note("identical certain fixes; only the interaction cost differs")
+    save_table(result, "e2_user_models.txt")
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("oracle", lambda tid, truth: OracleUser(truth)),
+        ("cautious (1/round)", lambda tid, truth: CautiousUser(truth, max_per_round=1)),
+        ("selective", lambda tid, truth: SelectiveUser(
+            truth, known={"AC", "phn", "type", "item", "zip", "FN", "LN"})),
+    ],
+)
+def test_user_model_ablation(benchmark, users_table, name, factory):
+    master = uk.generate_master(120, seed=31)
+    workload = uk.generate_workload(master, 100, rate=0.25, seed=32)
+    eng = CerFix(uk.paper_ruleset(), master)
+    report = benchmark.pedantic(
+        lambda: eng.stream(workload.dirty, workload.clean, user_factory=factory),
+        rounds=1, iterations=1,
+    )
+    assert report.completed == report.tuples
+    users_table.add(
+        name, f"{report.completed}/{report.tuples}",
+        f"{report.mean_rounds:.2f}",
+        f"{report.user_share:.0%}", f"{report.auto_share:.0%}",
+    )
+
+
+def test_monitor_latency_on_stream(benchmark, engine):
+    """Point-of-entry latency: a full oracle session per incoming tuple."""
+    master = uk.generate_master(200, seed=42)
+    workload = uk.generate_workload(master, 50, rate=0.25, seed=43)
+    eng = CerFix(uk.paper_ruleset(), master)
+
+    def run_stream():
+        return eng.stream(workload.dirty, workload.clean)
+
+    report = benchmark.pedantic(run_stream, rounds=3, iterations=1)
+    assert report.completed == 50

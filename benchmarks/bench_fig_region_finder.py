@@ -1,0 +1,106 @@
+"""E5 — the region finder: top-k certain regions.
+
+"Based on the algorithms in [7], top-k certain regions are pre-computed
+that are ranked ascendingly by the number of attributes, and are
+recommended to users as (initial) suggestions."
+
+Paper shape to reproduce: for the UK scenario the smallest certain
+region is {AC, item, phn, type, zip} with a type=2 tableau (the Fig. 3
+interaction in region form); discovery cost grows with k and with the
+quantification mode's universe (STRICT > SCENARIO on the same data);
+every returned region re-certifies.
+"""
+
+import pytest
+
+from repro.bench.harness import BenchResult, save_table, time_call
+from repro.core.certainty import CertaintyMode, is_certain_region
+from repro.core.region_finder import find_certain_regions
+from repro.master.manager import MasterDataManager
+from repro.scenarios import uk_customers as uk
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = BenchResult(
+        "E5 — region finder: top-k certain regions (UK scenario)",
+        ("mode", "master", "k", "regions", "top region", "seconds"),
+    )
+    yield result
+    result.note("paper: regions ranked ascendingly by number of attributes")
+    save_table(result, "e5_region_finder.txt")
+
+
+@pytest.fixture(scope="module")
+def regions_table():
+    result = BenchResult(
+        "E5 — the top-5 regions themselves (SCENARIO mode, paper master)",
+        ("rank", "size", "region", "coverage"),
+    )
+    yield result
+    save_table(result, "e5_region_list.txt")
+
+
+def test_paper_top5_regions(benchmark, regions_table):
+    master = uk.paper_master()
+    manager = MasterDataManager(master)
+    ruleset = uk.paper_ruleset()
+    scenario = uk.scenario_tuples(master)
+
+    regions = benchmark(
+        lambda: find_certain_regions(
+            ruleset, manager, k=5,
+            mode=CertaintyMode.SCENARIO, scenario=scenario,
+        )
+    )
+    sizes = [r.region.size for r in regions]
+    assert sizes == sorted(sizes)
+    assert regions[0].region.attrs == ("AC", "item", "phn", "type", "zip")
+    for rank, r in enumerate(regions, start=1):
+        regions_table.add(rank, r.region.size, r.region.render(), f"{r.coverage:.2f}")
+        report = is_certain_region(
+            r.region.attrs, r.region.tableau, ruleset, manager,
+            mode=CertaintyMode.SCENARIO, scenario=scenario,
+        )
+        assert report.certain
+
+
+@pytest.mark.parametrize("mode", [CertaintyMode.SCENARIO, CertaintyMode.ANCHORED,
+                                  CertaintyMode.STRICT])
+def test_mode_ablation(benchmark, table, mode):
+    master = uk.paper_master()
+    manager = MasterDataManager(master)
+    ruleset = uk.paper_ruleset()
+    scenario = uk.scenario_tuples(master) if mode is CertaintyMode.SCENARIO else None
+
+    def run():
+        return find_certain_regions(
+            ruleset, manager, k=5, mode=mode, scenario=scenario,
+            max_combos=500_000,
+        )
+
+    regions = benchmark(run)
+    seconds, _ = time_call(run, repeat=1)
+    top = regions[0].region.render() if regions else "(none)"
+    table.add(mode.value, len(master), 5, len(regions), top, f"{seconds:.3f}")
+
+
+@pytest.mark.parametrize("master_size", (10, 50, 150))
+def test_master_size_scaling(benchmark, table, master_size):
+    master = uk.generate_master(master_size, seed=master_size)
+    manager = MasterDataManager(master)
+    ruleset = uk.paper_ruleset()
+    scenario = uk.scenario_tuples(master)
+
+    def run():
+        return find_certain_regions(
+            ruleset, manager, k=3,
+            mode=CertaintyMode.SCENARIO, scenario=scenario,
+            max_combos=1_000_000,
+        )
+
+    regions = benchmark.pedantic(run, rounds=1, iterations=1)
+    seconds, _ = time_call(run, repeat=1)
+    assert regions
+    table.add("scenario", len(master), 3, len(regions),
+              regions[0].region.attrs, f"{seconds:.3f}")

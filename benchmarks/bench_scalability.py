@@ -1,0 +1,135 @@
+"""E6 — scalability: point-of-entry monitoring must stay interactive.
+
+The demo cleans tuples at the point of data entry, so per-tuple chase
+latency and stream throughput are the operative metrics. This bench
+sweeps master-data size with and without the master indexes (the
+ablation for the master data manager's hash indexes) and measures the
+consistency check against rule-set size (UK's 9 rules vs the hospital
+scenario's ~180 mostly-derived rules).
+
+Paper shape to reproduce: indexed chase latency is flat in master size
+(hash lookups); unindexed latency grows linearly; throughput stays in
+the thousands of tuples/second at master sizes far beyond the demo's.
+"""
+
+import pytest
+
+from repro import CerFix
+from repro.bench.harness import BenchResult, save_table, time_call
+from repro.core.chase import chase
+from repro.master.manager import MasterDataManager
+from repro.scenarios import hospital, uk_customers as uk
+
+MASTER_SIZES = (100, 1000, 10_000)
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = BenchResult(
+        "E6 — scalability: chase latency and stream throughput vs master size",
+        ("master size", "indexed chase (us)", "scan chase (us)",
+         "speedup", "stream tuples/s"),
+    )
+    yield result
+    result.note("indexed latency flat vs master size; scans grow linearly")
+    save_table(result, "e6_scalability.txt")
+
+
+@pytest.fixture(scope="module")
+def rules_table():
+    result = BenchResult(
+        "E6 — consistency-check cost vs rule-set size",
+        ("scenario", "rules", "master", "pairs checked", "seconds"),
+    )
+    yield result
+    save_table(result, "e6_rules_scaling.txt")
+
+
+@pytest.mark.parametrize("size", MASTER_SIZES)
+def test_chase_latency_vs_master_size(benchmark, table, size):
+    master = uk.generate_master(size, seed=size)
+    manager = MasterDataManager(master)
+    ruleset = uk.paper_ruleset()
+    manager.prebuild(ruleset)
+    workload = uk.generate_workload(master, 50, rate=0.2, seed=size + 1)
+    tuples = [r.to_dict() for r in workload.dirty.rows()]
+    validated = ["AC", "phn", "type", "item", "zip", "FN", "LN"]
+
+    def chase_all_indexed():
+        for t in tuples:
+            chase(t, validated, ruleset, manager, use_index=True)
+
+    def chase_all_scan():
+        for t in tuples:
+            chase(t, validated, ruleset, manager, use_index=False)
+
+    benchmark.pedantic(chase_all_indexed, rounds=3, iterations=1)
+    indexed, _ = time_call(chase_all_indexed, repeat=2)
+    # scans on the largest master are slow; one repetition suffices
+    scan, _ = time_call(chase_all_scan, repeat=1)
+
+    engine = CerFix(ruleset, manager)
+    stream_s, report = time_call(
+        lambda: engine.stream(workload.dirty, workload.clean), repeat=1
+    )
+    assert report.completed == 50
+    table.add(
+        size,
+        f"{indexed / 50 * 1e6:.0f}",
+        f"{scan / 50 * 1e6:.0f}",
+        f"{scan / indexed:.1f}x",
+        f"{50 / stream_s:.0f}",
+    )
+
+
+def test_index_speedup_grows_with_master(benchmark, table):
+    """Shape assertion: the index advantage grows with master size."""
+    small = uk.generate_master(200, seed=200)
+    small_mgr = MasterDataManager(small)
+    small_mgr.prebuild(uk.paper_ruleset())
+    t0 = uk.clean_inputs_from_master(small, 1, seed=1).row(0).to_dict()
+    benchmark(lambda: chase(t0, ["AC", "phn", "type", "item", "zip"],
+                            uk.paper_ruleset(), small_mgr))
+    ratios = []
+    for size in (200, 2000):
+        master = uk.generate_master(size, seed=size)
+        manager = MasterDataManager(master)
+        ruleset = uk.paper_ruleset()
+        manager.prebuild(ruleset)
+        t = uk.clean_inputs_from_master(master, 1, seed=1).row(0).to_dict()
+        validated = ["AC", "phn", "type", "item", "zip"]
+        indexed, _ = time_call(
+            lambda: [chase(t, validated, ruleset, manager, use_index=True)
+                     for _ in range(20)], repeat=2,
+        )
+        scan, _ = time_call(
+            lambda: [chase(t, validated, ruleset, manager, use_index=False)
+                     for _ in range(20)], repeat=1,
+        )
+        ratios.append(scan / indexed)
+    assert ratios[1] > ratios[0]
+
+
+@pytest.mark.parametrize(
+    "name,ruleset_fn,master_fn",
+    [
+        ("uk (9 rules)", uk.paper_ruleset, lambda: uk.generate_master(300, seed=3)),
+        ("hospital (~180 rules)", hospital.hospital_ruleset,
+         lambda: hospital.generate_master(300, seed=3)),
+    ],
+)
+def test_consistency_vs_rules(benchmark, rules_table, name, ruleset_fn, master_fn):
+    from repro.core.consistency import check_consistency
+
+    ruleset = ruleset_fn()
+    manager = MasterDataManager(master_fn())
+
+    report = benchmark.pedantic(
+        lambda: check_consistency(ruleset, manager, samples=10), rounds=1, iterations=1
+    )
+    seconds, _ = time_call(
+        lambda: check_consistency(ruleset, manager, samples=10), repeat=1
+    )
+    assert report.is_consistent
+    rules_table.add(name, len(ruleset), len(manager), report.pairs_checked,
+                    f"{seconds:.3f}")

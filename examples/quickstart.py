@@ -1,0 +1,67 @@
+"""Quickstart: certain fixes in ~40 lines.
+
+Build a tiny master relation and two editing rules, then fix one dirty
+tuple interactively. Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CerFix,
+    EditingRule,
+    MasterColumn,
+    MatchPair,
+    Relation,
+    RuleSet,
+    Schema,
+)
+
+# 1. Schemas: input tuples (employee records being typed in) and master
+#    data (the HR registry). They need not match.
+input_schema = Schema("employee", ["emp_id", "name", "dept", "office"])
+master_schema = Schema("registry", ["id", "full_name", "department", "room"])
+
+# 2. Master data — assumed correct and complete.
+master = Relation(
+    master_schema,
+    [
+        ("E01", "Ada Lovelace", "Research", "B-201"),
+        ("E02", "Grace Hopper", "Systems", "A-105"),
+        ("E03", "Edsger Dijkstra", "Theory", "C-310"),
+    ],
+)
+
+# 3. Editing rules: if the (validated) emp_id matches the registry,
+#    the name / dept / office can be fixed with certainty.
+rules = RuleSet(
+    [
+        EditingRule("r_name", (MatchPair("emp_id", "id"),), "name", MasterColumn("full_name")),
+        EditingRule("r_dept", (MatchPair("emp_id", "id"),), "dept", MasterColumn("department")),
+        EditingRule("r_office", (MatchPair("emp_id", "id"),), "office", MasterColumn("room")),
+    ],
+    input_schema,
+    master_schema,
+)
+
+# 4. The engine bundles rule engine + master data manager + monitor + audit.
+engine = CerFix(rules, master)
+print(engine)
+print("rules consistent:", engine.check_consistency().is_consistent)
+
+# 5. A dirty tuple arrives at the point of data entry.
+dirty = {"emp_id": "E02", "name": "G. Hoper", "dept": "Sysems", "office": "?"}
+session = engine.session(dirty, "t1")
+
+# The monitor suggests what to validate (emp_id is no rule's target, so
+# the user must vouch for it).
+suggestion = session.suggestion()
+print("suggested:", suggestion.render())
+
+# The user confirms the id is correct; every other attribute is then
+# fixed automatically — and the fixes are *certain*.
+session.assure(["emp_id"])
+print("certain fix:", session.fixed_values())
+
+# 6. The audit trail shows where each value came from.
+for line in (e.describe() for e in session.audit.by_tuple("t1")):
+    print("  ", line)

@@ -1,0 +1,31 @@
+"""Data auditing (paper Fig. 1 / Fig. 4).
+
+Tracks every change to every tuple — by users or by CerFix with editing
+rules and master data — and serves the statistics the demo shows: per-
+attribute percentages of user-validated vs automatically-fixed values,
+and per-cell provenance ("fixed by normalising 'M.' to 'Mark', by rule ϕ4
+with master tuple 2").
+"""
+
+from repro.audit.events import ChangeEvent, SOURCES
+from repro.audit.log import AuditLog
+from repro.audit.stats import (
+    AttributeStat,
+    OverallStats,
+    attribute_stats,
+    cell_provenance,
+    overall_stats,
+    tuple_trace,
+)
+
+__all__ = [
+    "ChangeEvent",
+    "SOURCES",
+    "AuditLog",
+    "AttributeStat",
+    "OverallStats",
+    "attribute_stats",
+    "cell_provenance",
+    "overall_stats",
+    "tuple_trace",
+]

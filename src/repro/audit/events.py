@@ -1,0 +1,84 @@
+"""Audit events: one record per cell change or validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ValidationError
+
+#: Event sources. ``user`` — the user validated (and possibly corrected)
+#: the cell; ``rule`` — an editing rule fixed it from master data;
+#: ``normalize`` — a self-normalising rule rewrote an already-validated
+#: cell to its master canonical form.
+SOURCES = ("user", "rule", "normalize")
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One validation or fix, with full provenance.
+
+    ``old == new`` is meaningful: it records a *confirmation* (the value
+    was already correct). ``master_positions`` point into the master
+    relation used by the session, so the explorer can show "where the
+    correct value comes from" (paper §3, data auditing).
+    """
+
+    seq: int
+    tuple_id: str
+    attr: str
+    old: Any
+    new: Any
+    source: str
+    rule_id: str | None = None
+    master_positions: tuple[int, ...] = ()
+    round_no: int = 0
+
+    def __post_init__(self):
+        if self.source not in SOURCES:
+            raise ValidationError(f"unknown audit source {self.source!r} (expected one of {SOURCES})")
+
+    @property
+    def changed(self) -> bool:
+        return self.old != self.new
+
+    def describe(self) -> str:
+        what = f"{self.attr}: {self.old!r}"
+        if self.changed:
+            what += f" -> {self.new!r}"
+        else:
+            what += " (confirmed)"
+        if self.source == "user":
+            via = "validated by user"
+        else:
+            via = f"{'normalized' if self.source == 'normalize' else 'fixed'} by rule {self.rule_id}"
+            if self.master_positions:
+                via += f" with master tuple(s) {list(self.master_positions)}"
+        return f"[{self.tuple_id} r{self.round_no}] {what} — {via}"
+
+    def to_json(self) -> dict:
+        return {
+            "seq": self.seq,
+            "tuple_id": self.tuple_id,
+            "attr": self.attr,
+            "old": self.old,
+            "new": self.new,
+            "source": self.source,
+            "rule_id": self.rule_id,
+            "master_positions": list(self.master_positions),
+            "round_no": self.round_no,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ChangeEvent":
+        return cls(
+            seq=obj["seq"],
+            tuple_id=obj["tuple_id"],
+            attr=obj["attr"],
+            old=obj["old"],
+            new=obj["new"],
+            source=obj["source"],
+            rule_id=obj.get("rule_id"),
+            master_positions=tuple(obj.get("master_positions", ())),
+            round_no=obj.get("round_no", 0),
+        )

@@ -1,0 +1,96 @@
+"""The audit log: an append-only store of change events."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.audit.events import ChangeEvent
+
+
+class AuditLog:
+    """Append-only change history with simple secondary views.
+
+    One log typically serves a whole monitoring stream; events carry the
+    tuple id, so per-tuple traces and per-attribute statistics are just
+    filters over it.
+    """
+
+    def __init__(self):
+        self._events: list[ChangeEvent] = []
+
+    def record(
+        self,
+        tuple_id: str,
+        attr: str,
+        old: Any,
+        new: Any,
+        source: str,
+        *,
+        rule_id: str | None = None,
+        master_positions: Iterable[int] = (),
+        round_no: int = 0,
+    ) -> ChangeEvent:
+        """Append one event; the sequence number is assigned here."""
+        event = ChangeEvent(
+            seq=len(self._events),
+            tuple_id=tuple_id,
+            attr=attr,
+            old=old,
+            new=new,
+            source=source,
+            rule_id=rule_id,
+            master_positions=tuple(master_positions),
+            round_no=round_no,
+        )
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> tuple[ChangeEvent, ...]:
+        return tuple(self._events)
+
+    def filter(self, predicate: Callable[[ChangeEvent], bool]) -> list[ChangeEvent]:
+        return [e for e in self._events if predicate(e)]
+
+    def by_tuple(self, tuple_id: str) -> list[ChangeEvent]:
+        """All events for one tuple, in order — the demo's per-tuple trace."""
+        return self.filter(lambda e: e.tuple_id == tuple_id)
+
+    def by_attr(self, attr: str) -> list[ChangeEvent]:
+        """All events for one attribute (column) — the Fig. 4 column view."""
+        return self.filter(lambda e: e.attr == attr)
+
+    def tuple_ids(self) -> list[str]:
+        """Distinct tuple ids, in first-seen order."""
+        seen: dict[str, None] = {}
+        for e in self._events:
+            seen.setdefault(e.tuple_id)
+        return list(seen)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> None:
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as f:
+            for event in self._events:
+                f.write(json.dumps(event.to_json(), default=str))
+                f.write("\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "AuditLog":
+        log = cls()
+        path = Path(path)
+        with path.open(encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    log._events.append(ChangeEvent.from_json(json.loads(line)))
+        return log
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ChangeEvent]:
+        return iter(self._events)

@@ -1,0 +1,13 @@
+"""Baselines: the constraint-based heuristic repair the paper argues
+against (Example 1), plus repair-quality metrics against ground truth."""
+
+from repro.baselines.cfd_repair import GreedyCFDRepair, RepairChange, RepairStrategy
+from repro.baselines.quality import RepairQuality, evaluate_repair
+
+__all__ = [
+    "GreedyCFDRepair",
+    "RepairChange",
+    "RepairStrategy",
+    "RepairQuality",
+    "evaluate_repair",
+]

@@ -1,0 +1,150 @@
+"""Greedy cost-based CFD repair — the heuristic baseline of Example 1.
+
+"Previous constraint-based methods use heuristics: they do not guarantee
+correct fixes in data repairing. Worse still, they may introduce new
+errors … all these previous methods may opt to change t[city] to Ldn;
+this does not fix the erroneous t[AC] and worse, messes up the correct
+attribute t[city]."
+
+This module implements that style of repair, in the spirit of Bohannon et
+al. (SIGMOD 2005, [2]) and Cong et al. (VLDB 2007, [4]): detect CFD
+violations, then greedily modify the cheapest attribute so the violated
+tableau row is satisfied (or no longer applicable), iterating to a
+fixpoint. Two strategies:
+
+* ``RHS`` — always repair the right-hand side (set it to the pattern
+  constant / the group's majority value). This is the classic move that
+  produces Example 1's wrong fix.
+* ``MIN_COST`` — change whichever single cell resolves the violation at
+  the lowest edit cost (string edit distance), breaking ties towards the
+  RHS. Smarter, still heuristic, still uncertain.
+
+The point of the experiment (E4) is not to strawman the baseline — both
+strategies genuinely satisfy the constraints afterwards — but to measure
+precision/recall and, crucially, *new errors introduced* against the
+recorded ground truth, which certain fixes avoid by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.pattern import Eq
+from repro.relational.relation import Relation
+from repro.rules.cfd import CFD, find_violations
+
+
+class RepairStrategy(enum.Enum):
+    RHS = "rhs"
+    MIN_COST = "min_cost"
+
+
+@dataclass(frozen=True)
+class RepairChange:
+    """One cell modification performed by the repair."""
+
+    position: int
+    attr: str
+    old: Any
+    new: Any
+    cfd_id: str
+
+
+def _edit_distance(a: str, b: str) -> int:
+    """Plain Levenshtein distance (cost model for MIN_COST)."""
+    a, b = str(a), str(b)
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        cur = [i]
+        for j, cb in enumerate(b, start=1):
+            cur.append(min(prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + (ca != cb)))
+        prev = cur
+    return prev[-1]
+
+
+class GreedyCFDRepair:
+    """Repair a relation to satisfy a CFD set, heuristically.
+
+    ``max_passes`` bounds the fixpoint loop (repairing one violation can
+    surface another); the repaired relation of a terminating run
+    satisfies every constant CFD row and every variable row it touched.
+    """
+
+    def __init__(
+        self,
+        cfds: list[CFD],
+        *,
+        strategy: RepairStrategy = RepairStrategy.RHS,
+        max_passes: int = 5,
+    ):
+        self.cfds = list(cfds)
+        self.strategy = strategy
+        self.max_passes = max_passes
+
+    def repair(self, relation: Relation) -> tuple[Relation, list[RepairChange]]:
+        """Return (repaired copy, changes). The input is not mutated."""
+        work = Relation(relation.schema, relation.tuples())
+        changes: list[RepairChange] = []
+        for _ in range(self.max_passes):
+            dirty = False
+            for cfd in self.cfds:
+                for violation in find_violations(cfd, work):
+                    applied = self._repair_one(work, cfd, violation, changes)
+                    dirty = dirty or applied
+            if not dirty:
+                break
+        return work, changes
+
+    # -- internals -----------------------------------------------------------
+
+    def _set(self, relation: Relation, pos: int, attr: str, value, cfd_id: str,
+             changes: list[RepairChange]) -> bool:
+        old = relation.row(pos)[attr]
+        if old == value:
+            return False
+        relation.update_cell(pos, attr, value)
+        changes.append(RepairChange(pos, attr, old, value, cfd_id))
+        return True
+
+    def _repair_one(self, relation: Relation, cfd: CFD, violation, changes) -> bool:
+        row_spec = cfd.tableau[violation.row_index]
+        if row_spec.is_constant:
+            assert isinstance(row_spec.rhs, Eq)
+            pos = violation.positions[0]
+            if self.strategy is RepairStrategy.RHS:
+                return self._set(relation, pos, cfd.rhs, row_spec.rhs.value,
+                                 cfd.cfd_id, changes)
+            # MIN_COST: compare fixing the RHS against breaking the LHS
+            # pattern on its cheapest constant condition.
+            row = relation.row(pos)
+            rhs_cost = _edit_distance(row[cfd.rhs], row_spec.rhs.value)
+            best_attr, best_value, best_cost = cfd.rhs, row_spec.rhs.value, rhs_cost
+            for attr, cond in row_spec.lhs.items():
+                if isinstance(cond, Eq):
+                    # break applicability: blank the LHS cell (cost = length)
+                    cost = len(str(row[attr])) + 1
+                    if cost < best_cost:
+                        best_attr, best_value, best_cost = attr, "", cost
+            return self._set(relation, pos, best_attr, best_value, cfd.cfd_id, changes)
+
+        # Variable row: make the group agree on the majority RHS value.
+        positions = violation.positions
+        counts: dict[Any, int] = {}
+        for pos in positions:
+            v = relation.row(pos)[cfd.rhs]
+            counts[v] = counts.get(v, 0) + 1
+        majority = max(counts.items(), key=lambda kv: (kv[1], str(kv[0])))[0]
+        applied = False
+        for pos in positions:
+            if relation.row(pos)[cfd.rhs] != majority:
+                applied = self._set(relation, pos, cfd.rhs, majority,
+                                    cfd.cfd_id, changes) or applied
+        return applied

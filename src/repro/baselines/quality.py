@@ -1,0 +1,98 @@
+"""Repair quality against ground truth.
+
+The metrics every accuracy experiment reports, for both CerFix output
+and the heuristic baseline:
+
+* **precision** — of the cells a method changed, how many ended up
+  correct;
+* **recall** — of the cells that were actually erroneous, how many are
+  now correct;
+* **new_errors** — cells that were *correct* in the dirty input and are
+  wrong after "repair" (Example 1's city=Edi→Ldn). Certain fixes have
+  ``new_errors == 0`` by construction; that invariant is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class RepairQuality:
+    """Cell-level accounting of one repair run."""
+
+    total_cells: int
+    error_cells: int  # cells wrong in the dirty input
+    changed_cells: int  # cells the method modified
+    correct_changes: int  # modified cells now equal to truth
+    wrong_changes: int  # modified cells still (or newly) different from truth
+    errors_fixed: int  # erroneous cells now correct
+    errors_missed: int  # erroneous cells left wrong
+    new_errors: int  # correct cells turned wrong
+
+    @property
+    def precision(self) -> float:
+        return self.correct_changes / self.changed_cells if self.changed_cells else 1.0
+
+    @property
+    def recall(self) -> float:
+        return self.errors_fixed / self.error_cells if self.error_cells else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"f1={self.f1:.3f} fixed={self.errors_fixed}/{self.error_cells} "
+            f"new_errors={self.new_errors}"
+        )
+
+
+def evaluate_repair(dirty: Relation, repaired: Relation, truth: Relation) -> RepairQuality:
+    """Compare a repaired relation cell-by-cell against the ground truth."""
+    if not (len(dirty) == len(repaired) == len(truth)):
+        raise ValidationError(
+            f"relation sizes differ: dirty={len(dirty)}, repaired={len(repaired)}, truth={len(truth)}"
+        )
+    names = dirty.schema.names
+    if repaired.schema.names != names or truth.schema.names != names:
+        raise ValidationError("schemas differ between dirty/repaired/truth relations")
+
+    total = len(dirty) * len(names)
+    error_cells = changed = correct_changes = wrong_changes = 0
+    fixed = missed = new_errors = 0
+    for d, r, t in zip(dirty.tuples(), repaired.tuples(), truth.tuples()):
+        for dv, rv, tv in zip(d, r, t):
+            was_error = dv != tv
+            did_change = rv != dv
+            is_correct = rv == tv
+            if was_error:
+                error_cells += 1
+                if is_correct:
+                    fixed += 1
+                else:
+                    missed += 1
+            elif not is_correct:
+                new_errors += 1
+            if did_change:
+                changed += 1
+                if is_correct:
+                    correct_changes += 1
+                else:
+                    wrong_changes += 1
+    return RepairQuality(
+        total_cells=total,
+        error_cells=error_cells,
+        changed_cells=changed,
+        correct_changes=correct_changes,
+        wrong_changes=wrong_changes,
+        errors_fixed=fixed,
+        errors_missed=missed,
+        new_errors=new_errors,
+    )

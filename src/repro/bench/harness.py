@@ -1,0 +1,75 @@
+"""Benchmark harness utilities.
+
+Each bench module under ``benchmarks/`` reproduces one paper artefact
+(DESIGN.md §3). pytest-benchmark handles the timing statistics; this
+module handles the *paper-shaped* outputs: result rows are printed and
+also written under ``benchmarks/out/`` so the tables survive pytest's
+output capture and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.explorer.render import format_table
+
+#: Where bench tables land (created on demand, relative to the repo root).
+OUT_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "out"
+
+
+@dataclass
+class BenchResult:
+    """A titled table of result rows for one experiment."""
+
+    experiment: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        self.rows.append(tuple(row))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        body = format_table(self.headers, self.rows, title=self.experiment)
+        if self.notes:
+            body += "\n" + "\n".join(f"# {n}" for n in self.notes)
+        return body
+
+
+def save_table(result: BenchResult, filename: str) -> Path:
+    """Print the table and persist it under ``benchmarks/out/``."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / filename
+    text = result.render()
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    return path
+
+
+def time_call(fn: Callable[[], Any], repeat: int = 3) -> tuple[float, Any]:
+    """(best wall-clock seconds, last return value) over ``repeat`` runs."""
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_rows(
+    result: BenchResult,
+    params: Iterable[Any],
+    fn: Callable[[Any], Sequence[Any]],
+) -> BenchResult:
+    """Run ``fn`` per parameter, appending its row to ``result``."""
+    for p in params:
+        result.add(*fn(p))
+    return result

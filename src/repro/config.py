@@ -1,0 +1,177 @@
+"""Instance configuration — the demo's "Initialization" step.
+
+"The users are required to configure an instance, which consists of two
+parts: (a) a data connection … and (b) specifying the schema of input
+(dirty) tuples and that of the master data." (paper §3)
+
+Our data connection is the filesystem: an instance is a JSON document
+naming both schemas, the master-data CSV, the rules file (textual
+syntax of :mod:`repro.rules.parser`) and the engine options. Loading an
+instance yields a ready :class:`~repro.engine.CerFix`; saving one writes
+the document plus the referenced artefacts, so a configured system is a
+directory you can ship.
+
+Example document::
+
+    {
+      "name": "uk-customers",
+      "input_schema":  {"name": "customer", "attributes": [
+          {"name": "FN"}, {"name": "LN"}, ...]},
+      "master_schema": {"name": "person", "attributes": [...]},
+      "master_csv": "master.csv",
+      "rules_file": "rules.txt",
+      "mode": "strict",
+      "strategy": "core_first",
+      "precompute_regions": 5
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ValidationError
+from repro.core.certainty import CertaintyMode
+from repro.core.ruleset import RuleSet
+from repro.engine import CerFix
+from repro.monitor.suggest import SuggestionStrategy
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.rules.parser import parse_rules
+
+
+def _schema_to_json(schema: Schema) -> dict:
+    return {
+        "name": schema.name,
+        "attributes": [
+            {"name": a.name, "dtype": a.dtype, "description": a.description}
+            for a in schema.attributes
+        ],
+    }
+
+
+def _schema_from_json(obj: dict) -> Schema:
+    try:
+        attributes = [
+            Attribute(a["name"], a.get("dtype", "str"), a.get("description", ""))
+            for a in obj["attributes"]
+        ]
+        return Schema(obj["name"], attributes)
+    except KeyError as exc:
+        raise ValidationError(f"schema document missing key {exc}") from None
+
+
+@dataclass
+class InstanceConfig:
+    """A declarative CerFix instance."""
+
+    name: str
+    input_schema: Schema
+    master_schema: Schema
+    master_csv: str = "master.csv"
+    rules_file: str = "rules.txt"
+    mode: CertaintyMode = CertaintyMode.STRICT
+    strategy: SuggestionStrategy = SuggestionStrategy.CORE_FIRST
+    precompute_regions: int = 0
+    options: dict[str, Any] = field(default_factory=dict)
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "input_schema": _schema_to_json(self.input_schema),
+            "master_schema": _schema_to_json(self.master_schema),
+            "master_csv": self.master_csv,
+            "rules_file": self.rules_file,
+            "mode": self.mode.value,
+            "strategy": self.strategy.value,
+            "precompute_regions": self.precompute_regions,
+            "options": self.options,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "InstanceConfig":
+        for key in ("name", "input_schema", "master_schema"):
+            if key not in obj:
+                raise ValidationError(f"instance document missing {key!r}")
+        try:
+            mode = CertaintyMode(obj.get("mode", "strict"))
+        except ValueError:
+            raise ValidationError(f"unknown certainty mode {obj.get('mode')!r}") from None
+        try:
+            strategy = SuggestionStrategy(obj.get("strategy", "core_first"))
+        except ValueError:
+            raise ValidationError(f"unknown strategy {obj.get('strategy')!r}") from None
+        return cls(
+            name=obj["name"],
+            input_schema=_schema_from_json(obj["input_schema"]),
+            master_schema=_schema_from_json(obj["master_schema"]),
+            master_csv=obj.get("master_csv", "master.csv"),
+            rules_file=obj.get("rules_file", "rules.txt"),
+            mode=mode,
+            strategy=strategy,
+            precompute_regions=int(obj.get("precompute_regions", 0)),
+            options=dict(obj.get("options", {})),
+        )
+
+
+def save_instance(
+    directory: str | Path,
+    config: InstanceConfig,
+    master: Relation,
+    ruleset: RuleSet,
+) -> Path:
+    """Write an instance directory: instance.json + master CSV + rules.
+
+    Returns the path of ``instance.json``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_csv(master, directory / config.master_csv)
+    rules_text = "\n".join(r.render() for r in ruleset) + "\n"
+    (directory / config.rules_file).write_text(rules_text, encoding="utf-8")
+    path = directory / "instance.json"
+    path.write_text(json.dumps(config.to_json(), indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_instance(path: str | Path) -> tuple[CerFix, InstanceConfig]:
+    """Load an instance document and build the engine it describes.
+
+    ``path`` may be the ``instance.json`` file or its directory. Relative
+    artefact paths resolve against the document's directory.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / "instance.json"
+    if not path.exists():
+        raise ValidationError(f"no instance document at {path}")
+    try:
+        obj = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: bad JSON ({exc})") from None
+    config = InstanceConfig.from_json(obj)
+    if config.mode is CertaintyMode.SCENARIO:
+        raise ValidationError(
+            "instance documents cannot use certainty mode 'scenario': the "
+            "scenario universe is a programmatic generator; configure "
+            "'strict' or 'anchored' and pass a scenario in code instead"
+        )
+    base = path.parent
+    master = read_csv(base / config.master_csv, schema=config.master_schema)
+    rules_text = (base / config.rules_file).read_text(encoding="utf-8")
+    ruleset = RuleSet(parse_rules(rules_text), config.input_schema, config.master_schema)
+    engine = CerFix(
+        ruleset,
+        master,
+        mode=config.mode,
+        strategy=config.strategy,
+    )
+    if config.precompute_regions:
+        engine.precompute_regions(k=config.precompute_regions)
+    return engine, config

@@ -1,0 +1,85 @@
+"""The paper's primary contribution: editing rules, the chase that applies
+them with master data, certainty analysis, certain regions and the static
+analyses of the rule engine (consistency, inference)."""
+
+from repro.core.pattern import WILDCARD, Condition, Eq, NotIn, Wildcard, PatternTuple
+from repro.core.rule import Constant, EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.core.chase import (
+    Applicability,
+    AppStatus,
+    ChaseResult,
+    ConflictWitness,
+    FixStep,
+    applicable,
+    chase,
+)
+from repro.core.certainty import (
+    CertaintyMode,
+    CertaintyReport,
+    FreshValue,
+    fresh,
+    guaranteed_validated,
+    is_certain_region,
+    value_partition,
+)
+from repro.core.inference import (
+    dependency_graph,
+    mandatory_attributes,
+    potential_closure,
+    reachable_closure,
+    syntactically_certain,
+)
+from repro.core.region import RankedRegion, Region
+from repro.core.region_finder import condense_tableau, find_certain_regions
+from repro.core.consistency import (
+    AmbiguityWitness,
+    ConsistencyReport,
+    RuleConflict,
+    check_consistency,
+    find_ambiguities,
+    find_pairwise_conflicts,
+)
+
+__all__ = [
+    "WILDCARD",
+    "Condition",
+    "Eq",
+    "NotIn",
+    "Wildcard",
+    "PatternTuple",
+    "Constant",
+    "EditingRule",
+    "MasterColumn",
+    "MatchPair",
+    "RuleSet",
+    "Applicability",
+    "AppStatus",
+    "ChaseResult",
+    "ConflictWitness",
+    "FixStep",
+    "applicable",
+    "chase",
+    "CertaintyMode",
+    "CertaintyReport",
+    "FreshValue",
+    "fresh",
+    "guaranteed_validated",
+    "is_certain_region",
+    "value_partition",
+    "dependency_graph",
+    "mandatory_attributes",
+    "potential_closure",
+    "reachable_closure",
+    "syntactically_certain",
+    "RankedRegion",
+    "Region",
+    "condense_tableau",
+    "find_certain_regions",
+    "AmbiguityWitness",
+    "ConsistencyReport",
+    "RuleConflict",
+    "check_consistency",
+    "find_ambiguities",
+    "find_pairwise_conflicts",
+]

@@ -1,0 +1,374 @@
+"""Deciding certainty: will the chase fix *every* tuple in a region?
+
+A region ``(Z, Tc)`` is **certain** when any input tuple whose ``Z``
+attributes are validated and match a pattern of ``Tc`` is chased to a
+complete, conflict-free fix. The quantifier ranges over infinitely many
+tuples, but the chase observes ``t[Z]`` only through
+
+* equality (under a match operator) with master-column values reachable
+  via some rule correspondence, and
+* comparison with pattern constants,
+
+so two values outside that finite set are chase-indistinguishable
+(*genericity*). Per attribute we therefore enumerate a finite **value
+partition** — the relevant constants plus one :class:`FreshValue`
+sentinel standing for "any other value" — and the product enumeration is
+an *exact* decision procedure. [7] shows the underlying problem is
+intractable in general; exactness here costs exponential time in ``|Z|``
+and partition width, guarded by an explicit combination budget.
+
+Three quantification modes (see DESIGN.md §1):
+
+* ``STRICT`` — the open-world definition of [7]: all partition values,
+  including fresh ones. Certain regions must pin master coverage in
+  their tableaux.
+* ``ANCHORED`` — closed-world approximation: candidate values are taken
+  per master tuple (a correct value describes some real entity, and
+  master data records the entities). Conservative — it may reject
+  regions a deployed system would accept — and therefore still sound.
+* ``SCENARIO`` — exact for a caller-supplied universe of correct tuples
+  (the scenario knows, e.g., that ``type=1`` means ``phn`` is the home
+  phone). This is what a production CerFix instance effectively uses.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import BudgetExceededError
+from repro.core.chase import chase
+from repro.core.pattern import EMPTY_PATTERN, PatternTuple
+from repro.core.ruleset import RuleSet
+from repro.master.manager import MasterDataManager
+
+
+class FreshValue:
+    """A sentinel for "any value outside the partition of ``attr``".
+
+    Compares equal only to fresh values for the same attribute; never to a
+    string or number, so master lookups miss and ``Eq`` conditions fail on
+    it, exactly as for a real out-of-partition value.
+    """
+
+    __slots__ = ("attr",)
+
+    def __init__(self, attr: str):
+        self.attr = attr
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FreshValue) and other.attr == self.attr
+
+    def __hash__(self) -> int:
+        return hash(("FreshValue", self.attr))
+
+    def __repr__(self) -> str:
+        return f"<fresh:{self.attr}>"
+
+
+def fresh(attr: str) -> FreshValue:
+    """The fresh sentinel for ``attr``."""
+    return FreshValue(attr)
+
+
+class CertaintyMode(enum.Enum):
+    """How the certainty test quantifies over input tuples."""
+
+    STRICT = "strict"
+    ANCHORED = "anchored"
+    SCENARIO = "scenario"
+
+
+#: A scenario is any callable producing the universe of correct tuples
+#: (full input-schema dicts). Used by ``CertaintyMode.SCENARIO``.
+Scenario = Callable[[], Iterable[Mapping[str, Any]]]
+
+
+def value_partition(
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    extra_patterns: Iterable[PatternTuple] = (),
+) -> dict[str, tuple]:
+    """The finite value partition per input attribute (without fresh).
+
+    For each input attribute: every distinct master value of every master
+    column it corresponds to through some rule, plus every pattern
+    constant mentioned for it (rule patterns and ``extra_patterns``, e.g.
+    a region tableau under test).
+    """
+    buckets: dict[str, set] = {name: set() for name in ruleset.input_schema.names}
+    for rule in ruleset:
+        for pair in rule.match:
+            buckets[pair.t_attr].update(master.relation.active_domain(pair.m_attr))
+        for attr in rule.pattern.attrs:
+            buckets[attr].update(rule.pattern.constants_on(attr))
+    for pattern in extra_patterns:
+        for attr in pattern.attrs:
+            if attr in buckets:
+                buckets[attr].update(pattern.constants_on(attr))
+    return {attr: tuple(sorted(vals, key=repr)) for attr, vals in buckets.items()}
+
+
+def _correspondences(ruleset: RuleSet) -> dict[str, list[str]]:
+    """input attribute -> master columns it is matched against."""
+    out: dict[str, list[str]] = {}
+    for rule in ruleset:
+        for pair in rule.match:
+            cols = out.setdefault(pair.t_attr, [])
+            if pair.m_attr not in cols:
+                cols.append(pair.m_attr)
+    return out
+
+
+def candidate_combos(
+    attrs: Sequence[str],
+    pattern: PatternTuple,
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    *,
+    mode: CertaintyMode = CertaintyMode.STRICT,
+    scenario: Scenario | None = None,
+    partition: Mapping[str, tuple] | None = None,
+    max_combos: int = 200_000,
+) -> Iterator[dict[str, Any]]:
+    """Enumerate the assignments of ``t[attrs]`` the mode quantifies over.
+
+    Assignments are filtered by ``pattern`` (the region/tableau pattern
+    under test) and deduplicated. Fresh sentinels are yielded *first* per
+    attribute so that counterexample-producing combinations surface early.
+    Raises :class:`~repro.errors.BudgetExceededError` past ``max_combos``.
+    """
+    attrs = tuple(attrs)
+    if mode is CertaintyMode.SCENARIO:
+        if scenario is None:
+            raise ValueError("CertaintyMode.SCENARIO requires a scenario generator")
+        seen: set[tuple] = set()
+        count = 0
+        for full in scenario():
+            combo = {a: full[a] for a in attrs}
+            if not pattern.matches(combo):
+                continue
+            key = tuple(combo[a] for a in attrs)
+            if key in seen:
+                continue
+            seen.add(key)
+            count += 1
+            if count > max_combos:
+                raise BudgetExceededError(
+                    f"scenario universe for {attrs} exceeds max_combos={max_combos}"
+                )
+            yield combo
+        return
+
+    part = dict(partition) if partition is not None else value_partition(
+        ruleset, master, extra_patterns=[pattern]
+    )
+
+    if mode is CertaintyMode.STRICT:
+        per_attr: list[list[Any]] = []
+        for a in attrs:
+            universe = [fresh(a)] + list(part.get(a, ())) + [
+                c for c in pattern.constants_on(a) if c not in part.get(a, ())
+            ]
+            allowed = pattern.condition(a).allowed(universe)
+            per_attr.append(allowed)
+        total = 1
+        for cands in per_attr:
+            total *= max(len(cands), 1)
+        if total > max_combos:
+            raise BudgetExceededError(
+                f"STRICT enumeration over {attrs} needs {total} combos "
+                f"(> max_combos={max_combos}); use ANCHORED/SCENARIO mode or raise the budget"
+            )
+        if any(not cands for cands in per_attr):
+            return
+        for values in itertools.product(*per_attr):
+            yield dict(zip(attrs, values))
+        return
+
+    if mode is CertaintyMode.ANCHORED:
+        corr = _correspondences(ruleset)
+        pattern_consts: dict[str, set] = {}
+        for rule in ruleset:
+            for a in rule.pattern.attrs:
+                pattern_consts.setdefault(a, set()).update(rule.pattern.constants_on(a))
+        for a in pattern.attrs:
+            pattern_consts.setdefault(a, set()).update(pattern.constants_on(a))
+        seen = set()
+        count = 0
+        for s in master.relation.rows():
+            per_attr = []
+            for a in attrs:
+                cands: list[Any] = []
+                for m in corr.get(a, ()):
+                    if m in master.schema and s[m] not in cands:
+                        cands.append(s[m])
+                for c in sorted(pattern_consts.get(a, ()), key=repr):
+                    if c not in cands:
+                        cands.append(c)
+                if a not in corr:
+                    cands.append(fresh(a))
+                allowed = pattern.condition(a).allowed(cands)
+                per_attr.append(allowed)
+            if any(not cands for cands in per_attr):
+                continue
+            for values in itertools.product(*per_attr):
+                key = tuple(values)
+                if key in seen:
+                    continue
+                seen.add(key)
+                count += 1
+                if count > max_combos:
+                    raise BudgetExceededError(
+                        f"ANCHORED enumeration over {attrs} exceeds max_combos={max_combos}"
+                    )
+                yield dict(zip(attrs, values))
+        return
+
+    raise ValueError(f"unknown certainty mode {mode!r}")  # pragma: no cover
+
+
+@dataclass
+class CertaintyReport:
+    """The outcome of a certainty analysis.
+
+    ``guaranteed`` is the set of attributes validated in *every* examined
+    chase run — when it covers the whole schema (and no run conflicted),
+    the region is certain. ``vacuous`` flags an empty quantification
+    universe (no tuple matches the tableau at all), which is reported as
+    certain-but-vacuous rather than silently passed off as useful.
+    """
+
+    certain: bool
+    guaranteed: frozenset[str]
+    combos_checked: int
+    exhaustive: bool = True
+    vacuous: bool = False
+    counterexample: dict[str, Any] | None = None
+    failure: str | None = None  # "incomplete" | "conflict"
+
+    def describe(self) -> str:
+        if self.certain and self.vacuous:
+            return "vacuously certain (no tuple matches the tableau)"
+        if self.certain:
+            return f"certain ({self.combos_checked} combinations verified)"
+        missing = ""
+        if self.failure == "incomplete":
+            missing = f", unvalidated attrs survive: {sorted(self.guaranteed and [])}"
+        return (
+            f"not certain: {self.failure} at {self.counterexample!r}"
+            f" after {self.combos_checked} combinations{missing}"
+        )
+
+
+def guaranteed_validated(
+    attrs: Sequence[str],
+    tableau: Sequence[PatternTuple],
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    *,
+    mode: CertaintyMode = CertaintyMode.STRICT,
+    scenario: Scenario | None = None,
+    max_combos: int = 200_000,
+    stop_on_counterexample: bool = True,
+) -> CertaintyReport:
+    """Chase every quantified assignment of ``t[attrs]``; intersect results.
+
+    The single engine behind :func:`is_certain_region` (full certainty),
+    the region finder (safe-combination harvesting happens in
+    :mod:`repro.core.region_finder`) and semantic suggestions.
+    """
+    attrs = tuple(attrs)
+    schema = ruleset.input_schema
+    all_attrs = frozenset(schema.names)
+    partition = value_partition(ruleset, master, extra_patterns=tableau)
+    guaranteed: frozenset[str] | None = None
+    checked = 0
+    counterexample = None
+    failure = None
+    for pattern in tableau:
+        for combo in candidate_combos(
+            attrs,
+            pattern,
+            ruleset,
+            master,
+            mode=mode,
+            scenario=scenario,
+            partition=partition,
+            max_combos=max_combos,
+        ):
+            values = {a: combo.get(a, fresh(a)) for a in schema.names}
+            result = chase(values, attrs, ruleset, master)
+            checked += 1
+            if result.conflicts:
+                counterexample = counterexample or dict(combo)
+                failure = failure or "conflict"
+                guaranteed = frozenset(attrs) if guaranteed is None else guaranteed
+                if stop_on_counterexample:
+                    return CertaintyReport(
+                        certain=False,
+                        guaranteed=guaranteed,
+                        combos_checked=checked,
+                        counterexample=dict(combo),
+                        failure="conflict",
+                    )
+                continue
+            guaranteed = (
+                result.validated if guaranteed is None else guaranteed & result.validated
+            )
+            if not result.is_complete and counterexample is None:
+                counterexample = dict(combo)
+                failure = "incomplete"
+                if stop_on_counterexample:
+                    return CertaintyReport(
+                        certain=False,
+                        guaranteed=guaranteed,
+                        combos_checked=checked,
+                        counterexample=dict(combo),
+                        failure="incomplete",
+                    )
+    if checked == 0:
+        return CertaintyReport(
+            certain=True,
+            guaranteed=all_attrs,
+            combos_checked=0,
+            vacuous=True,
+        )
+    assert guaranteed is not None
+    certain = guaranteed >= all_attrs and failure is None
+    return CertaintyReport(
+        certain=certain,
+        guaranteed=guaranteed,
+        combos_checked=checked,
+        counterexample=counterexample,
+        failure=failure,
+    )
+
+
+def is_certain_region(
+    attrs: Sequence[str],
+    tableau: Sequence[PatternTuple] | None,
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    *,
+    mode: CertaintyMode = CertaintyMode.STRICT,
+    scenario: Scenario | None = None,
+    max_combos: int = 200_000,
+) -> CertaintyReport:
+    """Decide whether ``(attrs, tableau)`` is a certain region.
+
+    ``tableau=None`` means the single wildcard pattern (the paper's
+    unconditional region).
+    """
+    tab = tuple(tableau) if tableau else (EMPTY_PATTERN,)
+    return guaranteed_validated(
+        attrs,
+        tab,
+        ruleset,
+        master,
+        mode=mode,
+        scenario=scenario,
+        max_combos=max_combos,
+    )

@@ -1,0 +1,283 @@
+"""The chase: applying editing rules to an input tuple until fixpoint.
+
+Given an input tuple ``t`` and a set ``V`` of *validated* attributes
+(assured correct, by the user or by earlier applications), a rule
+``φ: ((X, Xm) → (B, Bm), tp)`` is **safely applicable** when:
+
+1. ``X ∪ Xp ⊆ V`` — the rule reads only validated values;
+2. ``t[Xp]`` matches ``tp``;
+3. at least one master tuple matches ``t[X]`` under the rule's operators;
+4. every matching master tuple agrees on the correction value
+   (the **uniqueness gate** — without it the fix would not be certain).
+
+Applying it sets ``t[B]`` to the agreed value and adds ``B`` to ``V``.
+Because ``V`` only grows and each self-normalising rewrite fires at most
+once, the chase terminates; :func:`chase` runs rules in the rule set's
+canonical order and records every step with full provenance, every
+ambiguity it skipped over, and every conflict it detected (a prescribed
+change to an already-validated attribute — evidence the rules and master
+data are inconsistent, or a validation was wrong).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ConflictError
+from repro.core.rule import EditingRule
+from repro.core.ruleset import RuleSet
+from repro.master.manager import MasterDataManager
+
+
+class AppStatus(enum.Enum):
+    """Why a rule did or did not fire on the current state."""
+
+    READY = "ready"  # safely applicable: a unique correction value exists
+    NOT_READY = "not_ready"  # some attribute the rule reads is not validated
+    PATTERN_MISS = "pattern_miss"  # the (validated) pattern attributes do not match tp
+    NO_MATCH = "no_match"  # no master tuple matches t[X]
+    AMBIGUOUS = "ambiguous"  # matching master tuples disagree on the value
+
+
+@dataclass(frozen=True)
+class Applicability:
+    """The detailed outcome of testing one rule against one state."""
+
+    status: AppStatus
+    value: Any = None
+    master_positions: tuple[int, ...] = ()
+    candidate_values: tuple[Any, ...] = ()
+    missing: tuple[str, ...] = ()
+
+    @property
+    def is_ready(self) -> bool:
+        return self.status is AppStatus.READY
+
+
+def applicable(
+    rule: EditingRule,
+    values: Mapping[str, Any],
+    validated: frozenset[str] | set[str],
+    master: MasterDataManager,
+    *,
+    use_index: bool = True,
+) -> Applicability:
+    """Test whether ``rule`` is safely applicable to ``(values, validated)``.
+
+    This is the single decision procedure shared by the chase, the
+    certainty analysis and the consistency checker, so their notions of
+    "applicable" cannot drift apart.
+    """
+    missing = tuple(a for a in sorted(rule.reads) if a not in validated)
+    if missing:
+        return Applicability(AppStatus.NOT_READY, missing=missing)
+    if not rule.pattern.matches(values):
+        return Applicability(AppStatus.PATTERN_MISS)
+    match = master.match(rule, values, use_index=use_index)
+    if rule.is_constant:
+        return Applicability(AppStatus.READY, value=match.values[0])
+    if match.is_empty:
+        return Applicability(AppStatus.NO_MATCH)
+    if not match.is_unique:
+        return Applicability(
+            AppStatus.AMBIGUOUS,
+            master_positions=match.positions,
+            candidate_values=match.values,
+        )
+    return Applicability(
+        AppStatus.READY, value=match.value, master_positions=match.positions
+    )
+
+
+@dataclass(frozen=True)
+class FixStep:
+    """One applied fix, with provenance for the audit trail."""
+
+    attr: str
+    old: Any
+    new: Any
+    rule_id: str
+    master_positions: tuple[int, ...]
+    normalized: bool = False  # True for a self-normalising rewrite of a validated attr
+
+    def describe(self) -> str:
+        kind = "normalized" if self.normalized else "fixed"
+        via = f"rule {self.rule_id}"
+        if self.master_positions:
+            via += f", master tuple(s) {list(self.master_positions)}"
+        return f"{self.attr}: {self.old!r} -> {self.new!r} ({kind} by {via})"
+
+
+@dataclass(frozen=True)
+class ConflictWitness:
+    """Evidence that two certain fixes disagree.
+
+    ``existing`` is the current (validated) value of ``attr``;
+    ``prescribed`` is what ``rule_id`` wants it to be. For a consistent
+    rule set and correct validations this never happens ([7], §4).
+    """
+
+    attr: str
+    existing: Any
+    prescribed: Any
+    rule_id: str
+    master_positions: tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"conflict on {self.attr}: validated value {self.existing!r} but rule "
+            f"{self.rule_id} (master {list(self.master_positions)}) prescribes {self.prescribed!r}"
+        )
+
+
+@dataclass(frozen=True)
+class AmbiguityEvent:
+    """A rule blocked by the uniqueness gate during a chase."""
+
+    attr: str
+    rule_id: str
+    candidate_values: tuple[Any, ...]
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of one chase run."""
+
+    values: dict[str, Any]
+    validated: frozenset[str]
+    steps: tuple[FixStep, ...]
+    conflicts: tuple[ConflictWitness, ...]
+    ambiguities: tuple[AmbiguityEvent, ...]
+    all_attrs: frozenset[str]
+    sweeps: int = 0
+
+    @property
+    def is_complete(self) -> bool:
+        """True iff every attribute ended up validated — a certain fix."""
+        return self.validated >= self.all_attrs and not self.conflicts
+
+    @property
+    def unvalidated(self) -> frozenset[str]:
+        return self.all_attrs - self.validated
+
+    @property
+    def fixed_attrs(self) -> tuple[str, ...]:
+        return tuple(s.attr for s in self.steps)
+
+
+def chase(
+    values: Mapping[str, Any],
+    validated: Iterable[str],
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    *,
+    strict: bool = False,
+    use_index: bool = True,
+    rule_order: Sequence[str] | None = None,
+    max_sweeps: int | None = None,
+) -> ChaseResult:
+    """Run the chase from ``(values, validated)`` to fixpoint.
+
+    ``values`` must cover every input-schema attribute (dirty values are
+    fine — that is the point). ``strict=True`` raises
+    :class:`~repro.errors.ConflictError` on the first conflict instead of
+    recording it. ``rule_order`` overrides the canonical order (used by
+    the Church–Rosser property tests). The input mapping is not mutated.
+    """
+    schema = ruleset.input_schema
+    state = {name: values[name] for name in schema.names}
+    valid: set[str] = set(validated)
+    unknown = valid - set(schema.names)
+    if unknown:
+        from repro.errors import SchemaError
+
+        raise SchemaError(f"validated attributes {sorted(unknown)} not in schema {schema.name!r}")
+
+    rules: list[EditingRule] = (
+        [ruleset.get(r) for r in rule_order] if rule_order is not None else list(ruleset)
+    )
+    steps: list[FixStep] = []
+    conflicts: list[ConflictWitness] = []
+    ambiguities: list[AmbiguityEvent] = []
+    normalized_once: set[str] = set()  # rule ids that already rewrote their target
+
+    # Each productive sweep validates an attribute or performs one of the
+    # at-most-len(rules) normalising rewrites, so this bound is never hit;
+    # it guards against a future bug turning the loop infinite.
+    bound = max_sweeps if max_sweeps is not None else len(schema) + len(rules) + 2
+    sweeps = 0
+    changed = True
+    while changed and sweeps < bound:
+        changed = False
+        sweeps += 1
+        for rule in rules:
+            target_valid = rule.target in valid
+            if target_valid and (rule.is_self_normalizing is False or rule.rule_id in normalized_once):
+                # Either nothing left for this rule to do, or — for a rule
+                # that is not self-normalising — a potential conflict to check.
+                if rule.is_self_normalizing and rule.rule_id in normalized_once:
+                    continue
+                app = applicable(rule, state, valid, master, use_index=use_index)
+                if app.is_ready and app.value != state[rule.target]:
+                    witness = ConflictWitness(
+                        attr=rule.target,
+                        existing=state[rule.target],
+                        prescribed=app.value,
+                        rule_id=rule.rule_id,
+                        master_positions=app.master_positions,
+                    )
+                    if witness not in conflicts:
+                        conflicts.append(witness)
+                        if strict:
+                            raise ConflictError(witness.describe(), witness=witness)
+                continue
+            app = applicable(rule, state, valid, master, use_index=use_index)
+            if app.status is AppStatus.AMBIGUOUS:
+                event = AmbiguityEvent(rule.target, rule.rule_id, app.candidate_values)
+                if event not in ambiguities:
+                    ambiguities.append(event)
+                continue
+            if not app.is_ready:
+                continue
+            if target_valid:
+                # Self-normalising rule over a validated target: rewrite to
+                # the canonical master form, at most once per rule.
+                normalized_once.add(rule.rule_id)
+                if app.value != state[rule.target]:
+                    steps.append(
+                        FixStep(
+                            attr=rule.target,
+                            old=state[rule.target],
+                            new=app.value,
+                            rule_id=rule.rule_id,
+                            master_positions=app.master_positions,
+                            normalized=True,
+                        )
+                    )
+                    state[rule.target] = app.value
+                    changed = True
+                continue
+            steps.append(
+                FixStep(
+                    attr=rule.target,
+                    old=state[rule.target],
+                    new=app.value,
+                    rule_id=rule.rule_id,
+                    master_positions=app.master_positions,
+                )
+            )
+            state[rule.target] = app.value
+            valid.add(rule.target)
+            changed = True
+
+    return ChaseResult(
+        values=state,
+        validated=frozenset(valid),
+        steps=tuple(steps),
+        conflicts=tuple(conflicts),
+        ambiguities=tuple(ambiguities),
+        all_attrs=frozenset(schema.names),
+        sweeps=sweeps,
+    )

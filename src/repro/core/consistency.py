@@ -1,0 +1,405 @@
+"""Static analysis of editing rules (paper §2, Rule engine item (1)).
+
+"CerFix automatically tests whether the specified eRs make sense w.r.t.
+master data, i.e., the rules do not contradict each other and will lead
+to a unique fix for any input tuple."
+
+Three analyses, mirroring that sentence:
+
+* :func:`find_ambiguities` — per rule, master keys whose matches disagree
+  on the correction value. Such keys can never produce a fix (the
+  uniqueness gate blocks the rule), so they are coverage holes worth
+  surfacing to whoever curates the master data.
+* :func:`find_pairwise_conflicts` — pairs of rules that, on some input
+  tuple, *simultaneously* prescribe different values for the same
+  attribute. Witnesses are constructed from pairs of master tuples plus
+  pattern constants and fresh padding, then **confirmed** against the
+  chase's own applicability test, so every reported conflict is real.
+  Deciding full chase-order consistency is coNP-complete ([7]); this
+  enumeration is complete for exact-operator rules (genericity) and a
+  documented heuristic under fuzzy operators.
+* :func:`check_consistency` — the umbrella check the demo's rule manager
+  runs: ambiguities + pairwise conflicts + randomised differential
+  testing of chase order (Church–Rosser check on sampled tuples).
+
+All of it is read-only over the rule set and master data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import BudgetExceededError
+from repro.core.certainty import fresh, value_partition
+from repro.core.chase import AppStatus, applicable, chase
+from repro.core.pattern import Eq, PatternTuple
+from repro.core.rule import Constant, EditingRule, MasterColumn
+from repro.core.ruleset import RuleSet
+from repro.master.manager import MasterDataManager
+from repro.relational.normalize import normalize_value
+
+
+@dataclass(frozen=True)
+class AmbiguityWitness:
+    """A master key on which one rule cannot decide a unique fix."""
+
+    rule_id: str
+    key: tuple
+    values: tuple[Any, ...]
+
+    def describe(self) -> str:
+        return (
+            f"rule {self.rule_id}: master key {self.key!r} matches tuples with "
+            f"distinct corrections {list(self.values)!r} — the rule never fires on it"
+        )
+
+
+@dataclass(frozen=True)
+class RuleConflict:
+    """Two rules prescribing different values for the same attribute.
+
+    ``witness`` is a (partial) input tuple on which both rules are safely
+    applicable yet disagree; completing it with fresh values yields a full
+    counterexample tuple. ``same_entity`` distinguishes the two tiers:
+
+    * ``True`` — the witness draws its master evidence from at most one
+      master tuple (or from constant rules). Such a tuple can describe a
+      real entity, so the rules genuinely contradict each other: this is
+      an inconsistency.
+    * ``False`` — the witness needs validated values taken from *two
+      different* master tuples (e.g. person A's zip plus person B's area
+      code). Under the master-data closed-world assumption no correct
+      tuple looks like that, so this is a warning: the rules only clash
+      if a user validates an impossible combination (the chase still
+      detects and reports the clash at run time).
+    """
+
+    attr: str
+    rule1: str
+    rule2: str
+    value1: Any
+    value2: Any
+    witness: tuple[tuple[str, Any], ...]
+    same_entity: bool = True
+
+    def describe(self) -> str:
+        w = {a: v for a, v in self.witness}
+        tier = "conflict" if self.same_entity else "cross-entity conflict"
+        return (
+            f"{tier} on {self.attr}: rule {self.rule1} fixes it to {self.value1!r} "
+            f"but rule {self.rule2} fixes it to {self.value2!r} on any tuple with {w!r}"
+        )
+
+
+@dataclass(frozen=True)
+class OrderDivergence:
+    """Two chase orders reaching different final tuples (Church–Rosser
+    violation) on a sampled input."""
+
+    values: tuple[tuple[str, Any], ...]
+    order1: tuple[str, ...]
+    order2: tuple[str, ...]
+    attr: str
+    result1: Any
+    result2: Any
+
+
+@dataclass
+class ConsistencyReport:
+    """The combined outcome of the static analyses."""
+
+    conflicts: tuple[RuleConflict, ...]
+    cross_entity_conflicts: tuple[RuleConflict, ...]
+    ambiguities: tuple[AmbiguityWitness, ...]
+    order_divergences: tuple[OrderDivergence, ...]
+    pairs_checked: int
+    samples_checked: int
+    exhaustive_pairs: bool = True
+
+    @property
+    def is_consistent(self) -> bool:
+        """No same-entity conflicts and no order divergences.
+
+        Ambiguities are coverage holes, not contradictions; cross-entity
+        witnesses are warnings (see :class:`RuleConflict.same_entity`) —
+        neither makes the rule set inconsistent.
+        """
+        return not self.conflicts and not self.order_divergences
+
+    def describe(self) -> str:
+        lines = [
+            f"consistent: {self.is_consistent} "
+            f"({self.pairs_checked} rule/master pairs, {self.samples_checked} sampled chases; "
+            f"{len(self.cross_entity_conflicts)} cross-entity warnings, "
+            f"{len(self.ambiguities)} ambiguity warnings)"
+        ]
+        lines += ["  " + c.describe() for c in self.conflicts]
+        lines += ["  " + c.describe() for c in self.cross_entity_conflicts]
+        lines += ["  " + a.describe() for a in self.ambiguities]
+        for d in self.order_divergences:
+            lines.append(
+                f"  order divergence on {d.attr}: {d.result1!r} vs {d.result2!r}"
+            )
+        return "\n".join(lines)
+
+
+def find_ambiguities(ruleset: RuleSet, master: MasterDataManager) -> list[AmbiguityWitness]:
+    """Master keys on which a rule's matches disagree on the correction."""
+    out = []
+    for rule in ruleset:
+        for key, values in sorted(master.ambiguous_keys(rule).items(), key=repr):
+            out.append(AmbiguityWitness(rule.rule_id, key, values))
+    return out
+
+
+def _merge_witness(
+    base: dict[str, Any], updates: Mapping[str, Any]
+) -> dict[str, Any] | None:
+    """Merge forced attribute values; ``None`` when they contradict."""
+    merged = dict(base)
+    for attr, value in updates.items():
+        if attr in merged and merged[attr] != value:
+            return None
+        merged[attr] = value
+    return merged
+
+
+def _pattern_witness(
+    pattern: PatternTuple, witness: dict[str, Any], partition: Mapping[str, tuple]
+) -> dict[str, Any] | None:
+    """Extend ``witness`` so it satisfies ``pattern``, or ``None``.
+
+    Forced values must already satisfy their conditions; unforced pattern
+    attributes take a satisfying constant (for ``Eq``) or a fresh value
+    (for ``NotIn`` — fresh always satisfies it).
+    """
+    extended = dict(witness)
+    for attr, cond in pattern.items():
+        if attr in extended:
+            if not cond.matches(extended[attr]):
+                return None
+            continue
+        if isinstance(cond, Eq):
+            extended[attr] = cond.value
+        else:
+            extended[attr] = fresh(attr)
+    return extended
+
+
+def find_pairwise_conflicts(
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    *,
+    pair_budget: int = 2_000_000,
+) -> tuple[list[RuleConflict], list[RuleConflict], int, bool]:
+    """Search for input tuples on which two rules disagree.
+
+    For every pair of rules with a common target, candidate witnesses are
+    built from every pair of master tuples (constant-sourced rules
+    contribute a single pseudo-candidate): the witness forces ``t[X1]``
+    and ``t[X2]`` to the master values, merges the two patterns, and is
+    then confirmed by running both rules' *actual* applicability test —
+    the same code path the chase uses — so the uniqueness gate and
+    operator normalisation are honoured.
+
+    Returns ``(conflicts, cross_entity_conflicts, pairs_checked,
+    exhaustive)``; the first list holds genuine (same-entity)
+    contradictions, the second closed-world warnings (see
+    :class:`RuleConflict`). One witness per rule pair and tier is kept.
+    """
+    conflicts: list[RuleConflict] = []
+    cross_entity: list[RuleConflict] = []
+    pairs_checked = 0
+    exhaustive = True
+    partition = value_partition(ruleset, master)
+    raw = master.relation.tuples()
+    schema = master.relation.schema
+
+    def source_candidates(rule: EditingRule) -> Iterable[tuple[dict[str, Any], Any, int | None]]:
+        """(forced input values, prescribed value, master position)."""
+        if isinstance(rule.source, Constant):
+            yield {}, rule.source.value, None
+            return
+        col = schema.position(rule.source.name)
+        positions = [schema.position(a) for a in rule.m_attrs]
+        seen: set[tuple] = set()
+        for pos, t in enumerate(raw):
+            key = tuple(t[p] for p in positions)
+            forced = dict(zip(rule.lhs_attrs, key))
+            dedup = (tuple(sorted(forced.items(), key=repr)), t[col])
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            yield forced, t[col], pos
+
+    by_target: dict[str, list[EditingRule]] = {}
+    for rule in ruleset:
+        by_target.setdefault(rule.target, []).append(rule)
+
+    for attr, rules in sorted(by_target.items()):
+        for r1, r2 in itertools.combinations(rules, 2):
+            merged_pattern = r1.pattern.merge(r2.pattern)
+            if merged_pattern is None:
+                continue  # patterns contradict: the rules can never co-fire
+            found_same = found_cross = False
+            for (forced1, v1, pos1), (forced2, v2, pos2) in itertools.product(
+                source_candidates(r1), source_candidates(r2)
+            ):
+                pairs_checked += 1
+                if pairs_checked > pair_budget:
+                    exhaustive = False
+                    return conflicts, cross_entity, pairs_checked, exhaustive
+                same_entity = pos1 is None or pos2 is None or pos1 == pos2
+                if (found_same or same_entity is False) and (found_cross or same_entity):
+                    continue
+                if v1 == v2:
+                    continue
+                witness = _merge_witness(forced1, forced2)
+                if witness is None:
+                    continue
+                witness = _pattern_witness(merged_pattern, witness, partition)
+                if witness is None:
+                    continue
+                validated = frozenset(witness) | r1.reads | r2.reads
+                full = dict(witness)
+                for a in validated:
+                    full.setdefault(a, fresh(a))
+                app1 = applicable(r1, full, validated, master)
+                app2 = applicable(r2, full, validated, master)
+                if (
+                    app1.status is AppStatus.READY
+                    and app2.status is AppStatus.READY
+                    and app1.value != app2.value
+                ):
+                    conflict = RuleConflict(
+                        attr=attr,
+                        rule1=r1.rule_id,
+                        rule2=r2.rule_id,
+                        value1=app1.value,
+                        value2=app2.value,
+                        witness=tuple(sorted(full.items(), key=repr)),
+                        same_entity=same_entity,
+                    )
+                    if same_entity:
+                        conflicts.append(conflict)
+                        found_same = True
+                    else:
+                        cross_entity.append(conflict)
+                        found_cross = True
+                    if found_same and found_cross:
+                        break
+    return conflicts, cross_entity, pairs_checked, exhaustive
+
+
+def _sample_tuple(
+    rng: random.Random,
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    partition: Mapping[str, tuple],
+) -> dict[str, Any]:
+    """A random synthetic input tuple: partition values or fresh, biased
+    towards master-derived values so that rules actually fire."""
+    values: dict[str, Any] = {}
+    for attr in ruleset.input_schema.names:
+        pool = list(partition.get(attr, ()))
+        if pool and rng.random() < 0.85:
+            values[attr] = rng.choice(pool)
+        else:
+            values[attr] = fresh(attr)
+    return values
+
+
+def differential_order_test(
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    *,
+    samples: int = 50,
+    orders: int = 4,
+    seed: int = 7,
+) -> tuple[list[OrderDivergence], int]:
+    """Chase sampled tuples under shuffled rule orders; compare outcomes.
+
+    For a consistent rule set the chase is Church–Rosser, so all orders
+    must agree on the final tuple *and* validated set. Divergences are
+    concrete inconsistency evidence complementary to the pairwise search.
+
+    Runs in which the chase *detected* a conflict are skipped: a conflict
+    means the sampled validations were mutually impossible (cross-entity),
+    the clash was reported, and order-dependence of the surviving value is
+    expected — see :class:`RuleConflict.same_entity`.
+    """
+    rng = random.Random(seed)
+    partition = value_partition(ruleset, master)
+    rule_ids = [r.rule_id for r in ruleset]
+    divergences: list[OrderDivergence] = []
+    checked = 0
+    for _ in range(samples):
+        values = _sample_tuple(rng, ruleset, master, partition)
+        validated = frozenset(
+            a for a in ruleset.input_schema.names if rng.random() < 0.5
+        )
+        baseline = None
+        base_order: tuple[str, ...] = tuple(rule_ids)
+        conflicted = False
+        for i in range(orders):
+            order = list(rule_ids)
+            if i:
+                rng.shuffle(order)
+            result = chase(values, validated, ruleset, master, rule_order=order)
+            checked += 1
+            if result.conflicts:
+                conflicted = True
+                break
+            outcome = (result.values, result.validated)
+            if baseline is None:
+                baseline = outcome
+                base_order = tuple(order)
+            elif outcome != baseline:
+                diff_attr = next(
+                    a
+                    for a in ruleset.input_schema.names
+                    if baseline[0].get(a) != result.values.get(a)
+                    or (a in baseline[1]) != (a in result.validated)
+                )
+                divergences.append(
+                    OrderDivergence(
+                        values=tuple(sorted(values.items(), key=repr)),
+                        order1=base_order,
+                        order2=tuple(order),
+                        attr=diff_attr,
+                        result1=baseline[0].get(diff_attr),
+                        result2=result.values.get(diff_attr),
+                    )
+                )
+                break
+    return divergences, checked
+
+
+def check_consistency(
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    *,
+    samples: int = 50,
+    seed: int = 7,
+    pair_budget: int = 2_000_000,
+) -> ConsistencyReport:
+    """The full static check the demo's rule manager runs on import."""
+    ambiguities = find_ambiguities(ruleset, master)
+    conflicts, cross_entity, pairs_checked, exhaustive = find_pairwise_conflicts(
+        ruleset, master, pair_budget=pair_budget
+    )
+    divergences, sampled = differential_order_test(
+        ruleset, master, samples=samples, seed=seed
+    )
+    return ConsistencyReport(
+        conflicts=tuple(conflicts),
+        cross_entity_conflicts=tuple(cross_entity),
+        ambiguities=tuple(ambiguities),
+        order_divergences=tuple(divergences),
+        pairs_checked=pairs_checked,
+        samples_checked=sampled,
+        exhaustive_pairs=exhaustive,
+    )

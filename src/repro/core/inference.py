@@ -1,0 +1,137 @@
+"""The rule engine's inference system (paper §2, Rule engine item (2)).
+
+Given that some attributes of a tuple are correct, derive what other
+attributes can be validated by editing rules and master data. Two
+flavours live here:
+
+* **syntactic** closures, which ignore values (used for pruning and for
+  schema-level reasoning), and
+* the **reachable** closure for a concrete tuple, the optimistic bound
+  the data monitor uses when computing new suggestions.
+
+The exact, value-quantified analysis is in :mod:`repro.core.certainty`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import networkx as nx
+
+from repro.core.ruleset import RuleSet
+from repro.relational.schema import Schema
+
+
+def potential_closure(validated: Iterable[str], ruleset: RuleSet) -> frozenset[str]:
+    """The attributes *potentially* validatable from ``validated``.
+
+    Pure syntax: a rule contributes its target as soon as everything it
+    reads is in the closure, ignoring patterns and master coverage. This
+    is an upper bound on what any chase can achieve — if it does not reach
+    the full schema, no region on ``validated`` can be certain, which
+    makes it the region finder's cheap pruning test.
+    """
+    closure = set(validated)
+    changed = True
+    while changed:
+        changed = False
+        for rule in ruleset:
+            if rule.target not in closure and rule.reads <= closure:
+                closure.add(rule.target)
+                changed = True
+    return frozenset(closure)
+
+
+def reachable_closure(
+    values: Mapping[str, Any],
+    validated: Iterable[str],
+    ruleset: RuleSet,
+) -> frozenset[str]:
+    """Optimistic closure for a concrete tuple.
+
+    Like :func:`potential_closure`, but a rule whose pattern constrains an
+    attribute whose value is *currently known* (i.e. the attribute was in
+    the initial validated set, so validation cannot change it) must match
+    that value. Pattern conditions on attributes that would be fixed by
+    other rules first are assumed satisfiable (their future values are
+    unknown), hence "optimistic": an upper bound that is tight in
+    practice and cheap enough to run inside every monitor round.
+    """
+    base = set(validated)
+    closure = set(base)
+    changed = True
+    while changed:
+        changed = False
+        for rule in ruleset:
+            if rule.target in closure or not rule.reads <= closure:
+                continue
+            known = {a: values[a] for a in rule.pattern.attrs if a in base and a in values}
+            if all(rule.pattern.condition(a).matches(v) for a, v in known.items()):
+                closure.add(rule.target)
+                changed = True
+    return frozenset(closure)
+
+
+def mandatory_attributes(ruleset: RuleSet, schema: Schema | None = None) -> frozenset[str]:
+    """Attributes no rule can ever *initially* validate.
+
+    An attribute is mandatory when every rule targeting it is
+    self-normalising (reads the attribute itself) — including the
+    vacuous case of no rule at all. A self-normalising rule fires only
+    once its target is already validated, so it can canonicalise but
+    never bootstrap: the user must validate the attribute first, in
+    every certain region and every suggestion. For the paper's rules
+    ϕ1–ϕ9 this is exactly {AC, phn, type, item}, the Fig. 3(a) initial
+    suggestion (zip escapes via ϕ8, which reads only AC/phn/type).
+    """
+    schema = schema or ruleset.input_schema
+    return frozenset(
+        a
+        for a in schema.names
+        if all(r.is_self_normalizing for r in ruleset.by_target(a))
+    )
+
+
+def syntactically_certain(
+    attrs: Iterable[str], ruleset: RuleSet, schema: Schema | None = None
+) -> bool:
+    """Necessary condition for ``attrs`` to support a certain region."""
+    schema = schema or ruleset.input_schema
+    return potential_closure(attrs, ruleset) >= frozenset(schema.names)
+
+
+def dependency_graph(ruleset: RuleSet) -> "nx.DiGraph":
+    """The attribute dependency graph of a rule set.
+
+    Nodes are input attributes; an edge ``A → B`` labelled with rule ids
+    means some rule reads ``A`` and fixes ``B``. Used by the explorer to
+    display rule structure and by the consistency checker to bound chase
+    depth / detect derivation cycles.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(ruleset.input_schema.names)
+    for rule in ruleset:
+        for read in sorted(rule.reads):
+            if graph.has_edge(read, rule.target):
+                graph[read][rule.target]["rules"].append(rule.rule_id)
+            else:
+                graph.add_edge(read, rule.target, rules=[rule.rule_id])
+    return graph
+
+
+def derivation_cycles(ruleset: RuleSet) -> list[list[str]]:
+    """Attribute cycles in the dependency graph (excluding self-loops of
+    self-normalising rules, which are benign by construction)."""
+    graph = dependency_graph(ruleset)
+    graph.remove_edges_from(nx.selfloop_edges(graph))
+    return [list(c) for c in nx.simple_cycles(graph)]
+
+
+def chase_depth_bound(ruleset: RuleSet) -> int:
+    """An upper bound on productive chase sweeps: the longest derivation
+    chain in the (acyclic part of the) dependency graph, plus one."""
+    graph = dependency_graph(ruleset)
+    graph.remove_edges_from(nx.selfloop_edges(graph))
+    if not nx.is_directed_acyclic_graph(graph):
+        return len(ruleset.input_schema)
+    return nx.dag_longest_path_length(graph) + 1

@@ -1,0 +1,252 @@
+"""Pattern tuples: the condition language of editing rules and regions.
+
+A pattern tuple ``tp`` constrains some input attributes with one condition
+each. The paper's condition language (Fig. 2 and [7]) has constants,
+negated constants (``≠ 0800`` on ϕ9) and wildcards; we implement exactly
+that, generalising negation to a set (:class:`NotIn`) because pattern
+*conjunction* — needed by the consistency checker and by tableau
+condensation — is closed under it (``≠a ∧ ≠b`` = ``NotIn {a, b}``).
+
+Conditions evaluate plain values; they never look at schemas. The chase
+guarantees separately that a rule's pattern attributes are validated
+before the pattern is read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import PatternError
+
+
+class Condition:
+    """Base class for per-attribute conditions."""
+
+    __slots__ = ()
+
+    def matches(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def allowed(self, candidates: Iterable[Any]) -> list[Any]:
+        """The subset of ``candidates`` satisfying this condition."""
+        return [v for v in candidates if self.matches(v)]
+
+    def merge(self, other: "Condition") -> "Condition | None":
+        """The conjunction of two conditions, or ``None`` if unsatisfiable."""
+        raise NotImplementedError
+
+    def constants(self) -> frozenset:
+        """Constants mentioned by the condition (feeds value partitions)."""
+        return frozenset()
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+class Wildcard(Condition):
+    """Matches anything. There is a single instance, :data:`WILDCARD`."""
+
+    __slots__ = ()
+
+    def matches(self, value: Any) -> bool:
+        return True
+
+    def merge(self, other: Condition) -> Condition:
+        return other
+
+    def render(self) -> str:
+        return "_"
+
+    def __repr__(self) -> str:
+        return "Wildcard()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Wildcard)
+
+    def __hash__(self) -> int:
+        return hash("Wildcard")
+
+
+WILDCARD = Wildcard()
+
+
+class Eq(Condition):
+    """``= c``: the attribute must equal a constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def matches(self, value: Any) -> bool:
+        return value == self.value
+
+    def merge(self, other: Condition) -> Condition | None:
+        if isinstance(other, Wildcard):
+            return self
+        if isinstance(other, Eq):
+            return self if other.value == self.value else None
+        if isinstance(other, NotIn):
+            return self if self.value not in other.values else None
+        raise PatternError(f"cannot merge Eq with {type(other).__name__}")
+
+    def constants(self) -> frozenset:
+        return frozenset([self.value])
+
+    def render(self) -> str:
+        return f"={self.value}"
+
+    def __repr__(self) -> str:
+        return f"Eq({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Eq) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Eq", self.value))
+
+
+class NotIn(Condition):
+    """``∉ S``: the attribute must avoid a finite set of constants.
+
+    ``NotIn({c})`` is the paper's ``≠ c``.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[Any]):
+        self.values = frozenset(values)
+        if not self.values:
+            raise PatternError("NotIn requires at least one constant; use WILDCARD instead")
+
+    def matches(self, value: Any) -> bool:
+        return value not in self.values
+
+    def merge(self, other: Condition) -> Condition | None:
+        if isinstance(other, Wildcard):
+            return self
+        if isinstance(other, Eq):
+            return other.merge(self)
+        if isinstance(other, NotIn):
+            return NotIn(self.values | other.values)
+        raise PatternError(f"cannot merge NotIn with {type(other).__name__}")
+
+    def constants(self) -> frozenset:
+        return self.values
+
+    def render(self) -> str:
+        if len(self.values) == 1:
+            return f"!={next(iter(self.values))}"
+        return "!=" + "|".join(sorted(map(str, self.values)))
+
+    def __repr__(self) -> str:
+        return f"NotIn({sorted(map(repr, self.values))})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NotIn) and other.values == self.values
+
+    def __hash__(self) -> int:
+        return hash(("NotIn", self.values))
+
+
+def Neq(value: Any) -> NotIn:
+    """Convenience for the paper's ``≠ c``."""
+    return NotIn([value])
+
+
+class PatternTuple:
+    """A conjunction of per-attribute conditions.
+
+    Wildcards are not stored: an attribute absent from the mapping is
+    unconstrained. The empty pattern tuple (``PatternTuple()``) matches
+    every tuple — the paper writes it ``tp = ()`` (rule ϕ1, Example 2).
+
+    >>> tp = PatternTuple({"type": Eq("2")})
+    >>> tp.matches({"type": "2", "zip": "EH8 4AH"})
+    True
+    >>> tp.matches({"type": "1"})
+    False
+    """
+
+    __slots__ = ("_conditions",)
+
+    def __init__(self, conditions: Mapping[str, Condition] | None = None):
+        conds: dict[str, Condition] = {}
+        for attr, cond in (conditions or {}).items():
+            if not isinstance(cond, Condition):
+                raise PatternError(f"pattern condition for {attr!r} must be a Condition, got {cond!r}")
+            if not isinstance(cond, Wildcard):
+                conds[attr] = cond
+        self._conditions = dict(sorted(conds.items()))
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        """The constrained attributes (Xp), sorted."""
+        return tuple(self._conditions)
+
+    def condition(self, attr: str) -> Condition:
+        """The condition on ``attr`` (:data:`WILDCARD` if unconstrained)."""
+        return self._conditions.get(attr, WILDCARD)
+
+    def matches(self, values: Mapping[str, Any]) -> bool:
+        """True iff every constrained attribute is present and satisfies
+        its condition."""
+        for attr, cond in self._conditions.items():
+            if attr not in values or not cond.matches(values[attr]):
+                return False
+        return True
+
+    def merge(self, other: "PatternTuple") -> "PatternTuple | None":
+        """The conjunction of two pattern tuples, ``None`` if unsatisfiable.
+
+        Unsatisfiability here is syntactic (``=a ∧ =b``, ``=a ∧ ≠a``);
+        over infinite domains every NotIn conjunction is satisfiable.
+        """
+        merged = dict(self._conditions)
+        for attr, cond in other._conditions.items():
+            combined = merged.get(attr, WILDCARD).merge(cond)
+            if combined is None:
+                return None
+            merged[attr] = combined
+        return PatternTuple(merged)
+
+    def restrict(self, attrs: Iterable[str]) -> "PatternTuple":
+        """The pattern projected onto ``attrs``."""
+        keep = set(attrs)
+        return PatternTuple({a: c for a, c in self._conditions.items() if a in keep})
+
+    def constants_on(self, attr: str) -> frozenset:
+        """Constants the pattern mentions for ``attr``."""
+        return self.condition(attr).constants()
+
+    def items(self) -> Iterator[tuple[str, Condition]]:
+        return iter(self._conditions.items())
+
+    def render(self, attrs: Iterable[str] | None = None) -> str:
+        """Human-readable form, e.g. ``(type=2, AC!=0800)`` or ``()``."""
+        if attrs is None:
+            parts = [f"{a}{c.render()}" for a, c in self._conditions.items()]
+        else:
+            parts = [f"{a}{self.condition(a).render()}" for a in attrs]
+        return "(" + ", ".join(parts) + ")"
+
+    def __len__(self) -> int:
+        return len(self._conditions)
+
+    def __bool__(self) -> bool:
+        return True  # even the empty pattern is a meaningful object
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternTuple):
+            return NotImplemented
+        return self._conditions == other._conditions
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._conditions.items()))
+
+    def __repr__(self) -> str:
+        return f"PatternTuple({self._conditions!r})"
+
+
+#: The pattern that matches everything — the paper's ``tp = ()``.
+EMPTY_PATTERN = PatternTuple()

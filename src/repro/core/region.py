@@ -1,0 +1,107 @@
+"""Regions and certain regions (paper §2, "Region finder").
+
+A region is a pair ``(Z, Tc)`` of an attribute list and a pattern
+tableau. When certified against a rule set and master data it becomes a
+*certain region*: validating ``t[Z]`` for any tuple matching ``Tc``
+warrants a certain fix for the whole tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import PatternError
+from repro.core.certainty import CertaintyMode
+from repro.core.pattern import EMPTY_PATTERN, PatternTuple
+
+
+@dataclass(frozen=True)
+class Region:
+    """``(Z, Tc)`` — attributes plus a pattern tableau.
+
+    The tableau must be non-empty; the unconditional region has the
+    single empty pattern (matches everything). Patterns may constrain
+    attributes outside ``Z`` only if the caller knows those values are
+    meaningful at match time; the region finder never produces such
+    patterns.
+    """
+
+    attrs: tuple[str, ...]
+    tableau: tuple[PatternTuple, ...] = (EMPTY_PATTERN,)
+
+    def __post_init__(self):
+        if not self.attrs:
+            raise PatternError("a region needs at least one attribute")
+        if len(set(self.attrs)) != len(self.attrs):
+            raise PatternError(f"duplicate attributes in region {self.attrs}")
+        if not self.tableau:
+            raise PatternError("a region's tableau must contain at least one pattern")
+        object.__setattr__(self, "attrs", tuple(sorted(self.attrs)))
+
+    @property
+    def size(self) -> int:
+        """The number of attributes to validate — the paper's rank key."""
+        return len(self.attrs)
+
+    @property
+    def is_unconditional(self) -> bool:
+        return all(len(p) == 0 for p in self.tableau)
+
+    def matches(self, values: Mapping[str, Any]) -> bool:
+        """True iff ``values`` matches some pattern of the tableau."""
+        return any(p.matches(values) for p in self.tableau)
+
+    def compatible_with(self, values: Mapping[str, Any], known: set[str]) -> bool:
+        """True iff some pattern could still match given only ``known``
+        attribute values — conditions on unknown attributes are treated as
+        satisfiable. Used to pick regions for suggestions mid-session."""
+        for pattern in self.tableau:
+            ok = True
+            for attr, cond in pattern.items():
+                if attr in known and attr in values and not cond.matches(values[attr]):
+                    ok = False
+                    break
+            if ok:
+                return True
+        return False
+
+    def render(self) -> str:
+        z = "{" + ", ".join(self.attrs) + "}"
+        if self.is_unconditional:
+            return f"Z={z}, Tc=(_)"
+        pats = "; ".join(p.render() for p in self.tableau)
+        return f"Z={z}, Tc=[{pats}]"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class RankedRegion:
+    """A certified region with its certification metadata.
+
+    ``coverage`` is the fraction of the quantified universe the tableau
+    accepts (1.0 for an unconditional certain region); the region finder
+    ranks ascending by size then descending by coverage, matching the
+    paper's "ranked ascendingly by the number of attributes".
+    """
+
+    region: Region
+    mode: CertaintyMode
+    coverage: float = 1.0
+    combos_checked: int = 0
+    exhaustive: bool = True
+
+    @property
+    def size(self) -> int:
+        return self.region.size
+
+    def sort_key(self) -> tuple:
+        return (self.region.size, -self.coverage, self.region.attrs)
+
+    def render(self) -> str:
+        return (
+            f"{self.region.render()}  [mode={self.mode.value}, "
+            f"coverage={self.coverage:.2f}, checked={self.combos_checked}]"
+        )

@@ -1,0 +1,174 @@
+"""Editing rules — the paper's central notion.
+
+An editing rule ``φ: ((X, Xm) → (B, Bm), tp)`` says: if an input tuple
+``t`` agrees with a master tuple ``s`` on the correspondence ``X ↔ Xm``
+and ``t`` matches the pattern ``tp``, then ``t[B] := s[Bm]`` — *provided*
+``t[X ∪ Xp]`` is validated. We additionally support:
+
+* **match operators** per correspondence pair (``phn ~digits~ Mphn``),
+  the equality/similarity operators of MD-derived rules;
+* **constant-sourced rules** (``B := c``), which is how rules derived from
+  constant CFDs are expressed (the 2010 companion paper, §7 of [7]);
+* **self-normalising rules** (``B ∈ X``), the demo's ϕ1: a validated but
+  non-canonical value is rewritten to the master's canonical form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RuleError
+from repro.core.pattern import EMPTY_PATTERN, PatternTuple
+from repro.relational.normalize import NORMALIZERS
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class MatchPair:
+    """One correspondence ``t[t_attr] ≈op s[m_attr]`` of a rule's LHS."""
+
+    t_attr: str
+    m_attr: str
+    op: str = "exact"
+
+    def __post_init__(self):
+        if self.op not in NORMALIZERS:
+            raise RuleError(f"match {self.t_attr}~{self.m_attr}: unknown operator {self.op!r}")
+
+    def render(self) -> str:
+        if self.op == "exact":
+            return f"{self.t_attr}={self.m_attr}"
+        return f"{self.t_attr}~{self.op}~{self.m_attr}"
+
+
+@dataclass(frozen=True)
+class MasterColumn:
+    """Fix source: take the value of master attribute ``name``."""
+
+    name: str
+
+    def render(self) -> str:
+        return f"master.{self.name}"
+
+
+@dataclass(frozen=True)
+class Constant:
+    """Fix source: a fixed constant (rules derived from constant CFDs)."""
+
+    value: Any
+
+    def render(self) -> str:
+        return f"const {self.value!r}"
+
+
+@dataclass(frozen=True)
+class EditingRule:
+    """``((X, Xm) → (B, Bm), tp)`` with optional match operators.
+
+    ``match`` may be empty only for constant-sourced rules (there is
+    nothing to look up in the master data). ``pattern`` defaults to the
+    empty pattern ``()``.
+    """
+
+    rule_id: str
+    match: tuple[MatchPair, ...]
+    target: str
+    source: MasterColumn | Constant
+    pattern: PatternTuple = field(default=EMPTY_PATTERN)
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.rule_id:
+            raise RuleError("rule_id must be non-empty")
+        if isinstance(self.source, MasterColumn) and not self.match:
+            raise RuleError(
+                f"rule {self.rule_id}: a master-sourced rule needs at least one match pair"
+            )
+        seen = set()
+        for pair in self.match:
+            if pair.t_attr in seen:
+                raise RuleError(f"rule {self.rule_id}: duplicate match attribute {pair.t_attr!r}")
+            seen.add(pair.t_attr)
+
+    # -- derived views ----------------------------------------------------
+
+    @property
+    def lhs_attrs(self) -> tuple[str, ...]:
+        """X — the input attributes matched against master data."""
+        return tuple(p.t_attr for p in self.match)
+
+    @property
+    def m_attrs(self) -> tuple[str, ...]:
+        """Xm — the master attributes matched against."""
+        return tuple(p.m_attr for p in self.match)
+
+    @property
+    def ops(self) -> tuple[str, ...]:
+        """The match operator of each correspondence pair."""
+        return tuple(p.op for p in self.match)
+
+    @property
+    def pattern_attrs(self) -> tuple[str, ...]:
+        """Xp — the attributes constrained by the pattern."""
+        return self.pattern.attrs
+
+    @property
+    def reads(self) -> frozenset[str]:
+        """X ∪ Xp — every input attribute the rule looks at.
+
+        All of these must be validated before the rule may fire; this is
+        what makes the resulting fix *certain*.
+        """
+        return frozenset(self.lhs_attrs) | frozenset(self.pattern_attrs)
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self.source, Constant)
+
+    @property
+    def is_self_normalizing(self) -> bool:
+        """True when the rule reads its own target (demo rule ϕ1).
+
+        Such a rule may rewrite an already-validated value to the master's
+        canonical form; any other rule prescribing a change to a validated
+        attribute is a conflict.
+        """
+        return self.target in self.reads
+
+    def index_spec(self) -> tuple[tuple[str, ...], tuple[str, ...]] | None:
+        """The master index (attrs, ops) this rule probes, if any."""
+        if self.is_constant or not self.match:
+            return None
+        return (self.m_attrs, self.ops)
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self, input_schema: Schema, master_schema: Schema) -> None:
+        """Check every attribute reference against the two schemas."""
+        input_schema.require([p.t_attr for p in self.match])
+        input_schema.require(self.pattern.attrs)
+        input_schema.require([self.target])
+        if isinstance(self.source, MasterColumn):
+            master_schema.require(self.m_attrs + (self.source.name,))
+        elif self.match:
+            master_schema.require(self.m_attrs)
+
+    # -- display ----------------------------------------------------------
+
+    def render(self) -> str:
+        """The textual form accepted by :mod:`repro.rules.parser`.
+
+        >>> from repro.core.pattern import Eq, PatternTuple
+        >>> EditingRule("p4", (MatchPair("phn", "Mphn"),), "FN",
+        ...             MasterColumn("FN"), PatternTuple({"type": Eq("2")})).render()
+        'p4: (phn=Mphn) -> FN := master.FN if (type=2)'
+        """
+        lhs = "(" + ", ".join(p.render() for p in self.match) + ")"
+        text = f"{self.rule_id}: {lhs} -> {self.target} := {self.source.render()}"
+        if len(self.pattern):
+            text += f" if {self.pattern.render()}"
+        return text
+
+    def __str__(self) -> str:
+        return self.render()

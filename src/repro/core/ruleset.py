@@ -1,0 +1,117 @@
+"""Rule sets: validated, immutable collections of editing rules.
+
+A :class:`RuleSet` binds rules to the input and master schemas, checks
+well-formedness once at construction, and offers the lookup structures the
+chase and the static analyses need (rules by target, the set of machine-
+fixable attributes, master index specifications).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import RuleError
+from repro.core.rule import EditingRule
+from repro.relational.schema import Schema
+
+
+class RuleSet:
+    """An immutable, schema-validated set of editing rules.
+
+    Rules are kept in a canonical deterministic order (insertion order,
+    which for the paper scenario is ϕ1…ϕ9); the chase's determinism relies
+    on it, and property tests check that for consistent rule sets the
+    *outcome* does not depend on it.
+    """
+
+    __slots__ = ("input_schema", "master_schema", "_rules", "_by_id", "_by_target")
+
+    def __init__(
+        self,
+        rules: Iterable[EditingRule],
+        input_schema: Schema,
+        master_schema: Schema,
+    ):
+        self.input_schema = input_schema
+        self.master_schema = master_schema
+        self._rules = tuple(rules)
+        self._by_id: dict[str, EditingRule] = {}
+        self._by_target: dict[str, list[EditingRule]] = {}
+        for rule in self._rules:
+            if rule.rule_id in self._by_id:
+                raise RuleError(f"duplicate rule id {rule.rule_id!r}")
+            rule.validate(input_schema, master_schema)
+            self._by_id[rule.rule_id] = rule
+            self._by_target.setdefault(rule.target, []).append(rule)
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def rules(self) -> tuple[EditingRule, ...]:
+        return self._rules
+
+    def get(self, rule_id: str) -> EditingRule:
+        try:
+            return self._by_id[rule_id]
+        except KeyError:
+            raise RuleError(f"no rule with id {rule_id!r} (have {sorted(self._by_id)})") from None
+
+    def by_target(self, attr: str) -> tuple[EditingRule, ...]:
+        """The rules that can fix ``attr``."""
+        return tuple(self._by_target.get(attr, ()))
+
+    @property
+    def targets(self) -> frozenset[str]:
+        """Attributes some rule can fix."""
+        return frozenset(self._by_target)
+
+    def index_specs(self) -> set[tuple[tuple[str, ...], tuple[str, ...]]]:
+        """The master indexes needed to apply every rule in O(1)."""
+        specs = set()
+        for rule in self._rules:
+            spec = rule.index_spec()
+            if spec is not None:
+                specs.add(spec)
+        return specs
+
+    # -- derivation --------------------------------------------------------
+
+    def add(self, *rules: EditingRule) -> "RuleSet":
+        """A new rule set with extra rules appended."""
+        return RuleSet(self._rules + rules, self.input_schema, self.master_schema)
+
+    def remove(self, *rule_ids: str) -> "RuleSet":
+        """A new rule set without the named rules."""
+        drop = set(rule_ids)
+        missing = drop - set(self._by_id)
+        if missing:
+            raise RuleError(f"cannot remove unknown rules {sorted(missing)}")
+        return RuleSet(
+            (r for r in self._rules if r.rule_id not in drop),
+            self.input_schema,
+            self.master_schema,
+        )
+
+    def reordered(self, rule_ids: Iterable[str]) -> "RuleSet":
+        """A new rule set with the given rule order (must be a permutation)."""
+        order = list(rule_ids)
+        if sorted(order) != sorted(self._by_id):
+            raise RuleError("reordered() requires a permutation of the existing rule ids")
+        return RuleSet((self._by_id[r] for r in order), self.input_schema, self.master_schema)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[EditingRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: object) -> bool:
+        return rule_id in self._by_id
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleSet({len(self._rules)} rules over {self.input_schema.name!r}"
+            f" / master {self.master_schema.name!r})"
+        )

@@ -1,0 +1,109 @@
+"""Ground-truth-preserving error injection.
+
+Takes a clean relation and corrupts cells at a configurable rate with
+per-attribute noise operators, recording every injected error. The
+(dirty, clean, errors) triple is what every accuracy experiment consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.relational.relation import Relation
+
+Corruptor = Callable[[str, random.Random], str]
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """One corrupted cell: where, what it was, what it became, and how."""
+
+    position: int
+    attr: str
+    clean: Any
+    dirty: Any
+    op: str
+
+
+@dataclass
+class InjectionReport:
+    """The output of one injection run."""
+
+    dirty: Relation
+    clean: Relation
+    errors: list[InjectedError] = field(default_factory=list)
+
+    @property
+    def error_cells(self) -> int:
+        return len(self.errors)
+
+    def errors_by_attr(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.errors:
+            out[e.attr] = out.get(e.attr, 0) + 1
+        return out
+
+    def error_positions(self) -> set[tuple[int, str]]:
+        return {(e.position, e.attr) for e in self.errors}
+
+
+class ErrorInjector:
+    """Corrupt cells of selected attributes at a given rate.
+
+    ``ops`` maps attribute name to the noise operators applicable to it
+    (e.g. phones get ``digit_noise``, names get ``abbreviate`` and
+    typos). Attributes not in ``ops`` are never corrupted. The injector
+    guarantees ``dirty != clean`` for every recorded error: operators
+    that no-op (too-short values) are retried with others, and the cell
+    is skipped if none succeeds.
+    """
+
+    def __init__(
+        self,
+        ops: Mapping[str, Sequence[tuple[str, Corruptor]]],
+        *,
+        rate: float = 0.2,
+        seed: int = 0,
+        max_errors_per_tuple: int | None = None,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValidationError(f"error rate must be in [0, 1], got {rate}")
+        self.ops = {a: list(cands) for a, cands in ops.items()}
+        self.rate = rate
+        self.seed = seed
+        self.max_errors_per_tuple = max_errors_per_tuple
+
+    def inject(self, clean: Relation) -> InjectionReport:
+        """Return a corrupted copy of ``clean`` plus the error record."""
+        rng = random.Random(self.seed)
+        schema = clean.schema
+        for attr in self.ops:
+            schema.require([attr])
+        dirty = Relation(schema)
+        errors: list[InjectedError] = []
+        for pos, row in enumerate(clean.rows()):
+            values = row.to_dict()
+            budget = self.max_errors_per_tuple
+            for attr, candidates in self.ops.items():
+                if budget is not None and budget <= 0:
+                    break
+                if rng.random() >= self.rate:
+                    continue
+                original = values[attr]
+                ops = list(candidates)
+                rng.shuffle(ops)
+                for op_name, op in ops:
+                    corrupted = op(original, rng)
+                    if corrupted != original:
+                        values[attr] = corrupted
+                        errors.append(
+                            InjectedError(pos, attr, original, corrupted, op_name)
+                        )
+                        if budget is not None:
+                            budget -= 1
+                        break
+            dirty.append(values)
+        return InjectionReport(dirty=dirty, clean=clean, errors=errors)

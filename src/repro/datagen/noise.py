@@ -1,0 +1,94 @@
+"""Noise operators: the ways real data entry goes wrong.
+
+Each operator takes ``(value, rng)`` and returns a corrupted value (or
+the input unchanged when it is too short to corrupt — the injector
+detects no-ops and retries with another operator). All operators are
+deterministic given the ``random.Random`` instance.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+_LETTERS = string.ascii_lowercase
+
+
+def typo_replace(value: str, rng: random.Random) -> str:
+    """Replace one character with a random letter/digit of the same class."""
+    if not value:
+        return value
+    i = rng.randrange(len(value))
+    ch = value[i]
+    if ch.isdigit():
+        new = rng.choice([d for d in string.digits if d != ch])
+    elif ch.isalpha():
+        new = rng.choice([c for c in _LETTERS if c != ch.lower()])
+        if ch.isupper():
+            new = new.upper()
+    else:
+        return value
+    return value[:i] + new + value[i + 1 :]
+
+
+def typo_swap(value: str, rng: random.Random) -> str:
+    """Transpose two adjacent characters."""
+    if len(value) < 2:
+        return value
+    i = rng.randrange(len(value) - 1)
+    return value[:i] + value[i + 1] + value[i] + value[i + 2 :]
+
+
+def typo_drop(value: str, rng: random.Random) -> str:
+    """Drop one character."""
+    if len(value) < 2:
+        return value
+    i = rng.randrange(len(value))
+    return value[:i] + value[i + 1 :]
+
+
+def typo_insert(value: str, rng: random.Random) -> str:
+    """Insert a random letter."""
+    i = rng.randrange(len(value) + 1)
+    return value[:i] + rng.choice(_LETTERS) + value[i:]
+
+
+def abbreviate(value: str, rng: random.Random) -> str:
+    """'Mark' -> 'M.' — the demo's first-name abbreviation error."""
+    if not value or not value[0].isalpha():
+        return value
+    return value[0].upper() + "."
+
+
+def case_mangle(value: str, rng: random.Random) -> str:
+    """Lower-case the whole value ('EH8 4AH' -> 'eh8 4ah')."""
+    lowered = value.lower() if isinstance(value, str) else value
+    return lowered
+
+
+def digit_noise(value: str, rng: random.Random) -> str:
+    """Corrupt one digit (phone-number style errors)."""
+    digits = [i for i, ch in enumerate(value) if ch.isdigit()]
+    if not digits:
+        return value
+    i = rng.choice(digits)
+    new = rng.choice([d for d in string.digits if d != value[i]])
+    return value[:i] + new + value[i + 1 :]
+
+
+def blank(value: str, rng: random.Random) -> str:
+    """The field was left empty."""
+    return ""
+
+
+#: Name -> operator registry (used by CLI/scenario error specifications).
+NOISE_OPS = {
+    "typo_replace": typo_replace,
+    "typo_swap": typo_swap,
+    "typo_drop": typo_drop,
+    "typo_insert": typo_insert,
+    "abbreviate": abbreviate,
+    "case_mangle": case_mangle,
+    "digit_noise": digit_noise,
+    "blank": blank,
+}

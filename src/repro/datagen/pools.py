@@ -1,0 +1,123 @@
+"""Value pools: names, streets, items and paper-style UK geography.
+
+City names follow the paper's abbreviated forms ("Ldn", "Edi") and
+area codes its 3-digit style ("020", "131"); each region carries the
+postcode districts its zips are drawn from, so generated master data is
+internally consistent (AC ↔ city ↔ zip district), which is exactly what
+rules like ϕ9 (AC → city) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class UKRegion:
+    """One dialling region: area code, paper-style city, zip districts."""
+
+    ac: str
+    city: str
+    districts: tuple[str, ...]
+
+
+#: The non-geographic toll-free area code — rule ϕ9's ``AC ≠ 0800``.
+TOLL_FREE_AC = "0800"
+
+UK_REGIONS: tuple[UKRegion, ...] = (
+    UKRegion("020", "Ldn", ("SW1", "EC1", "NW1", "SE10", "N16")),
+    UKRegion("131", "Edi", ("EH1", "EH8", "EH9", "EH16")),
+    UKRegion("161", "Man", ("M1", "M14", "M20")),
+    UKRegion("121", "Bir", ("B1", "B15", "B29")),
+    UKRegion("141", "Gla", ("G1", "G12", "G41")),
+    UKRegion("113", "Lee", ("LS1", "LS6", "LS17")),
+    UKRegion("117", "Bri", ("BS1", "BS8", "BS16")),
+    UKRegion("151", "Liv", ("L1", "L8", "L18")),
+    UKRegion("114", "She", ("S1", "S7", "S11")),
+    UKRegion("115", "Not", ("NG1", "NG7")),
+    UKRegion("116", "Lei", ("LE1", "LE2")),
+    UKRegion("118", "Rea", ("RG1", "RG6")),
+    UKRegion("191", "New", ("NE1", "NE2")),
+    UKRegion("201", "Dur", ("DH1", "DH7")),
+    UKRegion("137", "Abe", ("AB1", "AB2")),
+    UKRegion("129", "Car", ("CF1", "CF5")),
+)
+
+_BY_AC = {r.ac: r for r in UK_REGIONS}
+_BY_CITY = {r.city: r for r in UK_REGIONS}
+
+
+def region_for_ac(ac: str) -> UKRegion:
+    try:
+        return _BY_AC[ac]
+    except KeyError:
+        raise ValidationError(f"unknown area code {ac!r}") from None
+
+
+def region_for_city(city: str) -> UKRegion:
+    try:
+        return _BY_CITY[city]
+    except KeyError:
+        raise ValidationError(f"unknown city {city!r}") from None
+
+
+FIRST_NAMES: tuple[str, ...] = (
+    "Robert", "Mark", "James", "John", "Michael", "David", "William", "Richard",
+    "Thomas", "Charles", "Daniel", "Matthew", "Andrew", "Edward", "George",
+    "Oliver", "Harry", "Jack", "Alfred", "Henry", "Peter", "Simon", "Paul",
+    "Stephen", "Colin", "Graham", "Neil", "Keith", "Alan", "Brian",
+    "Mary", "Susan", "Margaret", "Patricia", "Elizabeth", "Jennifer", "Linda",
+    "Barbara", "Sarah", "Karen", "Nancy", "Lisa", "Emily", "Sophie", "Olivia",
+    "Amelia", "Isla", "Grace", "Freya", "Charlotte", "Alice", "Emma", "Lucy",
+    "Hannah", "Rachel", "Claire", "Fiona", "Janet", "Helen", "Diane",
+)
+
+#: Common short forms; the injector uses them for realistic name noise
+#: (the demo's 'Robert' entered as 'Bob', 'Mark' entered as 'M.').
+NICKNAMES: dict[str, str] = {
+    "Robert": "Bob",
+    "James": "Jim",
+    "John": "Jack",
+    "Michael": "Mike",
+    "David": "Dave",
+    "William": "Bill",
+    "Richard": "Dick",
+    "Thomas": "Tom",
+    "Charles": "Charlie",
+    "Daniel": "Dan",
+    "Matthew": "Matt",
+    "Andrew": "Andy",
+    "Edward": "Ted",
+    "Margaret": "Peggy",
+    "Patricia": "Pat",
+    "Elizabeth": "Liz",
+    "Jennifer": "Jen",
+    "Susan": "Sue",
+}
+
+LAST_NAMES: tuple[str, ...] = (
+    "Brady", "Smith", "Jones", "Taylor", "Brown", "Williams", "Wilson",
+    "Johnson", "Davies", "Robinson", "Wright", "Thompson", "Evans", "Walker",
+    "White", "Roberts", "Green", "Hall", "Wood", "Jackson", "Clarke", "Hill",
+    "Scott", "Moore", "Cooper", "Ward", "Morris", "King", "Harris", "Baker",
+    "Lee", "Allen", "Morgan", "Hughes", "Edwards", "Lewis", "Turner",
+    "Parker", "Cook", "Bell", "Murphy", "Bailey", "Collins", "Fisher",
+    "Reid", "Stewart", "Murray", "Grant", "Watson", "Fraser",
+)
+
+STREET_NAMES: tuple[str, ...] = (
+    "Elm St", "Baker St", "High St", "Church Rd", "Station Rd", "Main St",
+    "Park Ave", "Victoria Rd", "Green Ln", "Mill Ln", "Queen St", "King St",
+    "New Rd", "School Ln", "Manor Rd", "Chapel St", "Bridge St", "North Rd",
+    "South St", "West End", "East Ave", "London Rd", "York Pl", "Castle Ter",
+    "Princes St", "George Sq", "Abbey Rd", "Oxford St", "Regent Ter",
+    "Holly Dr",
+)
+
+ITEMS: tuple[str, ...] = (
+    "CD", "DVD", "Book", "Laptop", "Phone", "Tablet", "Camera", "Printer",
+    "Monitor", "Keyboard", "Mouse", "Headset", "Speaker", "Charger",
+    "Router", "Webcam",
+)

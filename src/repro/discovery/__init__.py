@@ -1,0 +1,32 @@
+"""Constraint discovery: FDs, constant CFDs and MDs from data.
+
+The demo notes that editing rules can be "derived from integrity
+constraints, e.g., cfds and matching dependencies [6] for which
+discovery algorithms are already in place" — this subpackage provides
+those algorithms, completing the pipeline
+
+    sample data ──discover──▶ CFDs / MDs ──derive──▶ editing rules
+
+* :mod:`repro.discovery.fd` — levelwise (TANE-style) discovery of
+  minimal functional dependencies via partition refinement;
+* :mod:`repro.discovery.cfd` — constant CFD mining with support and
+  confidence thresholds (the vocabulary rules of the hospital scenario
+  are rediscoverable from clean samples);
+* :mod:`repro.discovery.md` — matching-dependency discovery from
+  matched (input, master) record pairs, selecting per-pair normaliser
+  operators.
+"""
+
+from repro.discovery.fd import FD, discover_fds, fd_confidence, fds_to_cfds, partition
+from repro.discovery.cfd import discover_constant_cfds
+from repro.discovery.md import discover_mds
+
+__all__ = [
+    "FD",
+    "discover_fds",
+    "fd_confidence",
+    "fds_to_cfds",
+    "partition",
+    "discover_constant_cfds",
+    "discover_mds",
+]

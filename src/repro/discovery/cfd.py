@@ -1,0 +1,109 @@
+"""Constant CFD discovery.
+
+Mines pattern rows ``(X = x̄ → A = a)`` with support and confidence
+thresholds: every ``X``-value group of sufficient size whose ``A``
+values are (sufficiently) constant yields one tableau row; rows with
+the same embedded FD ``X → A`` are assembled into one CFD. The output
+feeds :func:`repro.rules.derive.editing_rules_from_cfd` directly, which
+is how a deployment bootstraps vocabulary rules (measure code → measure
+name, state → state name, …) from a trusted sample.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.core.pattern import Eq, PatternTuple
+from repro.errors import ValidationError
+from repro.relational.relation import Relation
+from repro.rules.cfd import CFD, CFDRow
+from repro.discovery.fd import partition
+
+
+def discover_constant_cfds(
+    relation: Relation,
+    *,
+    max_lhs: int = 2,
+    min_support: int = 2,
+    min_confidence: float = 1.0,
+    targets: Iterable[str] | None = None,
+    lhs_candidates: Iterable[str] | None = None,
+    cfd_id_prefix: str = "mined",
+) -> list[CFD]:
+    """Mine constant CFDs from a (trusted) sample relation.
+
+    For every LHS attribute set ``X`` (``|X| ≤ max_lhs``, drawn from
+    ``lhs_candidates`` when given) and dependent ``A``: each group of
+    rows sharing an ``X``-value whose majority ``A``-value covers at
+    least ``min_confidence`` of the group and whose size is at least
+    ``min_support`` becomes a tableau row ``(X = x̄ → A = majority)``.
+    Groups already explained by a smaller LHS are skipped (row
+    minimality), mirroring FD minimality.
+
+    Restricting ``lhs_candidates`` to known code/category attributes is
+    the practical guard against overfitted rows — without it a key-like
+    attribute (e.g. a provider id) memorises per-entity "vocabularies"
+    that are just sampling accidents; the consistency checker catches
+    the resulting contradictions, but better not to mine them at all.
+
+    Returns one CFD per ``(X, A)`` pair that produced rows, named
+    ``<prefix>_<X joined>_<A>``.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValidationError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    if min_support < 1:
+        raise ValidationError(f"min_support must be >= 1, got {min_support}")
+    names = (
+        relation.schema.require(lhs_candidates)
+        if lhs_candidates is not None
+        else relation.schema.names
+    )
+    rhs_candidates = tuple(targets) if targets is not None else relation.schema.names
+    relation.schema.require(rhs_candidates)
+    raw = relation.tuples()
+
+    # (rhs, row position) pairs already explained by a smaller LHS; used
+    # to keep tableau rows minimal across levels.
+    explained: dict[str, set[int]] = {a: set() for a in rhs_candidates}
+
+    out: list[CFD] = []
+    for size in range(1, max_lhs + 1):
+        for lhs in itertools.combinations(names, size):
+            groups = partition(relation, lhs)
+            for rhs in rhs_candidates:
+                if rhs in lhs:
+                    continue
+                rhs_pos = relation.schema.position(rhs)
+                rows: list[CFDRow] = []
+                newly: set[int] = set()
+                for key, members in sorted(groups.items(), key=repr):
+                    if len(members) < min_support:
+                        continue
+                    if all(m in explained[rhs] for m in members):
+                        continue
+                    counts: dict = {}
+                    for m in members:
+                        v = raw[m][rhs_pos]
+                        counts[v] = counts.get(v, 0) + 1
+                    value, freq = max(counts.items(), key=lambda kv: (kv[1], repr(kv[0])))
+                    if freq / len(members) < min_confidence:
+                        continue
+                    rows.append(
+                        CFDRow(
+                            PatternTuple({a: Eq(v) for a, v in zip(lhs, key)}),
+                            Eq(value),
+                        )
+                    )
+                    newly.update(members)
+                if rows:
+                    out.append(
+                        CFD(
+                            f"{cfd_id_prefix}_{'_'.join(lhs)}__{rhs}",
+                            lhs,
+                            rhs,
+                            tuple(rows),
+                        )
+                    )
+                    explained[rhs] |= newly
+    return out

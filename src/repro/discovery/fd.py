@@ -1,0 +1,136 @@
+"""Functional dependency discovery (TANE-style, levelwise).
+
+Finds the minimal exact (or approximate, by confidence) FDs ``X → A``
+holding on a relation. The engine is *partition refinement*: the
+partition of row ids by ``X``-values refines the partition by
+``X ∪ {A}`` iff ``X → A`` holds; confidence is measured as the fraction
+of rows that keep the majority ``A``-value of their ``X``-group (the g₃
+error measure, complemented).
+
+This is the classic algorithm at demo scale: levelwise lattice
+traversal with minimality pruning (once ``X → A`` is emitted, no
+superset of ``X`` is considered for ``A``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ValidationError
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs → rhs`` with its measured quality."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+    support: int  # rows in groups of size >= 2 (pairs that witness the FD)
+    confidence: float  # 1.0 = exact
+
+    def render(self) -> str:
+        return f"[{', '.join(self.lhs)}] -> {self.rhs} (conf={self.confidence:.3f})"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def partition(relation: Relation, attrs: Sequence[str]) -> dict[tuple, list[int]]:
+    """Group row positions by their projection on ``attrs``."""
+    attrs = relation.schema.require(attrs)
+    positions = [relation.schema.position(a) for a in attrs]
+    groups: dict[tuple, list[int]] = {}
+    for i, t in enumerate(relation.tuples()):
+        groups.setdefault(tuple(t[p] for p in positions), []).append(i)
+    return groups
+
+
+def fd_confidence(relation: Relation, lhs: Sequence[str], rhs: str) -> tuple[float, int]:
+    """(confidence, support) of ``lhs → rhs`` on the relation.
+
+    Confidence is the fraction of rows keeping the majority rhs value
+    of their lhs-group (1.0 iff the FD holds exactly); support counts
+    rows in groups with at least two members (singleton groups satisfy
+    any FD vacuously and carry no evidence).
+    """
+    if not lhs:
+        # empty LHS: rhs must be constant over the whole relation
+        groups = {(): list(range(len(relation)))}
+    else:
+        groups = partition(relation, lhs)
+    rhs_pos = relation.schema.position(rhs)
+    raw = relation.tuples()
+    kept = 0
+    support = 0
+    total = len(relation)
+    if total == 0:
+        return 1.0, 0
+    for rows in groups.values():
+        counts: dict = {}
+        for i in rows:
+            v = raw[i][rhs_pos]
+            counts[v] = counts.get(v, 0) + 1
+        kept += max(counts.values())
+        if len(rows) >= 2:
+            support += len(rows)
+    return kept / total, support
+
+
+def fds_to_cfds(fds: Iterable[FD]) -> list:
+    """Lift plain FDs to single-wildcard-row CFDs.
+
+    The bridge between FD discovery and rule derivation: a variable CFD
+    row over a master copy becomes a master-sourced editing rule via
+    :func:`repro.rules.derive.editing_rules_from_cfd`.
+    """
+    from repro.core.pattern import PatternTuple, WILDCARD
+    from repro.rules.cfd import CFD, CFDRow
+
+    return [
+        CFD(
+            f"fd_{'_'.join(fd.lhs)}__{fd.rhs}",
+            fd.lhs,
+            fd.rhs,
+            (CFDRow(PatternTuple(), WILDCARD),),
+        )
+        for fd in fds
+    ]
+
+
+def discover_fds(
+    relation: Relation,
+    *,
+    max_lhs: int = 3,
+    min_confidence: float = 1.0,
+    min_support: int = 2,
+    targets: Iterable[str] | None = None,
+) -> list[FD]:
+    """Minimal FDs ``X → A`` with ``|X| ≤ max_lhs``.
+
+    ``targets`` restricts the dependent attributes considered (e.g. only
+    the attributes you intend to make rule targets). Minimality: once
+    ``X → A`` qualifies, supersets of ``X`` are pruned for ``A``.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValidationError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    names = relation.schema.names
+    rhs_candidates = tuple(targets) if targets is not None else names
+    relation.schema.require(rhs_candidates)
+    found: list[FD] = []
+    covered: dict[str, list[frozenset[str]]] = {a: [] for a in rhs_candidates}
+    for size in range(1, max_lhs + 1):
+        for lhs in itertools.combinations(names, size):
+            lhs_set = frozenset(lhs)
+            for rhs in rhs_candidates:
+                if rhs in lhs_set:
+                    continue
+                if any(prev <= lhs_set for prev in covered[rhs]):
+                    continue  # a subset already determines rhs: not minimal
+                confidence, support = fd_confidence(relation, lhs, rhs)
+                if confidence >= min_confidence and support >= min_support:
+                    found.append(FD(lhs, rhs, support, confidence))
+                    covered[rhs].append(lhs_set)
+    return found

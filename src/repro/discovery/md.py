@@ -1,0 +1,133 @@
+"""Matching dependency discovery from matched record pairs.
+
+An MD needs evidence of *matches*: pairs (input tuple, master tuple)
+known to describe the same entity — e.g. a hand-matched sample, or the
+clean half of a generated workload. Given such pairs, the discoverer:
+
+1. for every (input attr, master attr) pair, finds the *cheapest*
+   normaliser operator under which the pair agrees on at least
+   ``min_confidence`` of the evidence (operator order: exact before
+   fuzzy, so exact-matchable columns are not weakened);
+2. keeps high-agreement pairs as LHS *match clause* candidates,
+   restricted to clauses that are selective (they do not match
+   everything against everything);
+3. proposes identified (Y1 ⇌ Y2) pairs from the remaining
+   exact-agreeing correspondences.
+
+The result feeds :func:`repro.rules.derive.editing_rules_from_md`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.relational.normalize import normalize_value
+from repro.relational.relation import Relation
+from repro.relational.row import Row
+from repro.rules.md import MatchingDependency, MDMatch
+
+#: Operator preference: exact first, then increasingly lossy.
+DEFAULT_OPS: tuple[str, ...] = ("exact", "casefold", "collapse_spaces", "alnum", "digits")
+
+
+@dataclass(frozen=True)
+class CorrespondenceEvidence:
+    """Agreement statistics for one (input attr, master attr, op)."""
+
+    t_attr: str
+    m_attr: str
+    op: str
+    agreement: float
+    distinct_keys: int  # distinct normalised master values seen
+    uniqueness: float  # distinct_keys / distinct master rows in evidence
+
+
+def _agreement(
+    pairs: Sequence[tuple[Mapping[str, Any], Row]],
+    t_attr: str,
+    m_attr: str,
+    op: str,
+) -> tuple[float, int]:
+    """Fraction of pairs agreeing on (t_attr ≈op m_attr), and the number
+    of distinct normalised master-side keys.
+
+    A degenerate normalisation (empty string — e.g. ``digits`` applied
+    to an all-letter name) never counts as agreement: it would make
+    every letter column "match" every other.
+    """
+    agree = 0
+    keys = set()
+    for t, s in pairs:
+        tv = normalize_value(t[t_attr], op)
+        sv = normalize_value(s[m_attr], op)
+        degenerate = (isinstance(tv, str) and not tv) or (isinstance(sv, str) and not sv)
+        if tv == sv and not degenerate:
+            agree += 1
+            keys.add(sv)
+    return agree / len(pairs), len(keys)
+
+
+def discover_mds(
+    pairs: Sequence[tuple[Mapping[str, Any], Row]],
+    *,
+    ops: Sequence[str] = DEFAULT_OPS,
+    min_confidence: float = 0.98,
+    min_uniqueness: float = 0.9,
+    max_mds: int = 4,
+    md_id: str = "mined_md",
+) -> list[MatchingDependency]:
+    """Discover MDs from matched (input values, master row) pairs.
+
+    Every attribute correspondence agreeing with confidence at least
+    ``min_confidence`` under some operator is classified as *key-like*
+    — when its master column is (nearly) a key over the evidence:
+    distinct normalised values per distinct master row at least
+    ``min_uniqueness`` — or as an ordinary correspondence. One MD is
+    emitted per key-like clause (at most ``max_mds``, most unique
+    first): matching on that clause identifies **every other**
+    correspondence, key-like ones included (matching on the phone
+    identifies the address, even though the address is itself a key).
+    MD ids are ``<md_id>_<clause attr>``.
+    """
+    if not pairs:
+        raise ValidationError("discover_mds needs at least one matched pair")
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValidationError(f"min_confidence must be in (0, 1], got {min_confidence}")
+
+    t_attrs = sorted(pairs[0][0].keys())
+    m_attrs = pairs[0][1].schema.names
+    distinct_masters = len({s for _, s in pairs})
+
+    correspondences: list[CorrespondenceEvidence] = []
+    for t_attr in t_attrs:
+        for m_attr in m_attrs:
+            for op in ops:
+                agreement, keys = _agreement(pairs, t_attr, m_attr, op)
+                if agreement >= min_confidence:
+                    correspondences.append(
+                        CorrespondenceEvidence(
+                            t_attr, m_attr, op, agreement, keys,
+                            uniqueness=keys / distinct_masters,
+                        )
+                    )
+                    break  # cheapest sufficient operator wins
+
+    key_like = [c for c in correspondences if c.uniqueness >= min_uniqueness]
+    if not key_like or len(correspondences) < 2:
+        return []
+
+    key_like.sort(key=lambda c: (-c.uniqueness, c.t_attr, c.m_attr))
+    out: list[MatchingDependency] = []
+    for clause_ev in key_like[:max_mds]:
+        clause = MDMatch(clause_ev.t_attr, clause_ev.m_attr, clause_ev.op)
+        ident = tuple(
+            (c.t_attr, c.m_attr)
+            for c in correspondences
+            if c.t_attr != clause_ev.t_attr
+        )
+        if not ident:
+            continue
+        out.append(MatchingDependency(f"{md_id}_{clause_ev.t_attr}", (clause,), ident))
+    return out

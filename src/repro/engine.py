@@ -1,0 +1,218 @@
+"""The CerFix engine facade — the library's main entry point.
+
+Bundles the Fig. 1 architecture: rule engine (a validated
+:class:`~repro.core.ruleset.RuleSet`), master data manager, region
+finder, data monitor and data auditing, behind one object:
+
+>>> from repro import CerFix
+>>> from repro.scenarios import uk_customers as uk
+>>> engine = CerFix(uk.paper_ruleset(), uk.paper_master())
+>>> report = engine.check_consistency()          # rule engine static analysis
+>>> session = engine.session(uk.fig3_tuple(), "t1")   # data monitor
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.audit.log import AuditLog
+from repro.core.certainty import CertaintyMode, Scenario, is_certain_region
+from repro.core.chase import ChaseResult, chase
+from repro.core.consistency import ConsistencyReport, check_consistency
+from repro.core.region import RankedRegion, Region
+from repro.core.region_finder import find_certain_regions
+from repro.core.ruleset import RuleSet
+from repro.master.manager import MasterDataManager
+from repro.monitor.session import MonitorSession
+from repro.monitor.stream import StreamProcessor, StreamReport
+from repro.monitor.suggest import SuggestionStrategy
+from repro.monitor.user import User
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class MasterUpdateReport:
+    """The outcome of a master-data update (see CerFix.update_master)."""
+
+    added: int
+    removed: int
+    regions_kept: tuple
+    regions_dropped: tuple  # (RankedRegion, CertaintyReport) pairs
+
+    def describe(self) -> str:
+        lines = [
+            f"master update: +{self.added} / -{self.removed} tuples; "
+            f"{len(self.regions_kept)} regions kept, {len(self.regions_dropped)} dropped"
+        ]
+        for ranked, report in self.regions_dropped:
+            lines.append(f"  dropped {ranked.region.render()}: {report.describe()}")
+        return "\n".join(lines)
+
+
+class CerFix:
+    """A configured CerFix instance.
+
+    Parameters mirror the demo's initialisation step: the rule set (which
+    carries both schemas) and the master data. ``mode`` / ``scenario``
+    pick the certainty semantics (see DESIGN.md §1); ``strategy`` the
+    suggestion policy of the data monitor.
+    """
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        master: Relation | MasterDataManager,
+        *,
+        mode: CertaintyMode = CertaintyMode.STRICT,
+        scenario: Scenario | None = None,
+        strategy: SuggestionStrategy = SuggestionStrategy.CORE_FIRST,
+        audit: AuditLog | None = None,
+        use_index: bool = True,
+        max_combos: int = 50_000,
+    ):
+        self.ruleset = ruleset
+        self.master = master if isinstance(master, MasterDataManager) else MasterDataManager(master)
+        self.mode = mode
+        self.scenario = scenario
+        self.strategy = strategy
+        self.audit = audit if audit is not None else AuditLog()
+        self.use_index = use_index
+        self.max_combos = max_combos
+        self.regions: tuple[RankedRegion, ...] = ()
+        if use_index:
+            self.master.prebuild(ruleset)
+
+    # -- rule engine ---------------------------------------------------------
+
+    def check_consistency(self, **kwargs) -> ConsistencyReport:
+        """Static analysis: do the rules contradict each other w.r.t. the
+        master data? (Runs on rule import in the demo.)"""
+        return check_consistency(self.ruleset, self.master, **kwargs)
+
+    # -- region finder ---------------------------------------------------------
+
+    def precompute_regions(self, k: int = 5, **kwargs) -> tuple[RankedRegion, ...]:
+        """Compute and cache the top-k certain regions (the demo's
+        initial suggestions)."""
+        kwargs.setdefault("mode", self.mode)
+        kwargs.setdefault("scenario", self.scenario)
+        self.regions = tuple(find_certain_regions(self.ruleset, self.master, k=k, **kwargs))
+        return self.regions
+
+    def certify_region(self, region: Region, **kwargs):
+        """Exact certainty check for a user-proposed region."""
+        kwargs.setdefault("mode", self.mode)
+        kwargs.setdefault("scenario", self.scenario)
+        return is_certain_region(
+            region.attrs, region.tableau, self.ruleset, self.master, **kwargs
+        )
+
+    # -- data monitor ----------------------------------------------------------
+
+    def session(self, values: Mapping[str, Any], tuple_id: str = "t", **kwargs) -> MonitorSession:
+        """Open an interactive monitoring session for one input tuple."""
+        kwargs.setdefault("regions", self.regions)
+        kwargs.setdefault("strategy", self.strategy)
+        kwargs.setdefault("mode", self.mode)
+        kwargs.setdefault("scenario", self.scenario)
+        kwargs.setdefault("audit", self.audit)
+        kwargs.setdefault("use_index", self.use_index)
+        kwargs.setdefault("max_combos", self.max_combos)
+        return MonitorSession(self.ruleset, self.master, values, tuple_id, **kwargs)
+
+    def fix(
+        self,
+        values: Mapping[str, Any],
+        user: User,
+        tuple_id: str = "t",
+        *,
+        max_rounds: int | None = None,
+        **kwargs,
+    ) -> MonitorSession:
+        """Run a full monitor loop with a user model; returns the session."""
+        session = self.session(values, tuple_id, **kwargs)
+        session.run(user, max_rounds=max_rounds)
+        return session
+
+    def stream(
+        self,
+        dirty: Relation,
+        truth: Relation | None = None,
+        *,
+        user_factory: Callable[[str, Mapping[str, Any] | None], User] | None = None,
+        tuple_ids: Sequence[str] | None = None,
+        max_rounds: int | None = None,
+    ) -> StreamReport:
+        """Monitor a stream of incoming tuples (point-of-entry cleaning)."""
+        processor = StreamProcessor(
+            self.ruleset,
+            self.master,
+            regions=self.regions,
+            strategy=self.strategy,
+            mode=self.mode,
+            scenario=self.scenario,
+            audit=self.audit,
+            use_index=self.use_index,
+            max_rounds=max_rounds,
+        )
+        return processor.process(
+            dirty, truth, user_factory=user_factory, tuple_ids=tuple_ids
+        )
+
+    # -- master data maintenance ---------------------------------------------
+
+    def update_master(
+        self,
+        add: Iterable[Mapping[str, Any]] = (),
+        remove: Iterable[int] = (),
+        **kwargs,
+    ) -> "MasterUpdateReport":
+        """Apply master-data changes and re-certify the cached regions.
+
+        Master data evolves (that is the point of MDM); a change can
+        silently invalidate a precomputed certain region — e.g. a new
+        person sharing a mobile number makes ϕ4 ambiguous. This method
+        applies the changes, re-runs the exact certainty test on every
+        cached region, keeps the survivors and reports the casualties
+        with their counterexamples.
+
+        Removal uses current row positions; audit provenance recorded
+        earlier refers to the pre-update master (snapshot semantics).
+        """
+        removed = sorted(set(remove))
+        if removed:
+            self.master.relation.delete_rows(removed)
+        added = [dict(r) for r in add]
+        if added:
+            self.master.relation.extend(added)
+        if self.use_index:
+            self.master.prebuild(self.ruleset)
+        kept: list[RankedRegion] = []
+        dropped: list[tuple[RankedRegion, Any]] = []
+        for ranked in self.regions:
+            report = self.certify_region(ranked.region, **kwargs)
+            if report.certain and not report.vacuous:
+                kept.append(ranked)
+            else:
+                dropped.append((ranked, report))
+        self.regions = tuple(kept)
+        return MasterUpdateReport(
+            added=len(added),
+            removed=len(removed),
+            regions_kept=tuple(kept),
+            regions_dropped=tuple(dropped),
+        )
+
+    # -- low-level escape hatch --------------------------------------------------
+
+    def chase_once(self, values: Mapping[str, Any], validated: Iterable[str], **kwargs) -> ChaseResult:
+        """One chase run, outside any session (no audit side effects)."""
+        kwargs.setdefault("use_index", self.use_index)
+        return chase(values, validated, self.ruleset, self.master, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"CerFix({len(self.ruleset)} rules, master {len(self.master)} tuples, "
+            f"mode={self.mode.value}, strategy={self.strategy.value})"
+        )

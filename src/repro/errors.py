@@ -1,0 +1,83 @@
+"""Exception hierarchy for the CerFix reproduction.
+
+Every error raised by this package derives from :class:`CerFixError`, so
+callers embedding the library can catch one base class. Subclasses are
+split by subsystem: schema/relation handling, rule specification and
+parsing, chase-time conflicts, combinatorial budget guards, master-data
+diagnostics, and monitor-session misuse.
+"""
+
+from __future__ import annotations
+
+
+class CerFixError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(CerFixError):
+    """A schema is malformed, or an attribute reference does not resolve."""
+
+
+class RelationError(CerFixError):
+    """A relation operation failed (arity mismatch, unknown column, ...)."""
+
+
+class RuleError(CerFixError):
+    """An editing rule is malformed with respect to its schemas."""
+
+
+class PatternError(CerFixError):
+    """A pattern tuple is malformed (unknown attribute, bad condition)."""
+
+
+class ParseError(CerFixError):
+    """Textual rule/CFD/MD syntax could not be parsed.
+
+    Carries the offending ``text`` and a human-readable ``reason``.
+    """
+
+    def __init__(self, text: str, reason: str):
+        super().__init__(f"cannot parse {text!r}: {reason}")
+        self.text = text
+        self.reason = reason
+
+
+class ConflictError(CerFixError):
+    """Two certain fixes disagree on the value of an attribute.
+
+    Raised by the chase in strict mode; the ``witness`` records the
+    attribute, the competing values and the provenance of each, which is
+    exactly the evidence that the rule set is inconsistent with the master
+    data (or that a user validation was wrong).
+    """
+
+    def __init__(self, message: str, witness=None):
+        super().__init__(message)
+        self.witness = witness
+
+
+class BudgetExceededError(CerFixError):
+    """An exact combinatorial procedure exceeded its explicit budget.
+
+    Every exponential analysis in this package (certainty tests, region
+    search, consistency checking) takes a budget; exceeding it raises this
+    error instead of silently truncating, so callers can either raise the
+    budget or opt in to the clearly-flagged sampling fallback.
+    """
+
+
+class MasterDataError(CerFixError):
+    """Master data violates an assumption (e.g. schema mismatch on load)."""
+
+
+class MonitorError(CerFixError):
+    """A data-monitor session was driven incorrectly.
+
+    Examples: validating an attribute that does not exist, validating after
+    the session already reached a certain fix, or reading the fix of an
+    incomplete session.
+    """
+
+
+class ValidationError(CerFixError):
+    """User-supplied input (CLI values, generator parameters) is invalid."""

@@ -1,0 +1,380 @@
+"""The ``cerfix`` command-line explorer.
+
+Substitutes for the demo's web interface (DESIGN.md, substitution 1):
+every subcommand drives the same library facilities the web UI would.
+
+Subcommands::
+
+    cerfix rules    [--scenario uk|hospital] [--rules FILE] [--check]
+    cerfix regions  [--scenario ...] [-k N] [--mode strict|anchored|scenario]
+    cerfix fix      [--scenario ...] --input CSV --truth CSV [--out CSV]
+    cerfix monitor  [--scenario ...]              # interactive, stdin-driven
+    cerfix audit    --log FILE [--attr NAME] [--tuple ID]
+    cerfix generate [--scenario ...] --master-out CSV --out CSV --truth-out CSV
+    cerfix demo                                   # the Fig. 3 walkthrough
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.audit.log import AuditLog
+from repro.audit.stats import attribute_stats, overall_stats, tuple_trace
+from repro.core.certainty import CertaintyMode
+from repro.core.ruleset import RuleSet
+from repro.engine import CerFix
+from repro.errors import CerFixError
+from repro.explorer.render import format_kv, format_table, highlight
+from repro.monitor.suggest import SuggestionStrategy
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.relation import Relation
+from repro.rules.parser import parse_rules
+from repro.scenarios import hospital, uk_customers
+
+
+def _load_scenario(args) -> tuple[RuleSet, Relation, Any]:
+    """(ruleset, master relation, scenario generator) for the CLI flags."""
+    name = getattr(args, "scenario", "uk")
+    if getattr(args, "rules", None):
+        text = Path(args.rules).read_text(encoding="utf-8")
+        if not getattr(args, "master", None):
+            raise CerFixError("--rules requires --master CSV (schemas are inferred)")
+        master = read_csv(args.master, relation_name="master")
+        sample = read_csv(args.input, relation_name="input") if getattr(args, "input", None) else None
+        if sample is None:
+            raise CerFixError("--rules requires --input CSV to infer the input schema")
+        ruleset = RuleSet(parse_rules(text), sample.schema, master.schema)
+        return ruleset, master, None
+    if name == "uk":
+        master = (
+            read_csv(args.master, schema=uk_customers.MASTER_SCHEMA)
+            if getattr(args, "master", None)
+            else uk_customers.paper_master()
+        )
+        return uk_customers.paper_ruleset(), master, uk_customers.scenario_tuples(master)
+    if name == "hospital":
+        master = (
+            read_csv(args.master, schema=hospital.MASTER_SCHEMA)
+            if getattr(args, "master", None)
+            else hospital.generate_master(50)
+        )
+        return hospital.hospital_ruleset(), master, hospital.scenario_tuples(master)
+    raise CerFixError(f"unknown scenario {name!r} (expected uk or hospital)")
+
+
+def _engine(args) -> CerFix:
+    ruleset, master, scenario = _load_scenario(args)
+    mode = CertaintyMode(getattr(args, "mode", "scenario"))
+    if mode is CertaintyMode.SCENARIO and scenario is None:
+        mode = CertaintyMode.STRICT
+    return CerFix(
+        ruleset,
+        master,
+        mode=mode,
+        scenario=scenario,
+        strategy=SuggestionStrategy(getattr(args, "strategy", "core_first")),
+    )
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def cmd_rules(args) -> int:
+    engine = _engine(args)
+    rows = [
+        (r.rule_id, r.render(), r.description)
+        for r in engine.ruleset
+    ]
+    print(format_table(("id", "rule", "description"), rows,
+                       title=f"{len(rows)} editing rules", max_width=64))
+    if args.check:
+        report = engine.check_consistency()
+        print()
+        print(report.describe())
+        return 0 if report.is_consistent else 1
+    return 0
+
+
+def cmd_regions(args) -> int:
+    engine = _engine(args)
+    regions = engine.precompute_regions(k=args.k, max_combos=args.max_combos)
+    rows = [(i + 1, r.region.size, r.region.render(), f"{r.coverage:.2f}", r.combos_checked)
+            for i, r in enumerate(regions)]
+    print(format_table(("rank", "size", "region", "coverage", "checked"), rows,
+                       title=f"top-{args.k} certain regions (mode={engine.mode.value})",
+                       max_width=72))
+    return 0
+
+
+def cmd_fix(args) -> int:
+    engine = _engine(args)
+    dirty = read_csv(args.input, schema=engine.ruleset.input_schema)
+    truth = read_csv(args.truth, schema=engine.ruleset.input_schema)
+    report = engine.stream(dirty, truth)
+    print(format_kv({
+        "tuples": report.tuples,
+        "certain fixes": report.completed,
+        "mean rounds": f"{report.mean_rounds:.2f}",
+        "user-validated cells": f"{report.user_cells} ({report.user_share:.0%})",
+        "auto-fixed cells": f"{report.rule_cells} ({report.auto_share:.0%})",
+        "throughput (tuples/s)": f"{report.throughput:.0f}",
+    }, title="stream result"))
+    if args.out:
+        fixed = Relation(engine.ruleset.input_schema)
+        for i, row in enumerate(dirty.rows()):
+            events = engine.audit.by_tuple(f"t{i}")
+            values = row.to_dict()
+            for e in events:
+                values[e.attr] = e.new
+            fixed.append(values)
+        write_csv(fixed, args.out)
+        print(f"fixed tuples written to {args.out}")
+    if args.log:
+        engine.audit.to_jsonl(args.log)
+        print(f"audit log written to {args.log}")
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    engine = _engine(args)
+    schema = engine.ruleset.input_schema
+    print(f"enter a tuple, one '{schema.names[0]}' .. '{schema.names[-1]}' value per prompt")
+    values = {}
+    for name in schema.names:
+        values[name] = input(f"  {name} = ").strip()
+    session = engine.session(values, "cli")
+    while not session.is_complete:
+        suggestion = session.suggestion()
+        if suggestion is None:
+            break
+        print()
+        print(highlight(session.current_values(), set(suggestion.attrs), set(session.validated)))
+        print(f"suggest: {suggestion.render()}")
+        raw = input("validate attr=value[,attr=value..] (empty = assure suggested): ").strip()
+        if not raw:
+            session.assure(suggestion.attrs)
+            continue
+        assignments = {}
+        for part in raw.split(","):
+            attr, _, value = part.partition("=")
+            assignments[attr.strip()] = value.strip()
+        session.validate(assignments)
+    print()
+    print(highlight(session.current_values(), set(), set(session.validated)))
+    print(f"certain fix reached in {session.round_no} round(s)")
+    for line in tuple_trace(session.audit, "cli"):
+        print("  " + line)
+    return 0
+
+
+def cmd_audit(args) -> int:
+    log = AuditLog.from_jsonl(args.log)
+    if args.tuple:
+        for line in tuple_trace(log, args.tuple):
+            print(line)
+        return 0
+    stats = attribute_stats(log)
+    if args.attr:
+        stats = [s for s in stats if s.attr == args.attr]
+    rows = [
+        (s.attr, s.user_validations, s.rule_fixes, f"{s.pct_user:.0f}%",
+         f"{s.pct_auto:.0f}%", s.normalizations, s.value_changes)
+        for s in stats
+    ]
+    print(format_table(
+        ("attr", "by user", "by CerFix", "%user", "%auto", "normalized", "changed"),
+        rows, title="data auditing (Fig. 4)"))
+    overall = overall_stats(log)
+    print()
+    print(format_kv({
+        "tuples": overall.tuples,
+        "user share": f"{overall.user_share:.0%}",
+        "auto share": f"{overall.auto_share:.0%}",
+    }))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    if args.scenario == "hospital":
+        master = hospital.generate_master(args.master_size, seed=args.seed)
+        workload = hospital.generate_workload(master, args.n, rate=args.rate, seed=args.seed)
+    else:
+        master = uk_customers.generate_master(args.master_size, seed=args.seed)
+        workload = uk_customers.generate_workload(master, args.n, rate=args.rate, seed=args.seed)
+    write_csv(master, args.master_out)
+    write_csv(workload.dirty, args.out)
+    write_csv(workload.clean, args.truth_out)
+    print(f"master: {len(master)} rows -> {args.master_out}")
+    print(f"dirty:  {len(workload.dirty)} rows ({workload.error_cells} corrupted cells) -> {args.out}")
+    print(f"truth:  {len(workload.clean)} rows -> {args.truth_out}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    """The Fig. 3 walkthrough, narrated."""
+    engine = CerFix(
+        uk_customers.paper_ruleset(),
+        uk_customers.paper_master(),
+        mode=CertaintyMode.SCENARIO,
+        scenario=uk_customers.scenario_tuples(uk_customers.paper_master()),
+    )
+    truth = uk_customers.fig3_truth()
+    session = engine.session(uk_customers.fig3_tuple(), "fig3")
+    print("input tuple (Fig. 3):")
+    print("  " + highlight(session.current_values(), set(), set()))
+    round_no = 0
+    while not session.is_complete:
+        suggestion = session.suggestion()
+        if suggestion is None:
+            break
+        round_no += 1
+        print(f"\nround {round_no}: CerFix suggests validating {set(suggestion.attrs)}")
+        session.validate({a: truth[a] for a in suggestion.attrs})
+        print("  " + highlight(session.current_values(), set(), set(session.validated)))
+    print(f"\ncertain fix reached in {session.round_no} rounds; audit trail:")
+    for line in tuple_trace(session.audit, "fig3"):
+        print("  " + line)
+    return 0
+
+
+def cmd_init(args) -> int:
+    """Write an instance directory: instance.json + master.csv + rules.txt."""
+    from repro.config import InstanceConfig, save_instance
+    from repro.scenarios import hospital as hosp
+
+    if args.scenario == "hospital":
+        master = hosp.generate_master(args.master_size or 50, seed=args.seed)
+        ruleset = hosp.hospital_ruleset()
+        config = InstanceConfig("hospital", hosp.INPUT_SCHEMA, hosp.MASTER_SCHEMA,
+                                mode=CertaintyMode.ANCHORED)
+    else:
+        master = (
+            uk_customers.generate_master(args.master_size, seed=args.seed)
+            if args.master_size
+            else uk_customers.paper_master()
+        )
+        ruleset = uk_customers.paper_ruleset()
+        config = InstanceConfig("uk-customers", uk_customers.INPUT_SCHEMA,
+                                uk_customers.MASTER_SCHEMA,
+                                mode=CertaintyMode.ANCHORED)
+    path = save_instance(args.out, config, master, ruleset)
+    print(f"instance written to {path} ({len(master)} master tuples, {len(ruleset)} rules)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.explorer.web import serve
+
+    if args.instance:
+        from repro.config import load_instance
+
+        engine, config = load_instance(args.instance)
+        print(f"serving instance {config.name!r}")
+    else:
+        engine = _engine(args)
+    server = serve(engine, port=args.port)
+    print(f"cerfix web explorer listening on {server.url} (Ctrl-C to stop)")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+# -- argument parsing -----------------------------------------------------------
+
+
+def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scenario", choices=("uk", "hospital"), default="uk")
+    p.add_argument("--rules", help="rule file (textual syntax) instead of a scenario")
+    p.add_argument("--master", help="master data CSV (overrides the scenario default)")
+    p.add_argument("--mode", choices=tuple(m.value for m in CertaintyMode), default="scenario")
+    p.add_argument("--strategy", choices=tuple(s.value for s in SuggestionStrategy),
+                   default="core_first")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cerfix",
+        description="CerFix: cleaning data with certain fixes (PVLDB 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("rules", help="list editing rules; --check runs the static analysis")
+    _add_scenario_flags(p)
+    p.add_argument("--check", action="store_true")
+    p.set_defaults(func=cmd_rules)
+
+    p = sub.add_parser("regions", help="compute top-k certain regions")
+    _add_scenario_flags(p)
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--max-combos", type=int, default=50_000, dest="max_combos")
+    p.set_defaults(func=cmd_regions)
+
+    p = sub.add_parser("fix", help="fix a CSV of input tuples with an oracle user")
+    _add_scenario_flags(p)
+    p.add_argument("--input", required=True)
+    p.add_argument("--truth", required=True)
+    p.add_argument("--out", help="write fixed tuples here")
+    p.add_argument("--log", help="write the audit log (JSON lines) here")
+    p.set_defaults(func=cmd_fix)
+
+    p = sub.add_parser("monitor", help="interactively fix one tuple")
+    _add_scenario_flags(p)
+    p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser("audit", help="inspect an audit log")
+    p.add_argument("--log", required=True)
+    p.add_argument("--attr")
+    p.add_argument("--tuple", dest="tuple")
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("generate", help="generate master data and a dirty workload")
+    p.add_argument("--scenario", choices=("uk", "hospital"), default="uk")
+    p.add_argument("--master-size", type=int, default=200, dest="master_size")
+    p.add_argument("-n", type=int, default=500)
+    p.add_argument("--rate", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--master-out", required=True, dest="master_out")
+    p.add_argument("--out", required=True)
+    p.add_argument("--truth-out", required=True, dest="truth_out")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("demo", help="run the Fig. 3 walkthrough")
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("init", help="write an instance directory (the demo's initialisation step)")
+    p.add_argument("--scenario", choices=("uk", "hospital"), default="uk")
+    p.add_argument("--master-size", type=int, default=0, dest="master_size",
+                   help="generate this many master tuples (0 = the paper data for uk)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="instance directory to create")
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("serve", help="run the web explorer (JSON API)")
+    _add_scenario_flags(p)
+    p.add_argument("--instance", help="serve a saved instance directory instead")
+    p.add_argument("--port", type=int, default=8384)
+    p.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except CerFixError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

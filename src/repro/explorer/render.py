@@ -1,0 +1,71 @@
+"""Monospace table rendering for the explorer, examples and benches.
+
+The demo highlights suggested attributes in yellow and validated ones in
+green; text output uses ``[?]`` / ``[ok]`` markers instead
+(:func:`highlight`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    max_width: int = 36,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Cells longer than ``max_width`` are truncated with an ellipsis so one
+    pathological value cannot blow up a whole report.
+    """
+    def cell(v: Any) -> str:
+        text = str(v)
+        return text if len(text) <= max_width else text[: max_width - 1] + "…"
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(text))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(t.ljust(w) for t, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, Any], *, title: str | None = None) -> str:
+    """Render a key/value block with aligned keys."""
+    if not pairs:
+        return title or ""
+    width = max(len(k) for k in pairs)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {v}")
+    return "\n".join(lines)
+
+
+def highlight(values: Mapping[str, Any], suggested: set[str], validated: set[str]) -> str:
+    """One-line tuple view with the demo's colour semantics.
+
+    Suggested (yellow in the demo) attributes get ``[?]``, validated
+    (green) ones ``[ok]``.
+    """
+    parts = []
+    for attr, value in values.items():
+        marker = ""
+        if attr in validated:
+            marker = "[ok]"
+        elif attr in suggested:
+            marker = "[?]"
+        parts.append(f"{attr}={value!r}{marker}")
+    return ", ".join(parts)

@@ -1,0 +1,243 @@
+"""The web data explorer (paper Fig. 1, "Web interface").
+
+The demo drives CerFix through a web UI; this module provides the
+equivalent HTTP surface on the standard library only — a JSON API over
+the same engine facilities the CLI uses, suitable for a browser front
+end or curl:
+
+====  =============================  ===========================================
+verb  path                           effect
+====  =============================  ===========================================
+GET   /api/instance                  engine summary (schemas, rule count, mode)
+GET   /api/rules                     the rule table (Fig. 2)
+GET   /api/rules/check               run the consistency analysis
+GET   /api/regions?k=5               top-k certain regions
+POST  /api/sessions                  {"tuple_id": ..., "values": {...}} — open a
+                                     monitor session; returns state + suggestion
+GET   /api/sessions/<id>             session state
+POST  /api/sessions/<id>/validate    {"assignments": {...}} — user validation;
+                                     chases and returns the new state
+GET   /api/audit/<tuple_id>          per-tuple change trace (Fig. 4)
+GET   /api/audit                     per-attribute statistics (Fig. 4)
+====  =============================  ===========================================
+
+Run it programmatically (`serve(engine, port=0)` returns the bound
+server; `.port` carries the ephemeral port) or from the CLI::
+
+    cerfix serve --scenario uk --port 8384
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.audit.stats import attribute_stats, overall_stats
+from repro.engine import CerFix
+from repro.errors import CerFixError, MonitorError
+from repro.monitor.session import MonitorSession
+
+
+def _session_state(session: MonitorSession) -> dict[str, Any]:
+    suggestion = None if session.is_complete else session.suggestion()
+    return {
+        "tuple_id": session.tuple_id,
+        "values": {k: str(v) for k, v in session.current_values().items()},
+        "validated": sorted(session.validated),
+        "complete": session.is_complete,
+        "round": session.round_no,
+        "conflicts": [c.describe() for c in session.conflicts],
+        "suggestion": None
+        if suggestion is None
+        else {
+            "attrs": list(suggestion.attrs),
+            "strategy": suggestion.strategy.value,
+            "rationale": suggestion.rationale,
+        },
+    }
+
+
+class CerFixWebApp:
+    """Routes HTTP requests onto one engine. Thread-safe via one lock —
+    sessions are interactive, not high-throughput."""
+
+    def __init__(self, engine: CerFix):
+        self.engine = engine
+        self.sessions: dict[str, MonitorSession] = {}
+        self._lock = threading.Lock()
+
+    # -- route handlers; each returns (status, payload) ----------------------
+
+    def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict | list]:
+        parsed = urlparse(path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        try:
+            return self._route(method, parts, query, body or {})
+        except MonitorError as exc:
+            return 409, {"error": str(exc)}
+        except CerFixError as exc:
+            return 400, {"error": str(exc)}
+
+    def _route(self, method, parts, query, body) -> tuple[int, dict | list]:
+        if parts == ["api", "instance"] and method == "GET":
+            engine = self.engine
+            return 200, {
+                "input_schema": list(engine.ruleset.input_schema.names),
+                "master_schema": list(engine.ruleset.master_schema.names),
+                "rules": len(engine.ruleset),
+                "master_tuples": len(engine.master),
+                "mode": engine.mode.value,
+                "strategy": engine.strategy.value,
+            }
+        if parts == ["api", "rules"] and method == "GET":
+            return 200, [
+                {"id": r.rule_id, "rule": r.render(), "description": r.description}
+                for r in self.engine.ruleset
+            ]
+        if parts == ["api", "rules", "check"] and method == "GET":
+            report = self.engine.check_consistency(samples=int(query.get("samples", 20)))
+            return 200, {
+                "consistent": report.is_consistent,
+                "conflicts": [c.describe() for c in report.conflicts],
+                "cross_entity": [c.describe() for c in report.cross_entity_conflicts],
+                "ambiguities": [a.describe() for a in report.ambiguities],
+            }
+        if parts == ["api", "regions"] and method == "GET":
+            k = int(query.get("k", 5))
+            regions = self.engine.precompute_regions(k=k)
+            return 200, [
+                {
+                    "rank": i + 1,
+                    "attrs": list(r.region.attrs),
+                    "tableau": [p.render() for p in r.region.tableau],
+                    "coverage": r.coverage,
+                }
+                for i, r in enumerate(regions)
+            ]
+        if parts == ["api", "sessions"] and method == "POST":
+            tuple_id = str(body.get("tuple_id", f"web{len(self.sessions)}"))
+            values = body.get("values")
+            if not isinstance(values, dict):
+                return 400, {"error": "body must carry a 'values' object"}
+            if tuple_id in self.sessions:
+                return 409, {"error": f"session {tuple_id!r} already exists"}
+            session = self.engine.session(values, tuple_id)
+            self.sessions[tuple_id] = session
+            return 201, _session_state(session)
+        if len(parts) == 3 and parts[:2] == ["api", "sessions"] and method == "GET":
+            session = self.sessions.get(parts[2])
+            if session is None:
+                return 404, {"error": f"no session {parts[2]!r}"}
+            return 200, _session_state(session)
+        if (
+            len(parts) == 4
+            and parts[:2] == ["api", "sessions"]
+            and parts[3] == "validate"
+            and method == "POST"
+        ):
+            session = self.sessions.get(parts[2])
+            if session is None:
+                return 404, {"error": f"no session {parts[2]!r}"}
+            assignments = body.get("assignments")
+            if not isinstance(assignments, dict):
+                return 400, {"error": "body must carry an 'assignments' object"}
+            session.validate(assignments)
+            return 200, _session_state(session)
+        if parts == ["api", "audit"] and method == "GET":
+            stats = attribute_stats(self.engine.audit)
+            overall = overall_stats(self.engine.audit)
+            return 200, {
+                "attributes": [
+                    {
+                        "attr": s.attr,
+                        "by_user": s.user_validations,
+                        "by_cerfix": s.rule_fixes,
+                        "pct_user": s.pct_user,
+                        "pct_auto": s.pct_auto,
+                    }
+                    for s in stats
+                ],
+                "overall": {
+                    "tuples": overall.tuples,
+                    "user_share": overall.user_share,
+                    "auto_share": overall.auto_share,
+                },
+            }
+        if len(parts) == 3 and parts[:2] == ["api", "audit"] and method == "GET":
+            events = self.engine.audit.by_tuple(parts[2])
+            return 200, [e.to_json() for e in events]
+        return 404, {"error": f"no route {method} /{'/'.join(parts)}"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    app: CerFixWebApp  # set by serve()
+
+    def _respond(self, status: int, payload) -> None:
+        data = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _dispatch(self, method: str) -> None:
+        body = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            try:
+                body = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError:
+                self._respond(400, {"error": "request body is not valid JSON"})
+                return
+        with self.app._lock:
+            status, payload = self.app.handle(method, self.path, body)
+        self._respond(status, payload)
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._dispatch("POST")
+
+    def log_message(self, fmt, *args):  # silence request logging
+        pass
+
+
+class CerFixServer:
+    """A running web explorer; use as a context manager in tests."""
+
+    def __init__(self, engine: CerFix, host: str = "127.0.0.1", port: int = 0):
+        self.app = CerFixWebApp(engine)
+        handler = type("BoundHandler", (_Handler,), {"app": self.app})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.host = host
+        self.port = self.httpd.server_address[1]
+        self._thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CerFixServer":
+        if not self._thread.is_alive():
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+
+    def __enter__(self) -> "CerFixServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(engine: CerFix, host: str = "127.0.0.1", port: int = 0) -> CerFixServer:
+    """Start the web explorer in a background thread; returns the server."""
+    return CerFixServer(engine, host, port).start()

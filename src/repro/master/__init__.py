@@ -1,0 +1,5 @@
+"""Master data management (paper Fig. 1, "master data manager")."""
+
+from repro.master.manager import MasterDataManager, MasterMatch
+
+__all__ = ["MasterDataManager", "MasterMatch"]

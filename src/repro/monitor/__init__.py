@@ -1,0 +1,31 @@
+"""The data monitor (paper Fig. 1/3): interactive certain fixing of input
+tuples at the point of data entry."""
+
+from repro.monitor.suggest import Suggestion, SuggestionStrategy, compute_suggestion
+from repro.monitor.session import MonitorSession, RoundRecord
+from repro.monitor.user import (
+    CautiousUser,
+    NoisyOracleUser,
+    OracleUser,
+    ScriptedUser,
+    SelectiveUser,
+    User,
+)
+from repro.monitor.stream import StreamProcessor, StreamReport, TupleOutcome
+
+__all__ = [
+    "Suggestion",
+    "SuggestionStrategy",
+    "compute_suggestion",
+    "MonitorSession",
+    "RoundRecord",
+    "User",
+    "OracleUser",
+    "CautiousUser",
+    "SelectiveUser",
+    "ScriptedUser",
+    "NoisyOracleUser",
+    "StreamProcessor",
+    "StreamReport",
+    "TupleOutcome",
+]

@@ -1,0 +1,246 @@
+"""Suggestion computation (paper §2, Data monitor steps (1) and (3)).
+
+"If not all attributes of t have been validated, data monitor computes a
+new suggestion, i.e., a minimal number of attributes, which are
+recommended to the users."
+
+Three strategies, benchmarked against each other in E2:
+
+``CORE_FIRST`` (default — reproduces the Fig. 3 interaction)
+    Round one suggests the *mandatory* attributes (those no rule can fix
+    — {AC, phn, type, item} for the paper's rules, exactly Fig. 3(a));
+    later rounds suggest a minimal set whose validation lets the
+    *optimistic* closure reach every attribute (Fig. 3(b) suggests
+    {zip}). Cheap: no value enumeration.
+
+``REGION``
+    Pick the best precomputed certain region compatible with the values
+    validated so far and suggest its yet-unvalidated attributes — "the
+    initial suggestions are computed by region finder … and are
+    referenced when computing new suggestions".
+
+``SEMANTIC``
+    A minimal set S such that validating S guarantees completion *for
+    every possible correct value* of S (exact, using the certainty
+    machinery conditioned on the concrete validated values). One round,
+    but the most expensive — this is the cost the paper's precomputation
+    remark is about.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.certainty import CertaintyMode, Scenario, guaranteed_validated
+from repro.core.inference import mandatory_attributes, reachable_closure
+from repro.core.pattern import Eq, PatternTuple
+from repro.core.region import RankedRegion
+from repro.core.ruleset import RuleSet
+from repro.master.manager import MasterDataManager
+
+
+class SuggestionStrategy(enum.Enum):
+    CORE_FIRST = "core_first"
+    REGION = "region"
+    SEMANTIC = "semantic"
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """Attributes the monitor asks the user to validate, with rationale."""
+
+    attrs: tuple[str, ...]
+    strategy: SuggestionStrategy
+    rationale: str
+    region: RankedRegion | None = None
+
+    def render(self) -> str:
+        return f"validate {{{', '.join(self.attrs)}}} — {self.rationale}"
+
+
+#: Validation-effort costs: attr -> positive weight. Unlisted attributes
+#: cost 1.0. The monitor minimises total cost instead of cardinality —
+#: "minimizing human efforts" (paper §4) with non-uniform effort.
+Costs = Mapping[str, float]
+
+
+def _cost(attrs, costs: Costs | None) -> float:
+    if not costs:
+        return float(len(tuple(attrs)))
+    return sum(costs.get(a, 1.0) for a in attrs)
+
+
+def _subsets_by_cost(free: Sequence[str], costs: Costs | None):
+    """All subsets of ``free``, ascending by (total cost, size, attrs)."""
+    subsets = []
+    for extra in range(len(free) + 1):
+        for pick in itertools.combinations(free, extra):
+            subsets.append(pick)
+    subsets.sort(key=lambda s: (_cost(s, costs), len(s), s))
+    return subsets
+
+
+def _minimal_optimistic_set(
+    values: Mapping[str, Any],
+    validated: frozenset[str],
+    ruleset: RuleSet,
+    costs: Costs | None = None,
+) -> tuple[str, ...]:
+    """Cheapest S ⊆ unvalidated with optimistic closure covering the schema.
+
+    The optimistic closure treats to-be-validated values as unknown (the
+    user may correct them), so pattern conditions on S are assumed
+    satisfiable; conditions on already-validated attributes are checked
+    against their actual values. Without ``costs`` this is the smallest
+    set; with costs, the one of minimal total validation effort.
+    S = all unvalidated attributes always works, so the search terminates.
+    """
+    schema = ruleset.input_schema
+    all_attrs = frozenset(schema.names)
+    stuck = [a for a in schema.names if a not in validated]
+    known = {a: v for a, v in values.items() if a in validated}
+    mandatory_stuck = [a for a in stuck if a in mandatory_attributes(ruleset, schema)]
+    free = [a for a in stuck if a not in mandatory_stuck]
+    # Mandatory unvalidated attributes belong to every working S.
+    for pick in _subsets_by_cost(free, costs):
+        s = tuple(mandatory_stuck) + pick
+        if reachable_closure(known, validated | frozenset(s), ruleset) >= all_attrs:
+            return tuple(sorted(s))
+    return tuple(sorted(stuck))  # unreachable; kept as a safe fallback
+
+
+def _region_suggestion(
+    values: Mapping[str, Any],
+    validated: frozenset[str],
+    regions: Sequence[RankedRegion],
+    costs: Costs | None = None,
+) -> tuple[tuple[str, ...], RankedRegion] | None:
+    """The compatible region minimising the cost of new validations."""
+    best: tuple[float, tuple, RankedRegion] | None = None
+    known = set(validated)
+    for ranked in regions:
+        region = ranked.region
+        diff = tuple(a for a in region.attrs if a not in validated)
+        if not diff:
+            continue
+        if not region.compatible_with(values, known):
+            continue
+        key = (_cost(diff, costs), ranked.sort_key())
+        if best is None or key < (best[0], best[2].sort_key()):
+            best = (_cost(diff, costs), diff, ranked)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def _minimal_semantic_set(
+    values: Mapping[str, Any],
+    validated: frozenset[str],
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    *,
+    mode: CertaintyMode,
+    scenario: Scenario | None,
+    max_combos: int,
+    costs: Costs | None = None,
+) -> tuple[str, ...] | None:
+    """Cheapest S whose validation *guarantees* completion.
+
+    The certainty test is conditioned on the session's concrete validated
+    values by pinning them with an Eq pattern; S (and only S) ranges over
+    the mode's value universe.
+    """
+    schema = ruleset.input_schema
+    pin = PatternTuple({a: Eq(values[a]) for a in validated})
+    stuck = [a for a in schema.names if a not in validated]
+    mandatory_stuck = [a for a in stuck if a in mandatory_attributes(ruleset, schema)]
+    free = [a for a in stuck if a not in mandatory_stuck]
+    for pick in _subsets_by_cost(free, costs):
+        s = tuple(mandatory_stuck) + pick
+        attrs = tuple(sorted(validated | frozenset(s)))
+        report = guaranteed_validated(
+            attrs,
+            (pin,),
+            ruleset,
+            master,
+            mode=mode,
+            scenario=scenario,
+            max_combos=max_combos,
+        )
+        if report.certain and not report.vacuous:
+            return tuple(sorted(s))
+    return None
+
+
+def compute_suggestion(
+    values: Mapping[str, Any],
+    validated: frozenset[str],
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    *,
+    strategy: SuggestionStrategy = SuggestionStrategy.CORE_FIRST,
+    regions: Sequence[RankedRegion] = (),
+    mode: CertaintyMode = CertaintyMode.STRICT,
+    scenario: Scenario | None = None,
+    max_combos: int = 50_000,
+    costs: Costs | None = None,
+) -> Suggestion | None:
+    """The monitor's next suggestion, or ``None`` when nothing is left.
+
+    ``costs`` weights per-attribute validation effort; suggestions then
+    minimise total cost rather than attribute count (mandatory
+    attributes are unavoidable either way).
+    """
+    schema = ruleset.input_schema
+    if validated >= frozenset(schema.names):
+        return None
+
+    mandatory = mandatory_attributes(ruleset, schema)
+    missing_mandatory = tuple(a for a in schema.names if a in mandatory and a not in validated)
+
+    if strategy is SuggestionStrategy.REGION and regions:
+        picked = _region_suggestion(values, validated, regions, costs)
+        if picked is not None:
+            diff, ranked = picked
+            return Suggestion(
+                attrs=diff,
+                strategy=SuggestionStrategy.REGION,
+                rationale=f"completes certain region {ranked.region.render()}",
+                region=ranked,
+            )
+        # fall through to CORE_FIRST when no region is compatible
+
+    if strategy is SuggestionStrategy.SEMANTIC:
+        s = _minimal_semantic_set(
+            values,
+            validated,
+            ruleset,
+            master,
+            mode=mode,
+            scenario=scenario,
+            max_combos=max_combos,
+            costs=costs,
+        )
+        if s is not None:
+            return Suggestion(
+                attrs=s,
+                strategy=SuggestionStrategy.SEMANTIC,
+                rationale="validating these guarantees a certain fix for any correct values",
+            )
+        # fall through when no set certifies under the chosen mode
+
+    if missing_mandatory:
+        return Suggestion(
+            attrs=missing_mandatory,
+            strategy=SuggestionStrategy.CORE_FIRST,
+            rationale="no editing rule can fix these attributes; they must be validated",
+        )
+    s = _minimal_optimistic_set(values, validated, ruleset, costs)
+    return Suggestion(
+        attrs=s,
+        strategy=SuggestionStrategy.CORE_FIRST,
+        rationale="minimal set whose validation lets the rules reach every attribute",
+    )

@@ -1,0 +1,127 @@
+"""Simulated users for the data monitor.
+
+The demo interacts with booth visitors; the reproduction interacts with
+*user models*. Each model answers one question — given a suggestion and
+the session state, which attributes does the user validate, with which
+values? The models consult a ground-truth tuple (our stand-in for the
+human who knows the real entity), which is exactly what lets the
+benchmarks measure the paper's user/auto split and the headline
+"no new errors" guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping
+
+from repro.errors import ValidationError
+from repro.monitor.session import MonitorSession
+from repro.monitor.suggest import Suggestion
+
+
+class User:
+    """Base class: a participant who can validate attributes."""
+
+    def respond(self, suggestion: Suggestion, session: MonitorSession) -> Mapping[str, Any]:
+        """Attributes -> correct values the user validates this round.
+
+        Returning an empty mapping means "nothing more to offer"; the
+        session loop stops (the tuple stays without a certain fix).
+        """
+        raise NotImplementedError
+
+
+class OracleUser(User):
+    """Knows the ground truth; validates exactly what is suggested."""
+
+    def __init__(self, truth: Mapping[str, Any]):
+        self.truth = dict(truth)
+
+    def respond(self, suggestion: Suggestion, session: MonitorSession) -> Mapping[str, Any]:
+        return {a: self.truth[a] for a in suggestion.attrs if a in self.truth}
+
+
+class CautiousUser(User):
+    """Validates at most ``max_per_round`` suggested attributes per round —
+    stretches sessions over more rounds, exercising re-suggestion."""
+
+    def __init__(self, truth: Mapping[str, Any], max_per_round: int = 1):
+        if max_per_round < 1:
+            raise ValidationError("max_per_round must be >= 1")
+        self.truth = dict(truth)
+        self.max_per_round = max_per_round
+
+    def respond(self, suggestion: Suggestion, session: MonitorSession) -> Mapping[str, Any]:
+        picked = [a for a in suggestion.attrs if a in self.truth][: self.max_per_round]
+        return {a: self.truth[a] for a in picked}
+
+
+class SelectiveUser(User):
+    """Only knows some attributes (paper step (2): "the users may respond
+    with a set t[S] of attributes … where S may not be any of the certain
+    regions"). Ignores suggestions it cannot answer and volunteers a known
+    attribute instead."""
+
+    def __init__(self, truth: Mapping[str, Any], known: set[str]):
+        self.truth = dict(truth)
+        self.known = set(known)
+
+    def respond(self, suggestion: Suggestion, session: MonitorSession) -> Mapping[str, Any]:
+        answerable = [a for a in suggestion.attrs if a in self.known]
+        if answerable:
+            return {a: self.truth[a] for a in answerable}
+        fallback = [
+            a for a in session.schema.names
+            if a in self.known and a not in session.validated
+        ]
+        if fallback:
+            return {fallback[0]: self.truth[fallback[0]]}
+        return {}
+
+
+class ScriptedUser(User):
+    """Replays a fixed script of validations — deterministic walkthroughs
+    such as the Fig. 3 demonstration."""
+
+    def __init__(self, script: list[Mapping[str, Any]]):
+        self.script = [dict(step) for step in script]
+        self._cursor = 0
+
+    def respond(self, suggestion: Suggestion, session: MonitorSession) -> Mapping[str, Any]:
+        if self._cursor >= len(self.script):
+            return {}
+        step = self.script[self._cursor]
+        self._cursor += 1
+        return step
+
+
+class NoisyOracleUser(User):
+    """An oracle that is wrong with probability ``error_rate`` per cell.
+
+    Violates the certain-fix contract on purpose — used by negative tests
+    and diagnostics benches to show that conflicts are *detected* (the
+    chase reports a witness) rather than silently propagated.
+    """
+
+    def __init__(
+        self,
+        truth: Mapping[str, Any],
+        error_rate: float,
+        rng: random.Random | None = None,
+    ):
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValidationError(f"error_rate must be in [0, 1], got {error_rate}")
+        self.truth = dict(truth)
+        self.error_rate = error_rate
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def respond(self, suggestion: Suggestion, session: MonitorSession) -> Mapping[str, Any]:
+        out = {}
+        for attr in suggestion.attrs:
+            if attr not in self.truth:
+                continue
+            value = self.truth[attr]
+            if self.rng.random() < self.error_rate:
+                value = f"{value}!wrong"
+            out[attr] = value
+        return out

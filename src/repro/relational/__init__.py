@@ -1,0 +1,40 @@
+"""A small in-memory relational substrate.
+
+CerFix is described in the demo paper as sitting on top of a JDBC data
+connection; this subpackage is the equivalent substrate for the
+reproduction: named schemas, immutable rows, relations with lazy hash
+indexes, value normalisers (for MD-style approximate matching) and CSV /
+JSON-lines I/O. It is deliberately tiny but real — every higher layer
+(master data manager, rule engine, monitor) goes through it.
+"""
+
+from repro.relational.schema import Attribute, Schema
+from repro.relational.row import Row
+from repro.relational.relation import Relation
+from repro.relational.index import HashIndex
+from repro.relational.normalize import (
+    NORMALIZERS,
+    normalize_value,
+    register_normalizer,
+)
+from repro.relational.csvio import (
+    read_csv,
+    write_csv,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Row",
+    "Relation",
+    "HashIndex",
+    "NORMALIZERS",
+    "normalize_value",
+    "register_normalizer",
+    "read_csv",
+    "write_csv",
+    "read_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,92 @@
+"""Value normalisers for approximate matching.
+
+Editing rules derived from matching dependencies (MDs) compare values with
+similarity operators rather than strict equality. This reproduction keeps
+the operator set small and deterministic: every operator is a *normaliser*
+``f`` such that two values match iff ``f(u) == f(v)``. That makes
+approximate matching hash-joinable (the master data manager indexes the
+normalised key), which is what keeps point-of-entry lookups O(1).
+
+Built-in normalisers:
+
+``exact``
+    identity — plain equality.
+``casefold``
+    case-insensitive comparison of strings.
+``digits``
+    keep decimal digits only — phone numbers written ``0791 724 85`` and
+    ``079172485`` match.
+``alnum``
+    casefolded alphanumerics only — postcodes ``EH8 4AH`` / ``eh84ah``
+    match, street strings survive punctuation differences.
+``collapse_spaces``
+    casefold + runs of whitespace collapsed to one space.
+
+New operators can be registered with :func:`register_normalizer`; names are
+referenced from the textual rule syntax (``phn ~digits~ Mphn``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ValidationError
+
+Normalizer = Callable[[Any], Any]
+
+
+def _exact(value: Any) -> Any:
+    return value
+
+
+def _casefold(value: Any) -> Any:
+    return value.casefold() if isinstance(value, str) else value
+
+
+def _digits(value: Any) -> Any:
+    if isinstance(value, str):
+        return "".join(ch for ch in value if ch.isdigit())
+    return value
+
+
+def _alnum(value: Any) -> Any:
+    if isinstance(value, str):
+        return "".join(ch for ch in value.casefold() if ch.isalnum())
+    return value
+
+
+def _collapse_spaces(value: Any) -> Any:
+    if isinstance(value, str):
+        return " ".join(value.casefold().split())
+    return value
+
+
+#: Registry of named normalisers. Treat as read-only; add entries through
+#: :func:`register_normalizer`.
+NORMALIZERS: dict[str, Normalizer] = {
+    "exact": _exact,
+    "casefold": _casefold,
+    "digits": _digits,
+    "alnum": _alnum,
+    "collapse_spaces": _collapse_spaces,
+}
+
+
+def normalize_value(value: Any, op: str = "exact") -> Any:
+    """Apply the normaliser named ``op`` to ``value``."""
+    try:
+        fn = NORMALIZERS[op]
+    except KeyError:
+        raise ValidationError(f"unknown match operator {op!r} (known: {sorted(NORMALIZERS)})") from None
+    return fn(value)
+
+
+def register_normalizer(name: str, fn: Normalizer) -> None:
+    """Register a custom normaliser under ``name``.
+
+    Raises :class:`~repro.errors.ValidationError` if the name is taken, so
+    scenario packages cannot silently shadow each other.
+    """
+    if name in NORMALIZERS:
+        raise ValidationError(f"normalizer {name!r} already registered")
+    NORMALIZERS[name] = fn

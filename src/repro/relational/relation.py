@@ -1,0 +1,180 @@
+"""Relations: schema-typed collections of rows with lazy hash indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import RelationError
+from repro.relational.index import HashIndex
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+
+
+class Relation:
+    """An in-memory relation.
+
+    Rows are stored as plain value tuples (compact for large master data);
+    :meth:`rows` yields :class:`Row` views on demand. Hash indexes are
+    built lazily per (attribute list, operator list) and invalidated on
+    mutation, so callers never see a stale index.
+
+    >>> s = Schema("r", ["a", "b"])
+    >>> rel = Relation(s, [(1, "x"), (2, "y")])
+    >>> rel.lookup(("a",), (2,))[0]["b"]
+    'y'
+    """
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[Any] | Row | Mapping[str, Any]] = ()):
+        self.schema = schema
+        self._tuples: list[tuple] = []
+        self._indexes: dict[tuple, HashIndex] = {}
+        self.extend(rows)
+
+    # -- mutation --------------------------------------------------------
+
+    def append(self, row: Sequence[Any] | Row | Mapping[str, Any]) -> int:
+        """Add one row; returns its position. Invalidates indexes."""
+        values = self._coerce(row)
+        self._tuples.append(values)
+        self._indexes.clear()
+        return len(self._tuples) - 1
+
+    def extend(self, rows: Iterable[Sequence[Any] | Row | Mapping[str, Any]]) -> None:
+        """Add many rows. Invalidates indexes once."""
+        coerced = [self._coerce(r) for r in rows]
+        if coerced:
+            self._tuples.extend(coerced)
+            self._indexes.clear()
+
+    def update_cell(self, position: int, attr: str, value: Any) -> None:
+        """Replace one cell in place. Invalidates indexes."""
+        pos = self.schema.position(attr)
+        try:
+            old = self._tuples[position]
+        except IndexError:
+            raise RelationError(f"relation {self.schema.name!r} has no row {position}") from None
+        self._tuples[position] = old[:pos] + (value,) + old[pos + 1 :]
+        self._indexes.clear()
+
+    def delete_rows(self, positions: Iterable[int]) -> None:
+        """Remove rows by position. Invalidates indexes.
+
+        Positions of the remaining rows shift down, so any stored row
+        references (e.g. audit provenance) refer to the relation version
+        at the time they were recorded — snapshot semantics.
+        """
+        drop = set(positions)
+        bad = [p for p in drop if not 0 <= p < len(self._tuples)]
+        if bad:
+            raise RelationError(f"relation {self.schema.name!r} has no rows {sorted(bad)}")
+        if not drop:
+            return
+        self._tuples = [t for i, t in enumerate(self._tuples) if i not in drop]
+        self._indexes.clear()
+
+    def _coerce(self, row: Sequence[Any] | Row | Mapping[str, Any]) -> tuple:
+        if isinstance(row, Row):
+            if row.schema != self.schema:
+                raise RelationError(
+                    f"row of schema {row.schema.name!r} cannot join relation {self.schema.name!r}"
+                )
+            return row.values
+        if isinstance(row, Mapping):
+            return Row.from_dict(self.schema, row).values
+        values = tuple(row)
+        if len(values) != len(self.schema):
+            raise RelationError(
+                f"row arity {len(values)} does not match schema {self.schema.name!r} arity {len(self.schema)}"
+            )
+        return values
+
+    # -- access ----------------------------------------------------------
+
+    def row(self, position: int) -> Row:
+        """The :class:`Row` at ``position``."""
+        try:
+            return Row(self.schema, self._tuples[position])
+        except IndexError:
+            raise RelationError(f"relation {self.schema.name!r} has no row {position}") from None
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate rows as :class:`Row` views."""
+        for values in self._tuples:
+            yield Row(self.schema, values)
+
+    def tuples(self) -> list[tuple]:
+        """The raw value tuples (a shallow copy; mutation-safe)."""
+        return list(self._tuples)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one attribute, in row order."""
+        pos = self.schema.position(name)
+        return [t[pos] for t in self._tuples]
+
+    def active_domain(self, name: str) -> set:
+        """The set of distinct values of one attribute."""
+        return set(self.column(name))
+
+    def project(self, names: Sequence[str], name: str | None = None) -> "Relation":
+        """A new relation with just ``names`` (duplicates kept)."""
+        schema = self.schema.project(names, name)
+        positions = [self.schema.position(n) for n in names]
+        return Relation(schema, [tuple(t[p] for p in positions) for t in self._tuples])
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """A new relation with the rows satisfying ``predicate``."""
+        return Relation(self.schema, [t for t in self._tuples if predicate(Row(self.schema, t))])
+
+    # -- indexing --------------------------------------------------------
+
+    def index_on(self, attrs: Sequence[str], ops: Sequence[str] | None = None) -> HashIndex:
+        """Return (building lazily) the hash index on ``attrs`` / ``ops``."""
+        attrs = self.schema.require(attrs)
+        ops = tuple(ops) if ops is not None else ("exact",) * len(attrs)
+        key = (attrs, ops)
+        index = self._indexes.get(key)
+        if index is None:
+            positions = [self.schema.position(a) for a in attrs]
+            index = HashIndex(attrs, ops).build(
+                tuple(t[p] for p in positions) for t in self._tuples
+            )
+            self._indexes[key] = index
+        return index
+
+    def lookup(
+        self,
+        attrs: Sequence[str],
+        values: Sequence[Any],
+        ops: Sequence[str] | None = None,
+    ) -> list[Row]:
+        """Rows matching ``values`` on ``attrs`` under the given operators."""
+        index = self.index_on(attrs, ops)
+        return [self.row(pos) for pos in index.lookup(values)]
+
+    def scan_lookup(
+        self,
+        attrs: Sequence[str],
+        values: Sequence[Any],
+        ops: Sequence[str] | None = None,
+    ) -> list[Row]:
+        """Index-free equivalent of :meth:`lookup` (for the index ablation)."""
+        attrs = self.schema.require(attrs)
+        probe = HashIndex(attrs, ops)  # reused only for key normalisation
+        target = probe.key_of(values)
+        positions = [self.schema.position(a) for a in attrs]
+        out = []
+        for i, t in enumerate(self._tuples):
+            if probe.key_of(tuple(t[p] for p in positions)) == target:
+                out.append(self.row(i))
+        return out
+
+    # -- dunder ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name!r}, {len(self)} rows)"

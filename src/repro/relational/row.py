@@ -1,0 +1,88 @@
+"""Immutable rows bound to a schema."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import RelationError
+from repro.relational.schema import Schema
+
+
+class Row:
+    """An immutable tuple of values typed by a :class:`Schema`.
+
+    Rows support name-based access (``row["zip"]``), dict conversion, and
+    functional update (:meth:`with_values`). They hash and compare by
+    (schema name, values) so they can be set members.
+
+    >>> s = Schema("r", ["a", "b"])
+    >>> r = Row(s, [1, 2])
+    >>> r["b"]
+    2
+    >>> r.with_values({"a": 9}).values
+    (9, 2)
+    """
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: Schema, values: Iterable[Any]):
+        values = tuple(values)
+        if len(values) != len(schema):
+            raise RelationError(
+                f"row arity {len(values)} does not match schema {schema.name!r} arity {len(schema)}"
+            )
+        self.schema = schema
+        self.values = values
+
+    @classmethod
+    def from_dict(cls, schema: Schema, mapping: Mapping[str, Any]) -> "Row":
+        """Build a row from a name→value mapping; every attribute required."""
+        missing = [n for n in schema.names if n not in mapping]
+        if missing:
+            raise RelationError(f"row for schema {schema.name!r} missing attributes {missing}")
+        return cls(schema, [mapping[n] for n in schema.names])
+
+    def __getitem__(self, key: str | int) -> Any:
+        if isinstance(key, int):
+            return self.values[key]
+        return self.values[self.schema.position(key)]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Name-based access with a default for unknown attributes."""
+        if key not in self.schema:
+            return default
+        return self[key]
+
+    def to_dict(self) -> dict[str, Any]:
+        """The row as an ordered name→value dict (a fresh copy)."""
+        return dict(zip(self.schema.names, self.values))
+
+    def project(self, names: Iterable[str]) -> tuple[Any, ...]:
+        """The values of ``names``, in the order given."""
+        return tuple(self[n] for n in names)
+
+    def with_values(self, updates: Mapping[str, Any]) -> "Row":
+        """A new row with some attributes replaced."""
+        self.schema.require(updates.keys())
+        vals = list(self.values)
+        for name, value in updates.items():
+            vals[self.schema.position(name)] = value
+        return Row(self.schema, vals)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.schema.name == other.schema.name and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash((self.schema.name, self.values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v!r}" for n, v in zip(self.schema.names, self.values))
+        return f"Row({self.schema.name}: {inner})"

@@ -1,0 +1,131 @@
+"""Schemas: ordered, named attribute lists.
+
+A :class:`Schema` is the static type of both input tuples and master data.
+Attribute order matters (it is the CSV column order and the display order),
+but all lookups are by name. Schemas are immutable; derived schemas are
+built with :meth:`Schema.project` / :meth:`Schema.extend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+#: Attribute data types understood by the substrate. Everything is stored
+#: as Python objects; ``dtype`` is used for CSV parsing and generator
+#: metadata, not enforced at runtime (dirty data is the point of CerFix).
+DTYPES = ("str", "int")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column.
+
+    ``description`` is free-form documentation surfaced by the explorer
+    (``cerfix rules``/``cerfix demo`` print it next to the column name).
+    """
+
+    name: str
+    dtype: str = "str"
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+        if self.dtype not in DTYPES:
+            raise SchemaError(f"attribute {self.name!r}: unknown dtype {self.dtype!r} (expected one of {DTYPES})")
+
+
+class Schema:
+    """An ordered collection of uniquely-named attributes.
+
+    >>> s = Schema("person", ["FN", "LN", "zip"])
+    >>> s.names
+    ('FN', 'LN', 'zip')
+    >>> s.position("LN")
+    1
+    >>> "zip" in s
+    True
+    """
+
+    __slots__ = ("name", "attributes", "_positions")
+
+    def __init__(self, name: str, attributes: Iterable[Attribute | str]):
+        if not name:
+            raise SchemaError("schema name must be non-empty")
+        attrs = tuple(a if isinstance(a, Attribute) else Attribute(a) for a in attributes)
+        if not attrs:
+            raise SchemaError(f"schema {name!r} must have at least one attribute")
+        positions: dict[str, int] = {}
+        for i, attr in enumerate(attrs):
+            if attr.name in positions:
+                raise SchemaError(f"schema {name!r}: duplicate attribute {attr.name!r}")
+            positions[attr.name] = i
+        self.name = name
+        self.attributes = attrs
+        self._positions = positions
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names, in schema order."""
+        return tuple(a.name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the :class:`Attribute` called ``name``."""
+        return self.attributes[self.position(name)]
+
+    def position(self, name: str) -> int:
+        """Return the 0-based column position of ``name``."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no attribute {name!r} (has {self.names})") from None
+
+    def require(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Check that every name exists; return them as a tuple.
+
+        This is the single place rule/pattern constructors validate their
+        attribute references, so error messages are uniform.
+        """
+        names = tuple(names)
+        for n in names:
+            self.position(n)
+        return names
+
+    # -- derivation ------------------------------------------------------
+
+    def project(self, names: Iterable[str], name: str | None = None) -> "Schema":
+        """A new schema with just ``names`` (in the order given)."""
+        names = self.require(names)
+        return Schema(name or f"{self.name}[{','.join(names)}]", [self.attribute(n) for n in names])
+
+    def extend(self, attributes: Iterable[Attribute | str], name: str | None = None) -> "Schema":
+        """A new schema with extra attributes appended."""
+        extra = tuple(a if isinstance(a, Attribute) else Attribute(a) for a in attributes)
+        return Schema(name or self.name, self.attributes + extra)
+
+    # -- dunder ----------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._positions
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name!r}, {list(self.names)!r})"

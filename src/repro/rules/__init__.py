@@ -1,0 +1,32 @@
+"""Rule specification front ends.
+
+Editing rules "can be either explicitly specified by the users, or
+derived from integrity constraints, e.g., cfds and matching dependencies"
+(paper §2). This subpackage provides both paths: a textual syntax with a
+parser (manual specification, what the demo's rule manager imports) and
+derivation from CFDs / MDs.
+"""
+
+from repro.rules.parser import parse_rule, parse_rules, parse_pattern
+from repro.rules.cfd import CFD, CFDViolation, find_violations, satisfies
+from repro.rules.md import MatchingDependency, MDMatch
+from repro.rules.derive import (
+    editing_rules_from_cfd,
+    editing_rules_from_cfds,
+    editing_rules_from_md,
+)
+
+__all__ = [
+    "parse_rule",
+    "parse_rules",
+    "parse_pattern",
+    "CFD",
+    "CFDViolation",
+    "find_violations",
+    "satisfies",
+    "MatchingDependency",
+    "MDMatch",
+    "editing_rules_from_cfd",
+    "editing_rules_from_cfds",
+    "editing_rules_from_md",
+]

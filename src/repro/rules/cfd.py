@@ -1,0 +1,147 @@
+"""Conditional functional dependencies (CFDs).
+
+The paper's Example 1 uses CFDs (ψ1: AC=020 → city=Ldn) to motivate
+editing rules: CFDs *detect* errors but cannot say which attribute is
+wrong. We implement them for three jobs: violation detection, the
+heuristic-repair baseline (:mod:`repro.baselines.cfd_repair`), and rule
+derivation (:mod:`repro.rules.derive`).
+
+A CFD is ``(X → B, Tp)`` with a pattern tableau over ``X ∪ {B}``; each
+tableau row constrains ``X`` with constants/wildcards and ``B`` with a
+constant (a *constant* row) or a wildcard (a *variable* row, plain FD
+semantics on the rows matching the ``X`` pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import RuleError
+from repro.core.pattern import Condition, Eq, PatternTuple, WILDCARD, Wildcard
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class CFDRow:
+    """One tableau row: an X-pattern plus the B condition."""
+
+    lhs: PatternTuple
+    rhs: Condition
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self.rhs, Eq)
+
+
+@dataclass(frozen=True)
+class CFD:
+    """``(lhs → rhs, tableau)``.
+
+    >>> psi1 = CFD("psi1", ("AC",), "city",
+    ...            (CFDRow(PatternTuple({"AC": Eq("020")}), Eq("Ldn")),))
+    """
+
+    cfd_id: str
+    lhs: tuple[str, ...]
+    rhs: str
+    tableau: tuple[CFDRow, ...]
+
+    def __post_init__(self):
+        if not self.lhs and not all(r.is_constant for r in self.tableau):
+            raise RuleError(f"CFD {self.cfd_id}: variable rows need a non-empty LHS")
+        if self.rhs in self.lhs:
+            raise RuleError(f"CFD {self.cfd_id}: RHS {self.rhs!r} cannot appear in the LHS")
+        for row in self.tableau:
+            bad = [a for a in row.lhs.attrs if a not in self.lhs]
+            if bad:
+                raise RuleError(f"CFD {self.cfd_id}: tableau constrains non-LHS attributes {bad}")
+        if not self.tableau:
+            raise RuleError(f"CFD {self.cfd_id}: empty tableau")
+
+    def validate(self, schema: Schema) -> None:
+        schema.require(self.lhs + (self.rhs,))
+
+    def render(self) -> str:
+        rows = []
+        for row in self.tableau:
+            lhs = ", ".join(f"{a}{row.lhs.condition(a).render()}" for a in self.lhs) or "()"
+            rows.append(f"({lhs} || {self.rhs}{row.rhs.render()})")
+        return f"{self.cfd_id}: [{', '.join(self.lhs)}] -> {self.rhs} ; {'; '.join(rows)}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class CFDViolation:
+    """A witness that a relation violates a CFD.
+
+    Constant-row violations involve one tuple (``positions`` has one
+    element); variable-row violations involve a pair agreeing on the LHS
+    but differing on the RHS.
+    """
+
+    cfd_id: str
+    row_index: int  # which tableau row
+    positions: tuple[int, ...]
+    attr: str
+    observed: tuple
+
+    def describe(self) -> str:
+        kind = "constant" if len(self.positions) == 1 else "variable"
+        return (
+            f"{self.cfd_id}[{self.row_index}] ({kind}): tuples {list(self.positions)} "
+            f"have {self.attr} = {list(self.observed)!r}"
+        )
+
+
+def find_violations(cfd: CFD, relation: Relation) -> list[CFDViolation]:
+    """All violations of ``cfd`` in ``relation``.
+
+    Constant rows are checked per tuple; variable rows group tuples by
+    their LHS values (hash-based, so this is O(n) per row) and report one
+    violation per offending pair of distinct RHS values.
+    """
+    cfd.validate(relation.schema)
+    out: list[CFDViolation] = []
+    for row_index, row in enumerate(cfd.tableau):
+        if row.is_constant:
+            for pos, rel_row in enumerate(relation.rows()):
+                if row.lhs.matches(rel_row.to_dict()) and not row.rhs.matches(rel_row[cfd.rhs]):
+                    out.append(
+                        CFDViolation(
+                            cfd.cfd_id, row_index, (pos,), cfd.rhs, (rel_row[cfd.rhs],)
+                        )
+                    )
+            continue
+        groups: dict[tuple, list[int]] = {}
+        for pos, rel_row in enumerate(relation.rows()):
+            values = rel_row.to_dict()
+            if not row.lhs.matches(values):
+                continue
+            if not row.rhs.matches(values[cfd.rhs]):
+                continue  # rhs condition (e.g. NotIn) scopes the row
+            groups.setdefault(rel_row.project(cfd.lhs), []).append(pos)
+        for key, positions in groups.items():
+            rhs_values: dict = {}
+            for pos in positions:
+                rhs_values.setdefault(relation.row(pos)[cfd.rhs], pos)
+            if len(rhs_values) > 1:
+                items = sorted(rhs_values.items(), key=lambda kv: kv[1])
+                out.append(
+                    CFDViolation(
+                        cfd.cfd_id,
+                        row_index,
+                        tuple(pos for _, pos in items),
+                        cfd.rhs,
+                        tuple(v for v, _ in items),
+                    )
+                )
+    return out
+
+
+def satisfies(cfds: Iterable[CFD], relation: Relation) -> bool:
+    """True iff the relation satisfies every CFD."""
+    return all(not find_violations(cfd, relation) for cfd in cfds)

@@ -1,0 +1,99 @@
+"""Deriving editing rules from CFDs and MDs (paper §2, Rule engine).
+
+"Editing rules can be … derived from integrity constraints, e.g., cfds
+and matching dependencies, for which discovery algorithms are already in
+place."  The translations follow §2.2 of the companion paper [7]:
+
+* a **constant** CFD row ``(tp[X] → B = b)`` becomes a constant-sourced
+  rule: if ``t`` matches the (validated) pattern, ``t[B] := b``;
+* a **variable** CFD row over relation R, with a master copy of R,
+  becomes a master-sourced rule matching on the row's wildcard LHS
+  attributes and constraining the constant ones in the pattern (both
+  sides: the constant must hold of ``t`` via the pattern and of ``s`` via
+  the match key);
+* an **MD** with the second relation played by master data becomes one
+  master-sourced rule per identified pair, carrying the MD's similarity
+  operators as match operators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.pattern import Eq, PatternTuple
+from repro.core.rule import Constant, EditingRule, MasterColumn, MatchPair
+from repro.rules.cfd import CFD
+from repro.rules.md import MatchingDependency
+
+
+def editing_rules_from_cfd(cfd: CFD) -> list[EditingRule]:
+    """Translate one CFD into editing rules, one per tableau row.
+
+    Rule ids are ``<cfd_id>.<row>``. Variable rows assume the master
+    relation shares the input schema's attribute names for ``lhs`` and
+    ``rhs`` (a "master copy", as in [7]); validate the resulting rules
+    against your actual master schema via :class:`~repro.core.ruleset.RuleSet`.
+    """
+    rules: list[EditingRule] = []
+    for i, row in enumerate(cfd.tableau):
+        rule_id = f"{cfd.cfd_id}.{i}"
+        if row.is_constant:
+            assert isinstance(row.rhs, Eq)
+            rules.append(
+                EditingRule(
+                    rule_id=rule_id,
+                    match=(),
+                    target=cfd.rhs,
+                    source=Constant(row.rhs.value),
+                    pattern=row.lhs,
+                    description=f"derived from constant CFD row {cfd.render()}",
+                )
+            )
+            continue
+        match = tuple(MatchPair(a, a) for a in cfd.lhs)
+        rules.append(
+            EditingRule(
+                rule_id=rule_id,
+                match=match,
+                target=cfd.rhs,
+                source=MasterColumn(cfd.rhs),
+                pattern=row.lhs,
+                description=f"derived from variable CFD row {cfd.render()}",
+            )
+        )
+    return rules
+
+
+def editing_rules_from_cfds(cfds: Iterable[CFD]) -> list[EditingRule]:
+    """Translate a CFD collection; rule ids stay unique per CFD id/row."""
+    out: list[EditingRule] = []
+    for cfd in cfds:
+        out.extend(editing_rules_from_cfd(cfd))
+    return out
+
+
+def editing_rules_from_md(md: MatchingDependency) -> list[EditingRule]:
+    """Translate an MD (second relation = master) into editing rules.
+
+    One rule per identified pair ``(Y1, Y2)``: match on the MD's clauses
+    with their similarity operators, fix ``Y1`` from master ``Y2``. Ids
+    are ``<md_id>.<Y1>`` (suffixed when one input attribute is
+    identified with several master columns).
+    """
+    match = tuple(MatchPair(m.attr1, m.attr2, m.op) for m in md.lhs)
+    seen: dict[str, int] = {}
+    rules = []
+    for y1, y2 in md.identify:
+        seen[y1] = seen.get(y1, 0) + 1
+        suffix = "" if seen[y1] == 1 else f".{seen[y1]}"
+        rules.append(
+            EditingRule(
+                rule_id=f"{md.md_id}.{y1}{suffix}",
+                match=match,
+                target=y1,
+                source=MasterColumn(y2),
+                pattern=PatternTuple(),
+                description=f"derived from MD {md.render()}",
+            )
+        )
+    return rules

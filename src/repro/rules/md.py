@@ -1,0 +1,62 @@
+"""Matching dependencies (MDs).
+
+An MD ``R1[X1] ≈ R2[X2] → R1[Y1] ⇌ R2[Y2]`` says: if two tuples match on
+``X1/X2`` under similarity operators, their ``Y1/Y2`` attributes identify
+the same real-world value. With ``R2`` a master relation this yields an
+editing rule directly (Fan et al., "Reasoning about record matching
+rules", PVLDB 2009 — reference [6] of the demo): fix ``Y1`` from the
+master's ``Y2``. Similarity operators are our normalisers
+(:mod:`repro.relational.normalize`), which keeps matching hash-joinable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuleError
+from repro.relational.normalize import NORMALIZERS
+from repro.relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class MDMatch:
+    """One similarity clause ``R1[attr1] ≈op R2[attr2]``."""
+
+    attr1: str
+    attr2: str
+    op: str = "exact"
+
+    def __post_init__(self):
+        if self.op not in NORMALIZERS:
+            raise RuleError(f"MD match {self.attr1}≈{self.attr2}: unknown operator {self.op!r}")
+
+    def render(self) -> str:
+        sim = "=" if self.op == "exact" else f"≈{self.op}"
+        return f"{self.attr1} {sim} {self.attr2}"
+
+
+@dataclass(frozen=True)
+class MatchingDependency:
+    """``lhs → identify``: matching clauses imply identified pairs."""
+
+    md_id: str
+    lhs: tuple[MDMatch, ...]
+    identify: tuple[tuple[str, str], ...]  # (R1 attr, R2 attr) pairs
+
+    def __post_init__(self):
+        if not self.lhs:
+            raise RuleError(f"MD {self.md_id}: needs at least one matching clause")
+        if not self.identify:
+            raise RuleError(f"MD {self.md_id}: needs at least one identified pair")
+
+    def validate(self, schema1: Schema, schema2: Schema) -> None:
+        schema1.require([m.attr1 for m in self.lhs] + [a for a, _ in self.identify])
+        schema2.require([m.attr2 for m in self.lhs] + [b for _, b in self.identify])
+
+    def render(self) -> str:
+        lhs = " ∧ ".join(m.render() for m in self.lhs)
+        rhs = ", ".join(f"{a} ⇌ {b}" for a, b in self.identify)
+        return f"{self.md_id}: {lhs} -> {rhs}"
+
+    def __str__(self) -> str:
+        return self.render()

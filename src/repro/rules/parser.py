@@ -1,0 +1,157 @@
+"""Textual syntax for editing rules.
+
+The demo's web rule manager shows rules as rows like
+``(zip, zip) -> (AC, AC)`` with a pattern column; our equivalent is a
+line-oriented syntax that round-trips with
+:meth:`repro.core.rule.EditingRule.render`::
+
+    p1: (zip~alnum~zip) -> zip := master.zip
+    p4: (phn~digits~Mphn) -> FN := master.FN if (type=2)
+    p9: (AC=AC) -> city := master.city if (AC!=0800)
+    c1: () -> city := const 'Ldn' if (AC=020)
+
+Grammar (whitespace-insensitive)::
+
+    rule    := id ':' '(' matches? ')' '->' attr ':=' source ['if' pattern]
+    matches := match (',' match)*
+    match   := attr '=' mattr | attr '~' op '~' ['='] mattr
+    source  := 'master' '.' mattr | 'const' value
+    pattern := '(' cond (',' cond)* ')'
+    cond    := attr ('=' | '!=') value       # != accepts v1|v2|... (NotIn)
+
+Values may be single-quoted (required when they contain ``,`` ``)`` or
+``|``); bare values extend to the next delimiter and are stripped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.errors import ParseError
+from repro.core.pattern import Condition, Eq, NotIn, PatternTuple
+from repro.core.rule import Constant, EditingRule, MasterColumn, MatchPair
+
+_RULE_RE = re.compile(
+    r"""^\s*(?P<id>[\w.\-]+)\s*:\s*
+        \(\s*(?P<matches>[^)]*)\)\s*->\s*
+        (?P<target>\w+)\s*:=\s*
+        (?P<source>master\s*\.\s*\w+|const\s+.+?)\s*
+        (?:\bif\s*\((?P<pattern>.*)\)\s*)?$""",
+    re.VERBOSE,
+)
+
+#: ``a=ma`` (exact), ``a~op~ma`` (canonical render form) or ``a~op~=ma``.
+_MATCH_RE = re.compile(
+    r"^\s*(?P<t>\w+)\s*(?:~(?P<op>\w+)~\s*=?|=)\s*(?P<m>\w+)\s*$"
+)
+
+_COND_RE = re.compile(r"^\s*(?P<attr>\w+)\s*(?P<op>!?=)\s*(?P<value>.+?)\s*$")
+
+
+def _unquote(text: str) -> str:
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    return text
+
+
+def _split_top(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` outside single/double quotes."""
+    parts, buf, quote = [], [], None
+    for ch in text:
+        if quote:
+            buf.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            buf.append(ch)
+            continue
+        if ch == sep:
+            parts.append("".join(buf))
+            buf = []
+            continue
+        buf.append(ch)
+    parts.append("".join(buf))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def parse_condition(text: str) -> tuple[str, Condition]:
+    """Parse one pattern condition, e.g. ``type=2`` or ``AC!=0800``."""
+    m = _COND_RE.match(text)
+    if not m:
+        raise ParseError(text, "expected attr=value or attr!=value")
+    attr = m.group("attr")
+    raw = m.group("value")
+    if m.group("op") == "=":
+        return attr, Eq(_unquote(raw))
+    values = [_unquote(v) for v in _split_top(raw, "|")]
+    if not values:
+        raise ParseError(text, "empty value list after !=")
+    return attr, NotIn(values)
+
+
+def parse_pattern(text: str) -> PatternTuple:
+    """Parse a pattern body (the text between the parentheses)."""
+    text = text.strip()
+    if not text:
+        return PatternTuple()
+    conditions = {}
+    for part in _split_top(text, ","):
+        attr, cond = parse_condition(part)
+        if attr in conditions:
+            merged = conditions[attr].merge(cond)
+            if merged is None:
+                raise ParseError(text, f"contradictory conditions on {attr!r}")
+            conditions[attr] = merged
+        else:
+            conditions[attr] = cond
+    return PatternTuple(conditions)
+
+
+def parse_rule(text: str) -> EditingRule:
+    """Parse one editing rule line.
+
+    >>> r = parse_rule("p9: (AC=AC) -> city := master.city if (AC!=0800)")
+    >>> r.target, r.source.name
+    ('city', 'city')
+    """
+    m = _RULE_RE.match(text.strip())
+    if not m:
+        raise ParseError(text, "does not match rule grammar 'id: (matches) -> attr := source [if (pattern)]'")
+    matches = []
+    for part in _split_top(m.group("matches"), ","):
+        pm = _MATCH_RE.match(part)
+        if not pm:
+            raise ParseError(text, f"bad match clause {part!r}")
+        matches.append(MatchPair(pm.group("t"), pm.group("m"), pm.group("op") or "exact"))
+    source_text = m.group("source")
+    if source_text.startswith("master"):
+        source: MasterColumn | Constant = MasterColumn(source_text.split(".", 1)[1].strip())
+    else:
+        source = Constant(_unquote(source_text[len("const"):].strip()))
+    pattern = parse_pattern(m.group("pattern") or "")
+    return EditingRule(
+        rule_id=m.group("id"),
+        match=tuple(matches),
+        target=m.group("target"),
+        source=source,
+        pattern=pattern,
+    )
+
+
+def parse_rules(text: str | Iterable[str]) -> list[EditingRule]:
+    """Parse many rules: one per line, ``#`` comments and blanks ignored."""
+    lines = text.splitlines() if isinstance(text, str) else list(text)
+    rules = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        try:
+            rules.append(parse_rule(stripped))
+        except ParseError as exc:
+            raise ParseError(line, f"line {lineno}: {exc.reason}") from None
+    return rules

@@ -1,0 +1,12 @@
+"""Ready-made scenarios.
+
+``uk_customers`` is the paper's running example (Fig. 2/3, Examples 1–2);
+``hospital`` is a HOSP-shaped wide-schema scenario, the regime in which
+the paper's "20% user / 80% CerFix" average holds; ``publications`` is a
+DBLP-shaped citation scenario (the companion study's second dataset
+family) exercising fuzzy title keys and self-normalising rules.
+"""
+
+from repro.scenarios import hospital, publications, uk_customers
+
+__all__ = ["uk_customers", "hospital", "publications"]

@@ -1,0 +1,341 @@
+"""The paper's running example: UK customer transactions.
+
+Input tuples (Example 1): ``(FN, LN, AC, phn, type, str, city, zip,
+item)`` — a customer's name, phone (``type`` 1 = home, 2 = mobile),
+address and purchased item. Master tuples (Example 2 / Fig. 2):
+``(FN, LN, AC, Hphn, Mphn, str, city, zip, DOB, gender)``. The schemas
+differ, as the demo stresses.
+
+This module provides the paper's exact artefacts — master tuples, the
+nine editing rules ϕ1–ϕ9 of Fig. 2, the Example 1 / Fig. 3 input tuples,
+the CFDs ψ1/ψ2 — plus generators that scale the same shape to arbitrary
+sizes for the benchmarks.
+
+Reconstruction note (DESIGN.md, substitution 4): the second master tuple
+is only partially readable in the paper's screenshot; we reconstruct it
+consistently with the Fig. 3 walkthrough ('M.' normalised to 'Mark' by
+ϕ4 via mobile phone 075568485, area code 201, item DVD).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterator
+
+from repro.core.certainty import fresh
+from repro.core.pattern import Eq, Neq, PatternTuple
+from repro.core.rule import EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.datagen.inject import ErrorInjector, InjectionReport
+from repro.datagen.noise import (
+    abbreviate,
+    blank,
+    case_mangle,
+    digit_noise,
+    typo_drop,
+    typo_replace,
+    typo_swap,
+)
+from repro.datagen.pools import (
+    FIRST_NAMES,
+    ITEMS,
+    LAST_NAMES,
+    NICKNAMES,
+    STREET_NAMES,
+    TOLL_FREE_AC,
+    UK_REGIONS,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+INPUT_SCHEMA = Schema(
+    "customer",
+    [
+        Attribute("FN", "str", "first name"),
+        Attribute("LN", "str", "last name"),
+        Attribute("AC", "str", "area code"),
+        Attribute("phn", "str", "phone number (home or mobile, per type)"),
+        Attribute("type", "str", "1 = home phone, 2 = mobile phone"),
+        Attribute("str", "str", "street"),
+        Attribute("city", "str", "city"),
+        Attribute("zip", "str", "zip code"),
+        Attribute("item", "str", "item purchased"),
+    ],
+)
+
+MASTER_SCHEMA = Schema(
+    "person",
+    [
+        Attribute("FN", "str", "first name"),
+        Attribute("LN", "str", "last name"),
+        Attribute("AC", "str", "area code"),
+        Attribute("Hphn", "str", "home phone"),
+        Attribute("Mphn", "str", "mobile phone"),
+        Attribute("str", "str", "street"),
+        Attribute("city", "str", "city"),
+        Attribute("zip", "str", "zip code"),
+        Attribute("DOB", "str", "date of birth"),
+        Attribute("gender", "str", "gender"),
+    ],
+)
+
+# ---------------------------------------------------------------------------
+# The paper's editing rules (Fig. 2)
+# ---------------------------------------------------------------------------
+
+
+def paper_rules() -> list[EditingRule]:
+    """ϕ1–ϕ9 exactly as described in §3 of the paper.
+
+    Zip matching uses the ``alnum`` operator (case/spacing-insensitive),
+    which is what makes ϕ1's self-normalisation meaningful: a validated
+    but non-canonical zip ('eh8 4ah') is rewritten to the master form.
+    Phone matching uses ``digits`` (formatting-insensitive).
+    """
+    zip_match = (MatchPair("zip", "zip", "alnum"),)
+    mob_match = (MatchPair("phn", "Mphn", "digits"),)
+    home_match = (MatchPair("AC", "AC"), MatchPair("phn", "Hphn", "digits"))
+    mobile = PatternTuple({"type": Eq("2")})
+    home = PatternTuple({"type": Eq("1")})
+    return [
+        EditingRule("phi1", zip_match, "zip", MasterColumn("zip"),
+                    description="same zip (validated) -> canonical master zip"),
+        EditingRule("phi2", zip_match, "str", MasterColumn("str"),
+                    description="same zip (validated) -> master street"),
+        EditingRule("phi3", zip_match, "city", MasterColumn("city"),
+                    description="same zip (validated) -> master city"),
+        EditingRule("phi4", mob_match, "FN", MasterColumn("FN"), mobile,
+                    description="mobile phone match (type=2) -> master first name"),
+        EditingRule("phi5", mob_match, "LN", MasterColumn("LN"), mobile,
+                    description="mobile phone match (type=2) -> master last name"),
+        EditingRule("phi6", home_match, "str", MasterColumn("str"), home,
+                    description="(AC, home phone) match (type=1) -> master street"),
+        EditingRule("phi7", home_match, "city", MasterColumn("city"), home,
+                    description="(AC, home phone) match (type=1) -> master city"),
+        EditingRule("phi8", home_match, "zip", MasterColumn("zip"), home,
+                    description="(AC, home phone) match (type=1) -> master zip"),
+        EditingRule("phi9", (MatchPair("AC", "AC"),), "city", MasterColumn("city"),
+                    PatternTuple({"AC": Neq(TOLL_FREE_AC)}),
+                    description="AC match (AC != 0800) -> master city"),
+    ]
+
+
+def example2_rule() -> EditingRule:
+    """Example 2's ϕ1: ((zip, zip) → (AC, AC), tp = ()) — fixes the area
+    code from a validated zip. Not part of Fig. 2's nine rules."""
+    return EditingRule(
+        "phi10",
+        (MatchPair("zip", "zip", "alnum"),),
+        "AC",
+        MasterColumn("AC"),
+        description="Example 2: same zip (validated) -> master area code",
+    )
+
+
+def paper_ruleset(*, extended: bool = False) -> RuleSet:
+    """Fig. 2's ϕ1–ϕ9 as a validated rule set.
+
+    ``extended=True`` appends Example 2's zip→AC rule (used to reproduce
+    the Example 1 walkthrough, where validating zip corrects the AC).
+    """
+    rules = paper_rules()
+    if extended:
+        rules.append(example2_rule())
+    return RuleSet(rules, INPUT_SCHEMA, MASTER_SCHEMA)
+
+
+# ---------------------------------------------------------------------------
+# The paper's data
+# ---------------------------------------------------------------------------
+
+
+def paper_master() -> Relation:
+    """The two Fig. 2 master tuples (second reconstructed; see module doc)."""
+    return Relation(
+        MASTER_SCHEMA,
+        [
+            # Example 2's master tuple s.
+            ("Robert", "Brady", "131", "6884563", "079172485",
+             "501 Elm St", "Edi", "EH8 4AH", "11/11/55", "M"),
+            # Reconstructed second tuple behind the Fig. 3 walkthrough.
+            ("Mark", "Smith", "201", "7966899", "075568485",
+             "20 Baker St", "Dur", "DH1 3LE", "09/03/64", "M"),
+        ],
+    )
+
+
+def example1_tuple() -> dict[str, Any]:
+    """Example 1's input tuple t (dirty: AC should be 131)."""
+    return {
+        "FN": "Bob", "LN": "Brady", "AC": "020", "phn": "079172485",
+        "type": "2", "str": "501 Elm St", "city": "Edi", "zip": "EH8 4AH",
+        "item": "CD",
+    }
+
+
+def example1_truth() -> dict[str, Any]:
+    """The correct values behind Example 1 (AC=131; the customer is
+    Robert Brady entering his common short name)."""
+    return {
+        "FN": "Robert", "LN": "Brady", "AC": "131", "phn": "079172485",
+        "type": "2", "str": "501 Elm St", "city": "Edi", "zip": "EH8 4AH",
+        "item": "CD",
+    }
+
+
+def fig3_tuple() -> dict[str, Any]:
+    """The Fig. 3 walkthrough input: 'M.' for Mark, dirty address cells."""
+    return {
+        "FN": "M.", "LN": "Smyth", "AC": "201", "phn": "075568485",
+        "type": "2", "str": "21 Baker Street", "city": "Newcastle",
+        "zip": "dh1 3le", "item": "DVD",
+    }
+
+
+def fig3_truth() -> dict[str, Any]:
+    """Ground truth for the Fig. 3 tuple (entity = second master tuple)."""
+    return {
+        "FN": "Mark", "LN": "Smith", "AC": "201", "phn": "075568485",
+        "type": "2", "str": "20 Baker St", "city": "Dur", "zip": "DH1 3LE",
+        "item": "DVD",
+    }
+
+
+def paper_cfds():
+    """ψ1/ψ2 from Example 1 (and their siblings for every region), used by
+    the heuristic-repair baseline of experiment E4."""
+    from repro.rules.cfd import CFD, CFDRow
+
+    rows = tuple(
+        CFDRow(PatternTuple({"AC": Eq(r.ac)}), Eq(r.city)) for r in UK_REGIONS
+    )
+    return [CFD("psi_ac_city", ("AC",), "city", rows)]
+
+
+# ---------------------------------------------------------------------------
+# Scaled generation
+# ---------------------------------------------------------------------------
+
+
+def generate_master(n: int, seed: int = 0) -> Relation:
+    """``n`` internally-consistent master persons.
+
+    Mobile phones, (AC, home phone) pairs and zips are unique, so every
+    Fig. 2 rule decides a unique correction (no ambiguity warnings);
+    pass the result through :func:`repro.core.consistency.check_consistency`
+    to verify. Includes the two paper tuples first, so the paper
+    walkthroughs still run against generated master data.
+    """
+    rng = random.Random(seed)
+    relation = paper_master()
+    used_mob = set(relation.active_domain("Mphn"))
+    used_home = {(r["AC"], r["Hphn"]) for r in relation.rows()}
+    used_zip = set(relation.active_domain("zip"))
+    while len(relation) < n + 2:
+        region = rng.choice(UK_REGIONS)
+        fn = rng.choice(FIRST_NAMES)
+        ln = rng.choice(LAST_NAMES)
+        hphn = f"{rng.randrange(2_000_000, 9_999_999)}"
+        if (region.ac, hphn) in used_home:
+            continue
+        mphn = f"07{rng.randrange(100_000_000, 999_999_999)}"
+        if mphn in used_mob:
+            continue
+        district = rng.choice(region.districts)
+        zipc = f"{district} {rng.randrange(1, 9)}{rng.choice('ABCDEFGHJKLNPQRSTUWXYZ')}{rng.choice('ABCDEFGHJKLNPQRSTUWXYZ')}"
+        if zipc in used_zip:
+            continue
+        used_home.add((region.ac, hphn))
+        used_mob.add(mphn)
+        used_zip.add(zipc)
+        street = f"{rng.randrange(1, 300)} {rng.choice(STREET_NAMES)}"
+        dob = f"{rng.randrange(1, 29):02d}/{rng.randrange(1, 13):02d}/{rng.randrange(40, 99)}"
+        gender = rng.choice(("M", "F"))
+        relation.append(
+            (fn, ln, region.ac, hphn, mphn, street, region.city, zipc, dob, gender)
+        )
+    return relation
+
+
+def clean_inputs_from_master(
+    master: Relation, n: int, seed: int = 0
+) -> Relation:
+    """``n`` clean transactions by master persons (the ground truth)."""
+    rng = random.Random(seed)
+    relation = Relation(INPUT_SCHEMA)
+    rows = list(master.rows())
+    for _ in range(n):
+        s = rng.choice(rows)
+        phone_type = rng.choice(("1", "2"))
+        phn = s["Hphn"] if phone_type == "1" else s["Mphn"]
+        relation.append(
+            {
+                "FN": s["FN"], "LN": s["LN"], "AC": s["AC"], "phn": phn,
+                "type": phone_type, "str": s["str"], "city": s["city"],
+                "zip": s["zip"], "item": rng.choice(ITEMS),
+            }
+        )
+    return relation
+
+
+def _nickname(value: str, rng: random.Random) -> str:
+    """Swap a first name for its common short form (Robert -> Bob)."""
+    return NICKNAMES.get(value, value)
+
+
+def default_injector(rate: float = 0.2, seed: int = 0, **kwargs) -> ErrorInjector:
+    """The standard UK-workload error model.
+
+    Name cells get abbreviations/nicknames/typos, address cells get typos
+    and case errors, the AC gets digit errors and blanks — mirroring the
+    error classes the demo narrates. ``phn``, ``type`` and ``item`` stay
+    clean: they are the attributes the user must vouch for anyway.
+    """
+    ops = {
+        "FN": [("nickname", _nickname), ("abbreviate", abbreviate), ("typo_replace", typo_replace)],
+        "LN": [("typo_replace", typo_replace), ("typo_swap", typo_swap)],
+        "AC": [("digit_noise", digit_noise), ("blank", blank)],
+        "str": [("typo_drop", typo_drop), ("typo_replace", typo_replace), ("case_mangle", case_mangle)],
+        "city": [("typo_replace", typo_replace), ("case_mangle", case_mangle), ("blank", blank)],
+        "zip": [("case_mangle", case_mangle), ("typo_swap", typo_swap)],
+    }
+    return ErrorInjector(ops, rate=rate, seed=seed, **kwargs)
+
+
+def generate_workload(
+    master: Relation,
+    n: int,
+    *,
+    rate: float = 0.2,
+    seed: int = 0,
+    injector: ErrorInjector | None = None,
+) -> InjectionReport:
+    """Clean transactions + injected errors: (dirty, clean, errors)."""
+    clean = clean_inputs_from_master(master, n, seed=seed)
+    injector = injector if injector is not None else default_injector(rate=rate, seed=seed + 1)
+    return injector.inject(clean)
+
+
+def scenario_tuples(master: Relation) -> Callable[[], Iterator[dict[str, Any]]]:
+    """The SCENARIO-mode universe of correct tuples (DESIGN.md §1).
+
+    A correct customer tuple describes a master person: name, address and
+    AC from the master tuple, ``phn`` the home or mobile phone according
+    to ``type``, and ``item`` free (a fresh value — the chase never reads
+    it, and genericity makes one representative exact).
+    """
+
+    def generate() -> Iterator[dict[str, Any]]:
+        for s in master.rows():
+            for phone_type, phn_attr in (("1", "Hphn"), ("2", "Mphn")):
+                yield {
+                    "FN": s["FN"], "LN": s["LN"], "AC": s["AC"],
+                    "phn": s[phn_attr], "type": phone_type, "str": s["str"],
+                    "city": s["city"], "zip": s["zip"], "item": fresh("item"),
+                }
+
+    return generate

@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper scenario in various sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CerFix, CertaintyMode
+from repro.master import MasterDataManager
+from repro.scenarios import hospital, uk_customers as uk
+
+
+@pytest.fixture(scope="session")
+def paper_master():
+    return uk.paper_master()
+
+
+@pytest.fixture(scope="session")
+def paper_ruleset():
+    return uk.paper_ruleset()
+
+
+@pytest.fixture(scope="session")
+def extended_ruleset():
+    return uk.paper_ruleset(extended=True)
+
+
+@pytest.fixture(scope="session")
+def paper_manager(paper_master):
+    return MasterDataManager(paper_master)
+
+
+@pytest.fixture(scope="session")
+def uk_master_100():
+    return uk.generate_master(100, seed=11)
+
+
+@pytest.fixture(scope="session")
+def uk_workload(uk_master_100):
+    return uk.generate_workload(uk_master_100, 120, rate=0.25, seed=12)
+
+
+@pytest.fixture()
+def paper_engine(paper_ruleset, paper_master):
+    return CerFix(
+        paper_ruleset,
+        paper_master,
+        mode=CertaintyMode.SCENARIO,
+        scenario=uk.scenario_tuples(paper_master),
+    )
+
+
+@pytest.fixture(scope="session")
+def hospital_master():
+    return hospital.generate_master(40, seed=3)
+
+
+@pytest.fixture(scope="session")
+def hospital_ruleset():
+    return hospital.hospital_ruleset()

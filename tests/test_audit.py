@@ -1,0 +1,132 @@
+"""Unit tests for the data auditing module."""
+
+import pytest
+
+from repro.audit.events import ChangeEvent
+from repro.audit.log import AuditLog
+from repro.audit.stats import (
+    attribute_stats,
+    cell_provenance,
+    overall_stats,
+    tuple_trace,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def log():
+    """Two tuples: t0 has FN user-validated and city rule-fixed (changed);
+    t1 has FN rule-fixed ('M.' -> 'Mark') and a zip normalisation."""
+    log = AuditLog()
+    log.record("t0", "FN", "Bob", "Robert", "user", round_no=1)
+    log.record("t0", "city", "Ldn", "Edi", "rule", rule_id="phi9",
+               master_positions=(0,), round_no=1)
+    log.record("t1", "FN", "M.", "Mark", "rule", rule_id="phi4",
+               master_positions=(1,), round_no=1)
+    log.record("t1", "zip", "dh1 3le", "DH1 3LE", "normalize", rule_id="phi1",
+               master_positions=(1,), round_no=2)
+    log.record("t1", "item", "DVD", "DVD", "user", round_no=1)
+    return log
+
+
+class TestChangeEvent:
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValidationError):
+            ChangeEvent(0, "t", "a", "x", "y", "robot")
+
+    def test_changed_flag(self):
+        assert ChangeEvent(0, "t", "a", "x", "y", "user").changed
+        assert not ChangeEvent(0, "t", "a", "x", "x", "user").changed
+
+    def test_describe_confirmation(self):
+        e = ChangeEvent(0, "t", "a", "x", "x", "user")
+        assert "confirmed" in e.describe()
+
+    def test_describe_rule_fix(self):
+        e = ChangeEvent(0, "t", "a", "x", "y", "rule", rule_id="phi4", master_positions=(1,))
+        text = e.describe()
+        assert "phi4" in text and "master tuple(s) [1]" in text
+
+    def test_json_roundtrip(self):
+        e = ChangeEvent(3, "t", "a", "x", "y", "normalize", rule_id="r",
+                        master_positions=(1, 2), round_no=4)
+        assert ChangeEvent.from_json(e.to_json()) == e
+
+
+class TestAuditLog:
+    def test_sequence_numbers(self, log):
+        assert [e.seq for e in log] == [0, 1, 2, 3, 4]
+
+    def test_by_tuple(self, log):
+        assert len(log.by_tuple("t0")) == 2
+        assert log.by_tuple("nope") == []
+
+    def test_by_attr(self, log):
+        assert len(log.by_attr("FN")) == 2
+
+    def test_tuple_ids_first_seen_order(self, log):
+        assert log.tuple_ids() == ["t0", "t1"]
+
+    def test_len(self, log):
+        assert len(log) == 5
+
+    def test_jsonl_roundtrip(self, log, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log.to_jsonl(path)
+        back = AuditLog.from_jsonl(path)
+        assert back.events == log.events
+
+
+class TestStats:
+    def test_attribute_stats(self, log):
+        stats = {s.attr: s for s in attribute_stats(log)}
+        fn = stats["FN"]
+        assert fn.user_validations == 1
+        assert fn.rule_fixes == 1
+        assert fn.pct_user == 50.0 and fn.pct_auto == 50.0
+
+    def test_normalizations_tracked_separately(self, log):
+        stats = {s.attr: s for s in attribute_stats(log)}
+        z = stats["zip"]
+        assert z.normalizations == 1
+        assert z.validated_cells == 0  # normalisation is not a validation
+
+    def test_confirmations(self, log):
+        stats = {s.attr: s for s in attribute_stats(log)}
+        assert stats["item"].confirmations == 1
+
+    def test_explicit_attr_order(self, log):
+        stats = attribute_stats(log, attrs=["zip", "FN"])
+        assert [s.attr for s in stats] == ["zip", "FN"]
+
+    def test_overall(self, log):
+        o = overall_stats(log)
+        assert o.tuples == 2
+        assert o.user_cells == 2
+        assert o.auto_cells == 2
+        assert o.user_share == 0.5
+        assert o.normalizations == 1
+        assert o.value_changes == 4
+
+    def test_empty_log(self):
+        o = overall_stats(AuditLog())
+        assert o.user_share == 0.0 and o.auto_share == 0.0
+
+    def test_tuple_trace(self, log):
+        trace = tuple_trace(log, "t1")
+        assert len(trace) == 3
+        assert any("phi4" in line for line in trace)
+
+    def test_cell_provenance(self, log):
+        events = cell_provenance(log, "t1", "zip")
+        assert len(events) == 1
+        assert events[0].source == "normalize"
+
+    def test_first_validation_wins(self):
+        # a later user event on an already rule-fixed cell is not recounted
+        log = AuditLog()
+        log.record("t", "a", "x", "y", "rule", rule_id="r")
+        log.record("t", "a", "y", "y", "user")
+        stats = {s.attr: s for s in attribute_stats(log)}
+        assert stats["a"].rule_fixes == 1
+        assert stats["a"].user_validations == 0

@@ -1,0 +1,152 @@
+"""Unit tests for the heuristic-repair baseline and quality metrics."""
+
+import pytest
+
+from repro.baselines.cfd_repair import (
+    GreedyCFDRepair,
+    RepairStrategy,
+    _edit_distance,
+)
+from repro.baselines.quality import evaluate_repair
+from repro.core.pattern import Eq, PatternTuple, WILDCARD
+from repro.errors import ValidationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.rules.cfd import CFD, CFDRow, satisfies
+from repro.scenarios import uk_customers as uk
+
+SCHEMA = Schema("r", ["AC", "city", "zip"])
+
+
+def psi():
+    return CFD(
+        "psi",
+        ("AC",),
+        "city",
+        (
+            CFDRow(PatternTuple({"AC": Eq("020")}), Eq("Ldn")),
+            CFDRow(PatternTuple({"AC": Eq("131")}), Eq("Edi")),
+        ),
+    )
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [("", "", 0), ("a", "", 1), ("", "abc", 3), ("abc", "abc", 0),
+         ("abc", "abd", 1), ("abc", "acb", 2), ("kitten", "sitting", 3)],
+    )
+    def test_known_distances(self, a, b, d):
+        assert _edit_distance(a, b) == d
+
+    def test_symmetry(self):
+        assert _edit_distance("abcd", "ab") == _edit_distance("ab", "abcd")
+
+
+class TestGreedyRepair:
+    def test_rhs_strategy_changes_city(self):
+        rel = Relation(SCHEMA, [("020", "Edi", "z")])
+        repaired, changes = GreedyCFDRepair([psi()]).repair(rel)
+        assert repaired.row(0)["city"] == "Ldn"
+        assert [c.attr for c in changes] == ["city"]
+
+    def test_input_not_mutated(self):
+        rel = Relation(SCHEMA, [("020", "Edi", "z")])
+        GreedyCFDRepair([psi()]).repair(rel)
+        assert rel.row(0)["city"] == "Edi"
+
+    def test_result_satisfies_cfds(self):
+        rel = Relation(SCHEMA, [("020", "Edi", "z"), ("131", "Ldn", "z2")])
+        repaired, _ = GreedyCFDRepair([psi()]).repair(rel)
+        assert satisfies([psi()], repaired)
+
+    def test_clean_data_untouched(self):
+        rel = Relation(SCHEMA, [("020", "Ldn", "z")])
+        repaired, changes = GreedyCFDRepair([psi()]).repair(rel)
+        assert changes == []
+
+    def test_min_cost_prefers_cheap_change(self):
+        # city 'Lds' is 1 edit from the required 'Ldn'; blanking AC costs 4
+        rel = Relation(SCHEMA, [("020", "Lds", "z")])
+        repaired, changes = GreedyCFDRepair(
+            [psi()], strategy=RepairStrategy.MIN_COST
+        ).repair(rel)
+        assert repaired.row(0)["city"] == "Ldn"
+
+    def test_min_cost_can_blank_lhs(self):
+        # the RHS fix would cost many edits; blanking the short AC is cheaper
+        rel = Relation(SCHEMA, [("020", "Completely Different City Name", "z")])
+        repaired, changes = GreedyCFDRepair(
+            [psi()], strategy=RepairStrategy.MIN_COST
+        ).repair(rel)
+        assert repaired.row(0)["AC"] == ""
+        assert satisfies([psi()], repaired)
+
+    def test_variable_cfd_majority_vote(self):
+        fd = CFD("fd", ("zip",), "city", (CFDRow(PatternTuple(), WILDCARD),))
+        rel = Relation(SCHEMA, [("1", "Ldn", "z"), ("2", "Ldn", "z"), ("3", "Edi", "z")])
+        repaired, changes = GreedyCFDRepair([fd]).repair(rel)
+        assert repaired.column("city") == ["Ldn", "Ldn", "Ldn"]
+        assert len(changes) == 1
+
+    def test_example1_reproduction(self):
+        """The paper's Example 1: the heuristic 'fixes' the correct city
+        instead of the wrong AC — a new error."""
+        dirty = Relation(uk.INPUT_SCHEMA, [uk.example1_tuple()])
+        truth = Relation(uk.INPUT_SCHEMA, [uk.example1_truth()])
+        repaired, changes = GreedyCFDRepair(uk.paper_cfds()).repair(dirty)
+        assert [(c.attr, c.new) for c in changes] == [("city", "Ldn")]
+        quality = evaluate_repair(dirty, repaired, truth)
+        assert quality.new_errors == 1
+        assert quality.errors_fixed == 0
+        assert quality.precision == 0.0
+
+
+class TestQualityMetrics:
+    def _relations(self, dirty_rows, repaired_rows, truth_rows):
+        s = Schema("q", ["a", "b"])
+        return (
+            Relation(s, dirty_rows),
+            Relation(s, repaired_rows),
+            Relation(s, truth_rows),
+        )
+
+    def test_perfect_repair(self):
+        d, r, t = self._relations([("x", "bad")], [("x", "good")], [("x", "good")])
+        q = evaluate_repair(d, r, t)
+        assert q.precision == 1.0 and q.recall == 1.0 and q.f1 == 1.0
+        assert q.new_errors == 0
+
+    def test_no_repair_recall_zero(self):
+        d, r, t = self._relations([("x", "bad")], [("x", "bad")], [("x", "good")])
+        q = evaluate_repair(d, r, t)
+        assert q.recall == 0.0
+        assert q.errors_missed == 1
+        assert q.precision == 1.0  # no changes -> vacuous precision
+
+    def test_new_error_counted(self):
+        d, r, t = self._relations([("x", "good")], [("x", "oops")], [("x", "good")])
+        q = evaluate_repair(d, r, t)
+        assert q.new_errors == 1
+        assert q.wrong_changes == 1
+
+    def test_wrong_change_on_error_cell(self):
+        d, r, t = self._relations([("x", "bad")], [("x", "worse")], [("x", "good")])
+        q = evaluate_repair(d, r, t)
+        assert q.new_errors == 0  # the cell was already wrong
+        assert q.errors_missed == 1 and q.wrong_changes == 1
+
+    def test_clean_data_perfect_scores(self):
+        d, r, t = self._relations([("x", "y")], [("x", "y")], [("x", "y")])
+        q = evaluate_repair(d, r, t)
+        assert q.precision == 1.0 and q.recall == 1.0
+
+    def test_size_mismatch_rejected(self):
+        d, r, t = self._relations([("x", "y")], [("x", "y")], [("x", "y")])
+        t.append(("q", "w"))
+        with pytest.raises(ValidationError):
+            evaluate_repair(d, r, t)
+
+    def test_describe(self):
+        d, r, t = self._relations([("x", "bad")], [("x", "good")], [("x", "good")])
+        assert "precision=1.000" in evaluate_repair(d, r, t).describe()

@@ -1,0 +1,212 @@
+"""Unit tests for the certainty analysis (finite decision procedure)."""
+
+import pytest
+
+from repro.core.certainty import (
+    CertaintyMode,
+    FreshValue,
+    candidate_combos,
+    fresh,
+    guaranteed_validated,
+    is_certain_region,
+    value_partition,
+)
+from repro.core.pattern import EMPTY_PATTERN, Eq, Neq, PatternTuple
+from repro.core.rule import EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.errors import BudgetExceededError
+from repro.master.manager import MasterDataManager
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.scenarios import uk_customers as uk
+
+INPUT = Schema("t", ["k", "a", "b"])
+MASTER = Schema("m", ["mk", "ma", "mb"])
+
+
+@pytest.fixture()
+def master():
+    return MasterDataManager(Relation(MASTER, [("k1", "A1", "B1"), ("k2", "A2", "B2")]))
+
+
+@pytest.fixture()
+def ruleset():
+    return RuleSet(
+        [
+            EditingRule("ka", (MatchPair("k", "mk"),), "a", MasterColumn("ma")),
+            EditingRule("kb", (MatchPair("k", "mk"),), "b", MasterColumn("mb")),
+        ],
+        INPUT,
+        MASTER,
+    )
+
+
+class TestFreshValue:
+    def test_identity_semantics(self):
+        assert fresh("a") == fresh("a")
+        assert fresh("a") != fresh("b")
+        assert fresh("a") != "anything"
+
+    def test_hashable(self):
+        assert len({fresh("a"), fresh("a"), fresh("b")}) == 2
+
+    def test_survives_normalizers(self):
+        from repro.relational.normalize import normalize_value
+
+        f = fresh("a")
+        assert normalize_value(f, "digits") is f
+        assert normalize_value(f, "alnum") is f
+
+    def test_repr(self):
+        assert "a" in repr(fresh("a"))
+
+
+class TestValuePartition:
+    def test_master_values_flow_through_correspondence(self, ruleset, master):
+        part = value_partition(ruleset, master)
+        assert set(part["k"]) == {"k1", "k2"}
+
+    def test_non_corresponded_attr_empty(self, ruleset, master):
+        part = value_partition(ruleset, master)
+        assert part["a"] == ()
+        assert part["b"] == ()
+
+    def test_pattern_constants_included(self, master):
+        ruleset = RuleSet(
+            [EditingRule("r", (MatchPair("k", "mk"),), "a", MasterColumn("ma"),
+                         PatternTuple({"b": Neq("STOP")}))],
+            INPUT, MASTER,
+        )
+        part = value_partition(ruleset, master)
+        assert "STOP" in part["b"]
+
+    def test_extra_patterns_included(self, ruleset, master):
+        part = value_partition(ruleset, master, extra_patterns=[PatternTuple({"a": Eq("X")})])
+        assert "X" in part["a"]
+
+    def test_paper_partition_has_toll_free(self, paper_ruleset, paper_manager):
+        part = value_partition(paper_ruleset, paper_manager)
+        assert "0800" in part["AC"]
+        assert "131" in part["AC"] and "201" in part["AC"]
+
+
+class TestCandidateCombos:
+    def test_strict_includes_fresh_first(self, ruleset, master):
+        combos = list(candidate_combos(("k",), EMPTY_PATTERN, ruleset, master))
+        assert isinstance(combos[0]["k"], FreshValue)
+        assert {c["k"] for c in combos} == {fresh("k"), "k1", "k2"}
+
+    def test_strict_pattern_filters(self, ruleset, master):
+        combos = list(
+            candidate_combos(("k",), PatternTuple({"k": Eq("k1")}), ruleset, master)
+        )
+        assert [c["k"] for c in combos] == ["k1"]
+
+    def test_strict_free_attr_is_fresh_only(self, ruleset, master):
+        combos = list(candidate_combos(("a",), EMPTY_PATTERN, ruleset, master))
+        assert combos == [{"a": fresh("a")}]
+
+    def test_strict_product(self, ruleset, master):
+        combos = list(candidate_combos(("k", "a"), EMPTY_PATTERN, ruleset, master))
+        assert len(combos) == 3  # {fresh,k1,k2} x {fresh}
+
+    def test_budget_enforced(self, paper_ruleset, paper_manager):
+        with pytest.raises(BudgetExceededError):
+            list(
+                candidate_combos(
+                    tuple(uk.INPUT_SCHEMA.names), EMPTY_PATTERN,
+                    paper_ruleset, paper_manager, max_combos=10,
+                )
+            )
+
+    def test_anchored_per_master_tuple(self, ruleset, master):
+        combos = list(
+            candidate_combos(("k",), EMPTY_PATTERN, ruleset, master,
+                             mode=CertaintyMode.ANCHORED)
+        )
+        assert {c["k"] for c in combos} == {"k1", "k2"}
+
+    def test_anchored_free_attr_gets_fresh(self, ruleset, master):
+        combos = list(
+            candidate_combos(("a",), EMPTY_PATTERN, ruleset, master,
+                             mode=CertaintyMode.ANCHORED)
+        )
+        assert combos == [{"a": fresh("a")}]
+
+    def test_scenario_mode_projects_and_dedupes(self, ruleset, master):
+        universe = [{"k": "k1", "a": "A1", "b": "B1"}, {"k": "k1", "a": "A1", "b": "B1"}]
+        combos = list(
+            candidate_combos(("k", "a"), EMPTY_PATTERN, ruleset, master,
+                             mode=CertaintyMode.SCENARIO, scenario=lambda: iter(universe))
+        )
+        assert combos == [{"k": "k1", "a": "A1"}]
+
+    def test_scenario_requires_generator(self, ruleset, master):
+        with pytest.raises(ValueError):
+            list(candidate_combos(("k",), EMPTY_PATTERN, ruleset, master,
+                                  mode=CertaintyMode.SCENARIO))
+
+
+class TestCertainRegions:
+    def test_key_region_certain_strict_needs_coverage(self, ruleset, master):
+        # wildcard tableau is NOT certain under STRICT: fresh k matches no master
+        report = is_certain_region(("k",), None, ruleset, master)
+        assert not report.certain
+        assert report.failure == "incomplete"
+        assert isinstance(report.counterexample["k"], FreshValue)
+
+    def test_key_region_certain_with_pinned_tableau(self, ruleset, master):
+        tableau = [PatternTuple({"k": Eq("k1")}), PatternTuple({"k": Eq("k2")})]
+        report = is_certain_region(("k",), tableau, ruleset, master)
+        assert report.certain
+        assert report.combos_checked == 2
+
+    def test_key_region_certain_anchored(self, ruleset, master):
+        report = is_certain_region(("k",), None, ruleset, master,
+                                   mode=CertaintyMode.ANCHORED)
+        assert report.certain
+
+    def test_pinned_non_master_value_not_certain_anchored(self, ruleset, master):
+        # ANCHORED includes tableau constants: a region pinned to a value
+        # with no master coverage is (correctly) rejected, not vacuous.
+        tableau = [PatternTuple({"k": Eq("not-in-master")})]
+        report = is_certain_region(("k",), tableau, ruleset, master,
+                                   mode=CertaintyMode.ANCHORED)
+        assert not report.certain
+        assert report.failure == "incomplete"
+
+    def test_vacuous_region_flagged(self, ruleset, master):
+        report = is_certain_region(
+            ("k",), None, ruleset, master,
+            mode=CertaintyMode.SCENARIO, scenario=lambda: iter(()),
+        )
+        assert report.certain and report.vacuous
+        assert "vacuously" in report.describe()
+
+    def test_guaranteed_intersection(self, ruleset, master):
+        # validating only 'a' guarantees nothing new (no rule reads a alone)
+        report = guaranteed_validated(("a",), (EMPTY_PATTERN,), ruleset, master)
+        assert report.guaranteed == frozenset({"a"})
+
+    def test_report_describe(self, ruleset, master):
+        ok = is_certain_region(("k",), None, ruleset, master, mode=CertaintyMode.ANCHORED)
+        assert "certain" in ok.describe()
+
+    def test_paper_region_scenario_mode(self, paper_ruleset, paper_manager, paper_master):
+        scenario = uk.scenario_tuples(paper_master)
+        # mandatory + zip + FN + LN covers both phone types
+        report = is_certain_region(
+            ("AC", "phn", "type", "item", "zip", "FN", "LN"), None,
+            paper_ruleset, paper_manager,
+            mode=CertaintyMode.SCENARIO, scenario=scenario,
+        )
+        assert report.certain and not report.vacuous
+
+    def test_paper_mandatory_core_not_certain(self, paper_ruleset, paper_manager, paper_master):
+        scenario = uk.scenario_tuples(paper_master)
+        report = is_certain_region(
+            ("AC", "phn", "type", "item"), None,
+            paper_ruleset, paper_manager,
+            mode=CertaintyMode.SCENARIO, scenario=scenario,
+        )
+        assert not report.certain

@@ -1,0 +1,179 @@
+"""Unit tests for CFDs, MDs and rule derivation."""
+
+import pytest
+
+from repro.core.chase import chase
+from repro.core.pattern import Eq, PatternTuple, WILDCARD
+from repro.core.rule import Constant, MasterColumn
+from repro.core.ruleset import RuleSet
+from repro.errors import RuleError
+from repro.master.manager import MasterDataManager
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.rules.cfd import CFD, CFDRow, find_violations, satisfies
+from repro.rules.derive import (
+    editing_rules_from_cfd,
+    editing_rules_from_cfds,
+    editing_rules_from_md,
+)
+from repro.rules.md import MatchingDependency, MDMatch
+
+SCHEMA = Schema("r", ["AC", "city", "zip"])
+
+
+def constant_cfd():
+    return CFD(
+        "psi1",
+        ("AC",),
+        "city",
+        (
+            CFDRow(PatternTuple({"AC": Eq("020")}), Eq("Ldn")),
+            CFDRow(PatternTuple({"AC": Eq("131")}), Eq("Edi")),
+        ),
+    )
+
+
+def variable_cfd():
+    return CFD("fd", ("zip",), "city", (CFDRow(PatternTuple(), WILDCARD),))
+
+
+class TestCFDConstruction:
+    def test_rhs_in_lhs_rejected(self):
+        with pytest.raises(RuleError):
+            CFD("x", ("city",), "city", (CFDRow(PatternTuple(), Eq("a")),))
+
+    def test_empty_tableau_rejected(self):
+        with pytest.raises(RuleError):
+            CFD("x", ("AC",), "city", ())
+
+    def test_tableau_must_constrain_lhs_only(self):
+        with pytest.raises(RuleError):
+            CFD("x", ("AC",), "city",
+                (CFDRow(PatternTuple({"zip": Eq("z")}), Eq("a")),))
+
+    def test_variable_row_needs_lhs(self):
+        with pytest.raises(RuleError):
+            CFD("x", (), "city", (CFDRow(PatternTuple(), WILDCARD),))
+
+    def test_render(self):
+        assert "psi1" in constant_cfd().render()
+
+
+class TestViolations:
+    def test_constant_violation(self):
+        rel = Relation(SCHEMA, [("020", "Edi", "z1")])
+        v = find_violations(constant_cfd(), rel)
+        assert len(v) == 1
+        assert v[0].positions == (0,)
+        assert v[0].observed == ("Edi",)
+
+    def test_constant_satisfied(self):
+        rel = Relation(SCHEMA, [("020", "Ldn", "z1"), ("131", "Edi", "z2")])
+        assert find_violations(constant_cfd(), rel) == []
+
+    def test_non_matching_lhs_ignored(self):
+        rel = Relation(SCHEMA, [("999", "Anywhere", "z1")])
+        assert find_violations(constant_cfd(), rel) == []
+
+    def test_variable_violation_pairs(self):
+        rel = Relation(SCHEMA, [("020", "Ldn", "z1"), ("020", "Edi", "z1")])
+        v = find_violations(variable_cfd(), rel)
+        assert len(v) == 1
+        assert v[0].positions == (0, 1)
+        assert set(v[0].observed) == {"Ldn", "Edi"}
+
+    def test_variable_satisfied(self):
+        rel = Relation(SCHEMA, [("020", "Ldn", "z1"), ("020", "Ldn", "z1")])
+        assert find_violations(variable_cfd(), rel) == []
+
+    def test_satisfies_helper(self):
+        good = Relation(SCHEMA, [("020", "Ldn", "z1")])
+        bad = Relation(SCHEMA, [("020", "Edi", "z1")])
+        assert satisfies([constant_cfd()], good)
+        assert not satisfies([constant_cfd()], bad)
+
+    def test_violation_describe(self):
+        rel = Relation(SCHEMA, [("020", "Edi", "z1")])
+        assert "constant" in find_violations(constant_cfd(), rel)[0].describe()
+
+
+class TestMD:
+    def test_construction_and_render(self):
+        md = MatchingDependency(
+            "md1",
+            (MDMatch("phn", "Mphn", "digits"),),
+            (("FN", "FN"), ("LN", "LN")),
+        )
+        assert "≈digits" in md.render()
+
+    def test_needs_clauses(self):
+        with pytest.raises(RuleError):
+            MatchingDependency("md", (), (("a", "b"),))
+
+    def test_needs_identify(self):
+        with pytest.raises(RuleError):
+            MatchingDependency("md", (MDMatch("a", "b"),), ())
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(RuleError):
+            MDMatch("a", "b", "soundex")
+
+
+class TestDerivation:
+    def test_constant_cfd_rows_become_constant_rules(self):
+        rules = editing_rules_from_cfd(constant_cfd())
+        assert len(rules) == 2
+        assert all(r.is_constant for r in rules)
+        assert rules[0].rule_id == "psi1.0"
+        assert rules[0].source == Constant("Ldn")
+        assert rules[0].pattern.condition("AC") == Eq("020")
+
+    def test_variable_cfd_row_becomes_master_rule(self):
+        rules = editing_rules_from_cfd(variable_cfd())
+        assert len(rules) == 1
+        r = rules[0]
+        assert r.source == MasterColumn("city")
+        assert r.lhs_attrs == ("zip",)
+        assert r.m_attrs == ("zip",)
+
+    def test_md_derivation(self):
+        md = MatchingDependency(
+            "md1",
+            (MDMatch("phn", "Mphn", "digits"),),
+            (("FN", "FN"), ("LN", "LN")),
+        )
+        rules = editing_rules_from_md(md)
+        assert [r.rule_id for r in rules] == ["md1.FN", "md1.LN"]
+        assert rules[0].match[0].op == "digits"
+
+    def test_derived_constant_rules_chase_like_the_cfd(self):
+        """A tuple violating psi1 is repaired to the constant by the
+        derived rule (given the pattern attribute is validated)."""
+        rules = editing_rules_from_cfds([constant_cfd()])
+        master = MasterDataManager(Relation(Schema("m", ["unused"]), [("x",)]))
+        ruleset = RuleSet(rules, SCHEMA, master.schema)
+        result = chase({"AC": "020", "city": "WRONG", "zip": "z"}, ["AC"], ruleset, master)
+        assert result.values["city"] == "Ldn"
+
+    def test_derived_md_rules_fix_from_master(self, paper_master):
+        md = MatchingDependency(
+            "md1",
+            (MDMatch("phn", "Mphn", "digits"),),
+            (("FN", "FN"),),
+        )
+        from repro.scenarios import uk_customers as uk
+
+        rules = editing_rules_from_md(md)
+        ruleset = RuleSet(rules, uk.INPUT_SCHEMA, uk.MASTER_SCHEMA)
+        master = MasterDataManager(paper_master)
+        t = dict(uk.fig3_tuple())
+        result = chase(t, ["phn"], ruleset, master)
+        assert result.values["FN"] == "Mark"
+
+    def test_hospital_vocabulary_derivation_scale(self):
+        from repro.scenarios import hospital
+
+        rules = editing_rules_from_cfds(hospital.vocabulary_cfds())
+        # 12 measures x 3 + 8 states + distinct counties + 8*12 stateavg
+        assert len(rules) > 130
+        assert all(r.is_constant for r in rules)

@@ -1,0 +1,278 @@
+"""Unit tests for the chase — the core certain-fix engine."""
+
+import pytest
+
+from repro.core.chase import AppStatus, applicable, chase
+from repro.core.pattern import Eq, Neq, PatternTuple
+from repro.core.rule import Constant, EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.errors import ConflictError, SchemaError
+from repro.master.manager import MasterDataManager
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.scenarios import uk_customers as uk
+
+INPUT = Schema("t", ["k", "a", "b", "c"])
+MASTER = Schema("m", ["mk", "ma", "mb"])
+
+
+@pytest.fixture()
+def master():
+    return MasterDataManager(
+        Relation(MASTER, [("k1", "A1", "B1"), ("k2", "A2", "B2"), ("dup", "X", "B3"), ("dup", "Y", "B3")])
+    )
+
+
+def rs(*rules):
+    return RuleSet(rules, INPUT, MASTER)
+
+
+R_KA = EditingRule("ka", (MatchPair("k", "mk"),), "a", MasterColumn("ma"))
+R_KB = EditingRule("kb", (MatchPair("k", "mk"),), "b", MasterColumn("mb"))
+R_AB = EditingRule("ab", (MatchPair("a", "ma"),), "b", MasterColumn("mb"))
+R_CONST = EditingRule("const_c", (), "c", Constant("C!"), PatternTuple({"k": Eq("k1")}))
+
+
+class TestApplicable:
+    def test_not_ready(self, master):
+        app = applicable(R_KA, {"k": "k1", "a": "?", "b": "?", "c": "?"}, frozenset(), master)
+        assert app.status is AppStatus.NOT_READY
+        assert app.missing == ("k",)
+
+    def test_ready(self, master):
+        app = applicable(R_KA, {"k": "k1", "a": "?", "b": "?", "c": "?"}, frozenset({"k"}), master)
+        assert app.is_ready
+        assert app.value == "A1"
+        assert app.master_positions == (0,)
+
+    def test_no_match(self, master):
+        app = applicable(R_KA, {"k": "nope", "a": "?", "b": "?", "c": "?"}, frozenset({"k"}), master)
+        assert app.status is AppStatus.NO_MATCH
+
+    def test_ambiguous(self, master):
+        app = applicable(R_KA, {"k": "dup", "a": "?", "b": "?", "c": "?"}, frozenset({"k"}), master)
+        assert app.status is AppStatus.AMBIGUOUS
+        assert set(app.candidate_values) == {"X", "Y"}
+
+    def test_ambiguous_same_value_is_ready(self, master):
+        # both 'dup' rows carry mb == B3: the uniqueness gate is on values
+        app = applicable(R_KB, {"k": "dup", "a": "?", "b": "?", "c": "?"}, frozenset({"k"}), master)
+        assert app.is_ready and app.value == "B3"
+
+    def test_pattern_miss(self, master):
+        rule = EditingRule("r", (MatchPair("k", "mk"),), "a", MasterColumn("ma"),
+                           PatternTuple({"c": Eq("go")}))
+        app = applicable(rule, {"k": "k1", "a": "?", "b": "?", "c": "stop"},
+                         frozenset({"k", "c"}), master)
+        assert app.status is AppStatus.PATTERN_MISS
+
+    def test_pattern_attr_must_be_validated(self, master):
+        rule = EditingRule("r", (MatchPair("k", "mk"),), "a", MasterColumn("ma"),
+                           PatternTuple({"c": Eq("go")}))
+        app = applicable(rule, {"k": "k1", "a": "?", "b": "?", "c": "go"},
+                         frozenset({"k"}), master)
+        assert app.status is AppStatus.NOT_READY
+        assert app.missing == ("c",)
+
+    def test_constant_rule_ready(self, master):
+        app = applicable(R_CONST, {"k": "k1", "a": "?", "b": "?", "c": "?"},
+                         frozenset({"k"}), master)
+        assert app.is_ready and app.value == "C!"
+
+
+class TestChaseBasics:
+    def test_single_fix(self, master):
+        result = chase({"k": "k1", "a": "wrong", "b": "?", "c": "?"}, ["k"], rs(R_KA), master)
+        assert result.values["a"] == "A1"
+        assert result.validated == frozenset({"k", "a"})
+        assert len(result.steps) == 1
+
+    def test_transitive_fixes(self, master):
+        # k -> a (ka), then a -> b (ab): two sweeps of derivation
+        result = chase({"k": "k1", "a": "?", "b": "?", "c": "?"}, ["k"], rs(R_KA, R_AB), master)
+        assert result.values["a"] == "A1"
+        assert result.values["b"] == "B1"
+        assert result.validated >= {"k", "a", "b"}
+
+    def test_transitive_order_independent(self, master):
+        ruleset = rs(R_KA, R_AB)
+        r1 = chase({"k": "k1", "a": "?", "b": "?", "c": "?"}, ["k"], ruleset, master,
+                   rule_order=["ka", "ab"])
+        r2 = chase({"k": "k1", "a": "?", "b": "?", "c": "?"}, ["k"], ruleset, master,
+                   rule_order=["ab", "ka"])
+        assert r1.values == r2.values
+        assert r1.validated == r2.validated
+
+    def test_nothing_validated_nothing_happens(self, master):
+        result = chase({"k": "k1", "a": "?", "b": "?", "c": "?"}, [], rs(R_KA), master)
+        assert result.steps == ()
+        assert result.validated == frozenset()
+
+    def test_constant_rule_with_pattern(self, master):
+        result = chase({"k": "k1", "a": "?", "b": "?", "c": "?"}, ["k"], rs(R_CONST), master)
+        assert result.values["c"] == "C!"
+
+    def test_ambiguity_recorded_not_applied(self, master):
+        result = chase({"k": "dup", "a": "?", "b": "?", "c": "?"}, ["k"], rs(R_KA), master)
+        assert result.values["a"] == "?"
+        assert "a" not in result.validated
+        assert len(result.ambiguities) == 1
+        assert result.ambiguities[0].rule_id == "ka"
+
+    def test_input_not_mutated(self, master):
+        values = {"k": "k1", "a": "wrong", "b": "?", "c": "?"}
+        chase(values, ["k"], rs(R_KA), master)
+        assert values["a"] == "wrong"
+
+    def test_unknown_validated_attr_raises(self, master):
+        with pytest.raises(SchemaError):
+            chase({"k": "k1", "a": "?", "b": "?", "c": "?"}, ["zz"], rs(R_KA), master)
+
+    def test_is_complete(self, master):
+        result = chase(
+            {"k": "k1", "a": "?", "b": "?", "c": "?"}, ["k", "c"], rs(R_KA, R_KB), master
+        )
+        assert result.is_complete
+        assert result.unvalidated == frozenset()
+
+    def test_incomplete_reports_unvalidated(self, master):
+        result = chase({"k": "k1", "a": "?", "b": "?", "c": "?"}, ["k"], rs(R_KA), master)
+        assert not result.is_complete
+        assert result.unvalidated == frozenset({"b", "c"})
+
+    def test_fix_step_provenance(self, master):
+        result = chase({"k": "k2", "a": "?", "b": "?", "c": "?"}, ["k"], rs(R_KA), master)
+        step = result.steps[0]
+        assert step.rule_id == "ka"
+        assert step.master_positions == (1,)
+        assert step.old == "?" and step.new == "A2"
+        assert "fixed by rule ka" in step.describe()
+
+    def test_already_correct_value_still_validates(self, master):
+        result = chase({"k": "k1", "a": "A1", "b": "?", "c": "?"}, ["k"], rs(R_KA), master)
+        assert "a" in result.validated
+        assert result.steps[0].old == result.steps[0].new == "A1"
+
+
+class TestConflicts:
+    def test_rule_vs_user_validation(self, master):
+        # user validated a='USER', rule ka prescribes 'A1' -> conflict
+        result = chase({"k": "k1", "a": "USER", "b": "?", "c": "?"}, ["k", "a"], rs(R_KA), master)
+        assert len(result.conflicts) == 1
+        w = result.conflicts[0]
+        assert w.attr == "a" and w.existing == "USER" and w.prescribed == "A1"
+        assert result.values["a"] == "USER"  # validated value never overwritten
+
+    def test_strict_raises(self, master):
+        with pytest.raises(ConflictError):
+            chase({"k": "k1", "a": "USER", "b": "?", "c": "?"}, ["k", "a"],
+                  rs(R_KA), master, strict=True)
+
+    def test_rule_vs_rule(self, master):
+        # two rules writing b from different sources disagree
+        other = EditingRule("cb", (MatchPair("c", "mk"),), "b", MasterColumn("ma"))
+        result = chase({"k": "k1", "a": "?", "b": "?", "c": "k2"}, ["k", "c"],
+                       rs(R_KB, other), master)
+        assert len(result.conflicts) == 1
+        # first rule in order wins; the conflict is reported against the second
+        assert result.values["b"] == "B1"
+        assert result.conflicts[0].rule_id == "cb"
+
+    def test_agreeing_rules_no_conflict(self, master):
+        other = EditingRule("kb2", (MatchPair("k", "mk"),), "b", MasterColumn("mb"))
+        result = chase({"k": "k1", "a": "?", "b": "?", "c": "?"}, ["k"],
+                       rs(R_KB, other), master)
+        assert result.conflicts == ()
+        assert result.values["b"] == "B1"
+
+    def test_conflict_witness_describe(self, master):
+        result = chase({"k": "k1", "a": "USER", "b": "?", "c": "?"}, ["k", "a"], rs(R_KA), master)
+        assert "conflict on a" in result.conflicts[0].describe()
+
+
+class TestNormalization:
+    def test_self_normalizing_rewrites_validated_value(self):
+        master = MasterDataManager(Relation(Schema("m", ["mz"]), [("EH8 4AH",)]))
+        schema = Schema("t", ["z"])
+        rule = EditingRule("norm", (MatchPair("z", "mz", "alnum"),), "z", MasterColumn("mz"))
+        ruleset = RuleSet([rule], schema, master.schema)
+        result = chase({"z": "eh8 4ah"}, ["z"], ruleset, master)
+        assert result.values["z"] == "EH8 4AH"
+        assert result.steps[0].normalized
+        assert result.conflicts == ()
+
+    def test_normalization_fires_once(self):
+        master = MasterDataManager(Relation(Schema("m", ["mz"]), [("EH8 4AH",)]))
+        schema = Schema("t", ["z"])
+        rule = EditingRule("norm", (MatchPair("z", "mz", "alnum"),), "z", MasterColumn("mz"))
+        ruleset = RuleSet([rule], schema, master.schema)
+        result = chase({"z": "eh8 4ah"}, ["z"], ruleset, master)
+        assert len([s for s in result.steps if s.normalized]) == 1
+
+    def test_canonical_value_no_step(self):
+        master = MasterDataManager(Relation(Schema("m", ["mz"]), [("EH8 4AH",)]))
+        schema = Schema("t", ["z"])
+        rule = EditingRule("norm", (MatchPair("z", "mz", "alnum"),), "z", MasterColumn("mz"))
+        ruleset = RuleSet([rule], schema, master.schema)
+        result = chase({"z": "EH8 4AH"}, ["z"], ruleset, master)
+        assert result.steps == ()
+
+
+class TestPaperScenario:
+    """The chase against the paper's exact rules and master data."""
+
+    def test_example2_zip_fixes_ac(self, paper_master):
+        ruleset = uk.paper_ruleset(extended=True)
+        master = MasterDataManager(paper_master)
+        result = chase(uk.example1_tuple(), ["zip"], ruleset, master)
+        assert result.values["AC"] == "131"  # the paper's certain fix
+
+    def test_fig3_round1(self, paper_ruleset, paper_manager):
+        t = dict(uk.fig3_tuple())
+        result = chase(t, ["AC", "phn", "type", "item"], paper_ruleset, paper_manager)
+        assert result.values["FN"] == "Mark"   # 'M.' normalised via phi4
+        assert result.values["LN"] == "Smith"
+        assert result.values["city"] == "Dur"  # phi9
+        assert "zip" not in result.validated   # needs round 2
+
+    def test_fig3_round2_completes(self, paper_ruleset, paper_manager):
+        t = dict(uk.fig3_tuple())
+        r1 = chase(t, ["AC", "phn", "type", "item"], paper_ruleset, paper_manager)
+        t2 = dict(r1.values)
+        t2["zip"] = uk.fig3_truth()["zip"]
+        r2 = chase(t2, r1.validated | {"zip"}, paper_ruleset, paper_manager)
+        assert r2.is_complete
+        assert r2.values == uk.fig3_truth()
+
+    def test_home_phone_path(self, paper_ruleset, paper_manager):
+        # type=1 goes through phi6/phi7/phi8 instead
+        t = {
+            "FN": "Robert", "LN": "Brady", "AC": "131", "phn": "6884563",
+            "type": "1", "str": "?", "city": "?", "zip": "?", "item": "CD",
+        }
+        result = chase(t, ["AC", "phn", "type", "FN", "LN", "item"], paper_ruleset, paper_manager)
+        assert result.is_complete
+        assert result.values["str"] == "501 Elm St"
+        assert result.values["zip"] == "EH8 4AH"
+        assert result.values["city"] == "Edi"
+
+    def test_toll_free_ac_blocks_phi9(self, paper_ruleset, paper_manager):
+        t = {
+            "FN": "?", "LN": "?", "AC": "0800", "phn": "?", "type": "2",
+            "str": "?", "city": "?", "zip": "?", "item": "?",
+        }
+        result = chase(t, ["AC"], paper_ruleset, paper_manager)
+        assert "city" not in result.validated
+
+    def test_use_index_false_same_result(self, paper_ruleset, paper_manager):
+        t = dict(uk.fig3_tuple())
+        v = ["AC", "phn", "type", "item"]
+        with_index = chase(t, v, paper_ruleset, paper_manager, use_index=True)
+        without = chase(t, v, paper_ruleset, paper_manager, use_index=False)
+        assert with_index.values == without.values
+        assert with_index.validated == without.validated
+
+    def test_sweeps_bounded(self, paper_ruleset, paper_manager):
+        t = dict(uk.fig3_tuple())
+        result = chase(t, ["AC", "phn", "type", "item"], paper_ruleset, paper_manager)
+        assert result.sweeps <= len(uk.INPUT_SCHEMA) + len(paper_ruleset) + 2

@@ -1,0 +1,151 @@
+"""Unit tests for the rule-engine static analysis (consistency)."""
+
+import pytest
+
+from repro.core.consistency import (
+    check_consistency,
+    differential_order_test,
+    find_ambiguities,
+    find_pairwise_conflicts,
+)
+from repro.core.pattern import Eq, PatternTuple
+from repro.core.rule import Constant, EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.master.manager import MasterDataManager
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+INPUT = Schema("t", ["k", "j", "a", "b"])
+MASTER = Schema("m", ["mk", "mj", "ma", "mb"])
+
+
+def manager(rows):
+    return MasterDataManager(Relation(MASTER, rows))
+
+
+def rs(*rules):
+    return RuleSet(rules, INPUT, MASTER)
+
+
+R_KA = EditingRule("ka", (MatchPair("k", "mk"),), "a", MasterColumn("ma"))
+R_JA = EditingRule("ja", (MatchPair("j", "mj"),), "a", MasterColumn("ma"))
+
+
+class TestAmbiguities:
+    def test_detected(self):
+        m = manager([("k1", "j1", "A1", "B1"), ("k1", "j2", "A2", "B2")])
+        amb = find_ambiguities(rs(R_KA), m)
+        assert len(amb) == 1
+        assert amb[0].rule_id == "ka"
+        assert amb[0].key == ("k1",)
+        assert set(amb[0].values) == {"A1", "A2"}
+
+    def test_consistent_duplicates_ok(self):
+        m = manager([("k1", "j1", "A1", "B1"), ("k1", "j2", "A1", "B2")])
+        assert find_ambiguities(rs(R_KA), m) == []
+
+    def test_describe(self):
+        m = manager([("k1", "j1", "A1", "B1"), ("k1", "j2", "A2", "B2")])
+        assert "never fires" in find_ambiguities(rs(R_KA), m)[0].describe()
+
+
+class TestPairwiseConflicts:
+    def test_same_entity_conflict_master_vs_constant(self):
+        # constant rule says a:='FIXED' when k=k1; master rule says a:=A1
+        const = EditingRule("c", (), "a", Constant("FIXED"), PatternTuple({"k": Eq("k1")}))
+        m = manager([("k1", "j1", "A1", "B1")])
+        conflicts, cross, checked, exhaustive = find_pairwise_conflicts(rs(R_KA, const), m)
+        assert exhaustive
+        assert len(conflicts) == 1
+        assert conflicts[0].same_entity
+        assert {conflicts[0].value1, conflicts[0].value2} == {"A1", "FIXED"}
+
+    def test_cross_entity_classified(self):
+        # two master rules keyed on different attrs disagree across tuples
+        m = manager([("k1", "j1", "A1", "B1"), ("k2", "j2", "A2", "B2")])
+        conflicts, cross, _, _ = find_pairwise_conflicts(rs(R_KA, R_JA), m)
+        assert conflicts == []
+        assert len(cross) == 1
+        assert not cross[0].same_entity
+
+    def test_same_entity_agreement_is_fine(self):
+        m = manager([("k1", "j1", "A1", "B1")])
+        conflicts, cross, _, _ = find_pairwise_conflicts(rs(R_KA, R_JA), m)
+        assert conflicts == []
+
+    def test_contradictory_patterns_skip_pair(self):
+        r1 = EditingRule("r1", (MatchPair("k", "mk"),), "a", MasterColumn("ma"),
+                         PatternTuple({"b": Eq("1")}))
+        r2 = EditingRule("r2", (MatchPair("j", "mj"),), "a", MasterColumn("ma"),
+                         PatternTuple({"b": Eq("2")}))
+        m = manager([("k1", "j1", "A1", "B1"), ("k2", "j2", "A2", "B2")])
+        conflicts, cross, _, _ = find_pairwise_conflicts(rs(r1, r2), m)
+        assert conflicts == [] and cross == []
+
+    def test_uniqueness_gate_respected(self):
+        # rule ka is ambiguous on k1 (two values) so it cannot co-fire
+        m = manager([("k1", "j1", "A1", "B1"), ("k1", "j2", "A2", "B2")])
+        const = EditingRule("c", (), "a", Constant("X"), PatternTuple({"k": Eq("k1")}))
+        conflicts, cross, _, _ = find_pairwise_conflicts(rs(R_KA, const), m)
+        assert conflicts == []
+
+    def test_budget_marks_non_exhaustive(self):
+        m = manager([("k1", "j1", "A1", "B1"), ("k2", "j2", "A2", "B2")])
+        _, _, checked, exhaustive = find_pairwise_conflicts(
+            rs(R_KA, R_JA), m, pair_budget=1
+        )
+        assert not exhaustive
+
+    def test_constant_constant_conflict(self):
+        c1 = EditingRule("c1", (), "a", Constant("X"), PatternTuple({"k": Eq("k1")}))
+        c2 = EditingRule("c2", (), "a", Constant("Y"), PatternTuple({"b": Eq("1")}))
+        m = manager([("k1", "j1", "A1", "B1")])
+        conflicts, _, _, _ = find_pairwise_conflicts(rs(c1, c2), m)
+        assert len(conflicts) == 1
+        assert conflicts[0].same_entity
+
+
+class TestDifferentialOrder:
+    def test_consistent_rules_no_divergence(self, paper_ruleset, paper_manager):
+        div, checked = differential_order_test(paper_ruleset, paper_manager, samples=30)
+        assert div == []
+        assert checked > 0
+
+    def test_small_ruleset_no_divergence(self):
+        m = manager([("k1", "j1", "A1", "B1")])
+        div, _ = differential_order_test(rs(R_KA, R_JA), m, samples=20)
+        assert div == []
+
+
+class TestCheckConsistency:
+    def test_paper_rules_consistent(self, paper_ruleset, paper_manager):
+        report = check_consistency(paper_ruleset, paper_manager, samples=20)
+        assert report.is_consistent
+        assert report.conflicts == ()
+        # the four zip-vs-(AC,phn) warnings are cross-entity by design
+        assert len(report.cross_entity_conflicts) == 4
+        assert report.ambiguities == ()
+
+    def test_extended_rules_consistent(self, extended_ruleset, paper_manager):
+        report = check_consistency(extended_ruleset, paper_manager, samples=20)
+        assert report.is_consistent
+
+    def test_inconsistent_detected(self):
+        const = EditingRule("c", (), "a", Constant("FIXED"), PatternTuple({"k": Eq("k1")}))
+        m = manager([("k1", "j1", "A1", "B1")])
+        report = check_consistency(rs(R_KA, const), m, samples=10)
+        assert not report.is_consistent
+        assert len(report.conflicts) == 1
+
+    def test_describe_mentions_tiers(self, paper_ruleset, paper_manager):
+        report = check_consistency(paper_ruleset, paper_manager, samples=5)
+        text = report.describe()
+        assert "cross-entity" in text
+        assert "consistent: True" in text
+
+    def test_hospital_rules_consistent(self, hospital_ruleset, hospital_master):
+        report = check_consistency(
+            hospital_ruleset, MasterDataManager(hospital_master), samples=10
+        )
+        assert report.is_consistent
+        assert report.ambiguities == ()

@@ -1,0 +1,131 @@
+"""Tests for cost-aware suggestions and the FD→CFD bridge."""
+
+import pytest
+
+from repro.core.chase import chase
+from repro.core.pattern import Eq, PatternTuple
+from repro.core.rule import EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.discovery.fd import FD, discover_fds, fds_to_cfds
+from repro.master.manager import MasterDataManager
+from repro.monitor.session import MonitorSession
+from repro.monitor.suggest import SuggestionStrategy, compute_suggestion
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.rules.derive import editing_rules_from_cfds
+from repro.scenarios import uk_customers as uk
+
+INPUT = Schema("t", ["k", "j", "a", "b"])
+MASTER = Schema("m", ["mk", "mj", "ma", "mb"])
+
+
+@pytest.fixture()
+def world():
+    """Two interchangeable keys: validating either k or j unlocks the
+    rest (k fixes j and vice versa, k fixes a and b) — so the monitor
+    has a genuine choice and costs can steer it. No attribute is
+    mandatory: every attribute is some rule's target."""
+    master = MasterDataManager(
+        Relation(MASTER, [("k1", "j1", "A1", "B1"), ("k2", "j2", "A2", "B2")])
+    )
+    ruleset = RuleSet(
+        [
+            EditingRule("kj", (MatchPair("k", "mk"),), "j", MasterColumn("mj")),
+            EditingRule("jk", (MatchPair("j", "mj"),), "k", MasterColumn("mk")),
+            EditingRule("ka", (MatchPair("k", "mk"),), "a", MasterColumn("ma")),
+            EditingRule("kb", (MatchPair("k", "mk"),), "b", MasterColumn("mb")),
+        ],
+        INPUT,
+        MASTER,
+    )
+    return master, ruleset
+
+
+class TestCostAwareSuggestions:
+    def test_world_has_no_mandatory_attrs(self, world):
+        from repro.core.inference import mandatory_attributes
+
+        _, ruleset = world
+        assert mandatory_attributes(ruleset) == frozenset()
+
+    def test_without_costs_prefers_smallest(self, world):
+        master, ruleset = world
+        # either {k} or {j} alone suffices (j unlocks k, k unlocks the rest)
+        s = compute_suggestion({"k": "k1", "j": "j1", "a": "?", "b": "?"},
+                               frozenset(), ruleset, master)
+        assert len(s.attrs) == 1
+
+    def test_costs_steer_to_cheap_attr(self, world):
+        master, ruleset = world
+        values = {"k": "k1", "j": "j1", "a": "?", "b": "?"}
+        cheap_j = compute_suggestion(values, frozenset(), ruleset, master,
+                                     costs={"k": 10.0, "j": 1.0})
+        assert cheap_j.attrs == ("j",)
+        cheap_k = compute_suggestion(values, frozenset(), ruleset, master,
+                                     costs={"k": 1.0, "j": 10.0})
+        assert cheap_k.attrs == ("k",)
+
+    def test_total_cost_minimised_not_cardinality(self, world):
+        master, ruleset = world
+        # {k} costs 5; {j} costs 2 — both feasible; search must not pick
+        # any two-attribute set (cost >= 7) nor the expensive single.
+        s = compute_suggestion({"k": "k1", "j": "j1", "a": "?", "b": "?"},
+                               frozenset(), ruleset, master,
+                               costs={"k": 5.0, "j": 2.0, "a": 9.0, "b": 9.0})
+        assert s.attrs == ("j",)
+
+    def test_paper_scenario_costs_affect_round2(self, paper_ruleset, paper_manager):
+        """With zip expensive, round 2 falls back to... zip is the only
+        option for type=2 — cost cannot change feasibility, only order."""
+        session = MonitorSession(
+            paper_ruleset, paper_manager, uk.fig3_tuple(), "t",
+            costs={"zip": 100.0},
+        )
+        truth = uk.fig3_truth()
+        session.validate({a: truth[a] for a in ("AC", "phn", "type", "item")})
+        s = session.suggestion()
+        assert s.attrs == ("zip",)  # still the unique feasible choice
+
+    def test_region_strategy_uses_costs(self, world):
+        from repro.core.certainty import CertaintyMode
+        from repro.core.region import RankedRegion, Region
+
+        master, ruleset = world
+        regions = [
+            RankedRegion(Region(("k",)), CertaintyMode.ANCHORED),
+            RankedRegion(Region(("j",)), CertaintyMode.ANCHORED),
+        ]
+        s = compute_suggestion(
+            {"k": "k1", "j": "j1", "a": "?", "b": "?"}, frozenset(),
+            ruleset, master,
+            strategy=SuggestionStrategy.REGION, regions=regions,
+            costs={"k": 10.0, "j": 1.0},
+        )
+        assert s.attrs == ("j",)
+
+
+class TestFDsToCFDs:
+    def test_bridge_shape(self):
+        cfds = fds_to_cfds([FD(("zip",), "city", 10, 1.0)])
+        assert len(cfds) == 1
+        assert cfds[0].lhs == ("zip",)
+        assert not cfds[0].tableau[0].is_constant
+
+    def test_discovered_fd_to_master_rule_roundtrip(self):
+        """discover FDs on a master-copy sample -> CFDs -> rules -> chase."""
+        schema = Schema("addr", ["zip", "city", "street"])
+        master_rel = Relation(
+            schema,
+            [("Z1", "Springfield", "1 Elm"), ("Z2", "Shelbyville", "2 Oak"),
+             ("Z1", "Springfield", "3 Ash")],
+        )
+        fds = discover_fds(master_rel, max_lhs=1, targets=["city"])
+        assert any(fd.lhs == ("zip",) for fd in fds)
+        rules = editing_rules_from_cfds(
+            fds_to_cfds([fd for fd in fds if fd.lhs == ("zip",)])
+        )
+        ruleset = RuleSet(rules, schema, schema)
+        manager = MasterDataManager(master_rel)
+        result = chase({"zip": "Z2", "city": "WRONG", "street": "?"},
+                       ["zip"], ruleset, manager)
+        assert result.values["city"] == "Shelbyville"

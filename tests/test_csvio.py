@@ -1,0 +1,106 @@
+"""Unit tests for CSV / JSON-lines I/O."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relational.csvio import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema("r", [Attribute("a", "int"), Attribute("b", "str")])
+
+
+@pytest.fixture()
+def rel(schema):
+    return Relation(schema, [(1, "x"), (2, "EH8 4AH")])
+
+
+class TestCSV:
+    def test_roundtrip(self, rel, tmp_path):
+        path = tmp_path / "r.csv"
+        write_csv(rel, path)
+        back = read_csv(path, schema=rel.schema)
+        assert back.tuples() == rel.tuples()
+
+    def test_schema_inferred_from_header(self, rel, tmp_path):
+        path = tmp_path / "r.csv"
+        write_csv(rel, path)
+        back = read_csv(path)
+        assert back.schema.names == ("a", "b")
+        # inferred schemas are all-string
+        assert back.row(0)["a"] == "1"
+
+    def test_int_dtype_parsed(self, rel, tmp_path):
+        path = tmp_path / "r.csv"
+        write_csv(rel, path)
+        back = read_csv(path, schema=rel.schema)
+        assert back.row(0)["a"] == 1
+
+    def test_dirty_int_kept_as_string(self, schema, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\nnot_an_int,x\n", encoding="utf-8")
+        back = read_csv(path, schema=schema)
+        assert back.row(0)["a"] == "not_an_int"
+
+    def test_column_order_free_with_schema(self, schema, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("b,a\nx,1\n", encoding="utf-8")
+        back = read_csv(path, schema=schema)
+        assert back.row(0).to_dict() == {"a": 1, "b": "x"}
+
+    def test_extra_columns_ignored(self, schema, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b,zz\n1,x,ignored\n", encoding="utf-8")
+        assert read_csv(path, schema=schema).row(0)["b"] == "x"
+
+    def test_missing_column_raises(self, schema, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a\n1\n", encoding="utf-8")
+        with pytest.raises(RelationError, match="missing"):
+            read_csv(path, schema=schema)
+
+    def test_empty_file_raises(self, schema, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(RelationError, match="empty"):
+            read_csv(path, schema=schema)
+
+    def test_short_row_raises(self, schema, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1\n", encoding="utf-8")
+        with pytest.raises(RelationError, match="fields"):
+            read_csv(path, schema=schema)
+
+    def test_values_with_commas_roundtrip(self, schema, tmp_path):
+        rel = Relation(schema, [(1, "a, b, c")])
+        path = tmp_path / "r.csv"
+        write_csv(rel, path)
+        assert read_csv(path, schema=schema).row(0)["b"] == "a, b, c"
+
+
+class TestJSONL:
+    def test_roundtrip(self, rel, tmp_path):
+        path = tmp_path / "r.jsonl"
+        write_jsonl(rel, path)
+        back = read_jsonl(path, rel.schema)
+        assert back.tuples() == rel.tuples()
+
+    def test_blank_lines_skipped(self, schema, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"a": 1, "b": "x"}\n\n', encoding="utf-8")
+        assert len(read_jsonl(path, schema)) == 1
+
+    def test_bad_json_raises(self, schema, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text("{nope}\n", encoding="utf-8")
+        with pytest.raises(RelationError, match="bad JSON"):
+            read_jsonl(path, schema)
+
+    def test_missing_attr_raises(self, schema, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"a": 1}\n', encoding="utf-8")
+        with pytest.raises(RelationError):
+            read_jsonl(path, schema)

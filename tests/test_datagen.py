@@ -1,0 +1,171 @@
+"""Unit tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.datagen.inject import ErrorInjector
+from repro.datagen.noise import (
+    NOISE_OPS,
+    abbreviate,
+    blank,
+    case_mangle,
+    digit_noise,
+    typo_drop,
+    typo_insert,
+    typo_replace,
+    typo_swap,
+)
+from repro.datagen.pools import (
+    TOLL_FREE_AC,
+    UK_REGIONS,
+    region_for_ac,
+    region_for_city,
+)
+from repro.errors import ValidationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(42)
+
+
+class TestPools:
+    def test_regions_unique_acs_and_cities(self):
+        acs = [r.ac for r in UK_REGIONS]
+        cities = [r.city for r in UK_REGIONS]
+        assert len(set(acs)) == len(acs)
+        assert len(set(cities)) == len(cities)
+
+    def test_toll_free_not_a_region(self):
+        with pytest.raises(ValidationError):
+            region_for_ac(TOLL_FREE_AC)
+
+    def test_lookup_by_ac_and_city(self):
+        r = region_for_ac("131")
+        assert r.city == "Edi"
+        assert region_for_city("Edi") is r
+
+    def test_every_region_has_districts(self):
+        assert all(r.districts for r in UK_REGIONS)
+
+
+class TestNoiseOps:
+    def test_typo_replace_changes_one_char(self, rng):
+        out = typo_replace("079172485", rng)
+        assert out != "079172485"
+        assert len(out) == 9
+        assert sum(a != b for a, b in zip(out, "079172485")) == 1
+
+    def test_typo_replace_preserves_char_class(self, rng):
+        for _ in range(20):
+            out = typo_replace("abc123", rng)
+            assert out.isalnum()
+
+    def test_typo_swap(self, rng):
+        out = typo_swap("ab", rng)
+        assert out == "ba"
+
+    def test_typo_swap_too_short(self, rng):
+        assert typo_swap("a", rng) == "a"
+
+    def test_typo_drop(self, rng):
+        assert len(typo_drop("abcd", rng)) == 3
+
+    def test_typo_insert(self, rng):
+        assert len(typo_insert("abcd", rng)) == 5
+
+    def test_abbreviate(self, rng):
+        assert abbreviate("Mark", rng) == "M."
+        assert abbreviate("robert", rng) == "R."
+
+    def test_case_mangle(self, rng):
+        assert case_mangle("EH8 4AH", rng) == "eh8 4ah"
+
+    def test_digit_noise_only_touches_digits(self, rng):
+        out = digit_noise("AC-020", rng)
+        assert out[:3] == "AC-"
+        assert out != "AC-020"
+
+    def test_digit_noise_no_digits_noop(self, rng):
+        assert digit_noise("abc", rng) == "abc"
+
+    def test_blank(self, rng):
+        assert blank("anything", rng) == ""
+
+    def test_registry_complete(self):
+        assert set(NOISE_OPS) >= {
+            "typo_replace", "typo_swap", "typo_drop", "typo_insert",
+            "abbreviate", "case_mangle", "digit_noise", "blank",
+        }
+
+
+class TestErrorInjector:
+    SCHEMA = Schema("r", ["name", "phone"])
+
+    def _clean(self, n=50):
+        return Relation(self.SCHEMA, [(f"Name{i}", f"07{i:09d}") for i in range(n)])
+
+    def test_rate_zero_no_errors(self):
+        injector = ErrorInjector({"name": [("blank", blank)]}, rate=0.0)
+        report = injector.inject(self._clean())
+        assert report.errors == []
+        assert report.dirty.tuples() == report.clean.tuples()
+
+    def test_rate_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            ErrorInjector({}, rate=1.5)
+
+    def test_every_error_recorded_correctly(self):
+        injector = ErrorInjector(
+            {"name": [("typo_replace", typo_replace)],
+             "phone": [("digit_noise", digit_noise)]},
+            rate=0.5, seed=7,
+        )
+        report = injector.inject(self._clean())
+        assert report.errors  # at ~50% some cells must corrupt
+        for e in report.errors:
+            assert report.clean.row(e.position)[e.attr] == e.clean
+            assert report.dirty.row(e.position)[e.attr] == e.dirty
+            assert e.clean != e.dirty
+
+    def test_untouched_cells_identical(self):
+        injector = ErrorInjector({"name": [("blank", blank)]}, rate=0.3, seed=1)
+        report = injector.inject(self._clean())
+        corrupted = report.error_positions()
+        for pos, (d, c) in enumerate(zip(report.dirty.rows(), report.clean.rows())):
+            for attr in self.SCHEMA.names:
+                if (pos, attr) not in corrupted:
+                    assert d[attr] == c[attr]
+
+    def test_deterministic_given_seed(self):
+        injector1 = ErrorInjector({"name": [("typo_replace", typo_replace)]}, rate=0.4, seed=9)
+        injector2 = ErrorInjector({"name": [("typo_replace", typo_replace)]}, rate=0.4, seed=9)
+        r1 = injector1.inject(self._clean())
+        r2 = injector2.inject(self._clean())
+        assert r1.dirty.tuples() == r2.dirty.tuples()
+
+    def test_max_errors_per_tuple(self):
+        injector = ErrorInjector(
+            {"name": [("blank", blank)], "phone": [("blank", blank)]},
+            rate=1.0, max_errors_per_tuple=1,
+        )
+        report = injector.inject(self._clean(10))
+        by_pos = {}
+        for e in report.errors:
+            by_pos[e.position] = by_pos.get(e.position, 0) + 1
+        assert all(v == 1 for v in by_pos.values())
+
+    def test_unknown_attr_rejected(self):
+        injector = ErrorInjector({"nope": [("blank", blank)]}, rate=0.5)
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            injector.inject(self._clean())
+
+    def test_errors_by_attr(self):
+        injector = ErrorInjector({"name": [("blank", blank)]}, rate=1.0)
+        report = injector.inject(self._clean(5))
+        assert report.errors_by_attr() == {"name": 5}

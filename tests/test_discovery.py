@@ -1,0 +1,222 @@
+"""Unit tests for constraint discovery (FDs, constant CFDs, MDs)."""
+
+import pytest
+
+from repro.core.chase import chase
+from repro.core.ruleset import RuleSet
+from repro.discovery.cfd import discover_constant_cfds
+from repro.discovery.fd import FD, discover_fds, fd_confidence, partition
+from repro.discovery.md import discover_mds
+from repro.errors import ValidationError
+from repro.master.manager import MasterDataManager
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.rules.cfd import satisfies
+from repro.rules.derive import editing_rules_from_cfds, editing_rules_from_md
+from repro.scenarios import hospital, uk_customers as uk
+
+SCHEMA = Schema("r", ["a", "b", "c"])
+
+
+@pytest.fixture()
+def rel():
+    # a -> b holds; b -> a does not (b=1 maps to a in {x, z}); c free
+    return Relation(
+        SCHEMA,
+        [
+            ("x", "1", "p"),
+            ("x", "1", "q"),
+            ("y", "2", "p"),
+            ("z", "1", "r"),
+            ("z", "1", "p"),
+        ],
+    )
+
+
+class TestPartition:
+    def test_groups(self, rel):
+        groups = partition(rel, ["a"])
+        assert groups[("x",)] == [0, 1]
+        assert groups[("z",)] == [3, 4]
+
+    def test_multi_attr(self, rel):
+        groups = partition(rel, ["a", "b"])
+        assert groups[("x", "1")] == [0, 1]
+
+
+class TestFDConfidence:
+    def test_exact_fd(self, rel):
+        confidence, support = fd_confidence(rel, ["a"], "b")
+        assert confidence == 1.0
+        assert support == 4  # two groups of size 2
+
+    def test_violated_fd(self, rel):
+        confidence, _ = fd_confidence(rel, ["b"], "a")
+        assert confidence < 1.0
+
+    def test_empty_lhs_is_constancy(self):
+        rel = Relation(SCHEMA, [("x", "1", "p"), ("y", "1", "p")])
+        confidence, _ = fd_confidence(rel, [], "b")
+        assert confidence == 1.0
+
+    def test_empty_relation(self):
+        confidence, support = fd_confidence(Relation(SCHEMA), ["a"], "b")
+        assert confidence == 1.0 and support == 0
+
+
+class TestDiscoverFDs:
+    def test_finds_a_to_b(self, rel):
+        fds = discover_fds(rel, max_lhs=1)
+        assert any(fd.lhs == ("a",) and fd.rhs == "b" for fd in fds)
+        assert not any(fd.lhs == ("b",) and fd.rhs == "a" for fd in fds)
+
+    def test_minimality(self, rel):
+        # a -> b holds, so (a, c) -> b must not be reported
+        fds = discover_fds(rel, max_lhs=2)
+        assert not any(set(fd.lhs) == {"a", "c"} and fd.rhs == "b" for fd in fds)
+
+    def test_targets_filter(self, rel):
+        fds = discover_fds(rel, targets=["b"])
+        assert all(fd.rhs == "b" for fd in fds)
+
+    def test_approximate_confidence(self, rel):
+        fds = discover_fds(rel, min_confidence=0.6, min_support=2)
+        assert any(fd.lhs == ("b",) and fd.rhs == "a" for fd in fds)
+
+    def test_confidence_bounds(self, rel):
+        with pytest.raises(ValidationError):
+            discover_fds(rel, min_confidence=0.0)
+
+    def test_render(self):
+        assert "-> b" in FD(("a",), "b", 4, 1.0).render()
+
+    def test_hospital_keys_discovered(self, hospital_master):
+        clean = hospital.clean_inputs_from_master(hospital_master, 150, seed=1)
+        fds = discover_fds(clean, max_lhs=1, targets=["hname", "city", "state"])
+        lhs_for_hname = {fd.lhs for fd in fds if fd.rhs == "hname"}
+        assert ("provider_id",) in lhs_for_hname
+
+
+class TestDiscoverConstantCFDs:
+    def test_mines_vocabulary(self):
+        rel = Relation(
+            Schema("v", ["code", "name"]),
+            [("A", "Alpha")] * 3 + [("B", "Beta")] * 3,
+        )
+        cfds = discover_constant_cfds(rel, max_lhs=1, min_support=2, targets=["name"])
+        assert len(cfds) == 1
+        cfd = cfds[0]
+        assert cfd.lhs == ("code",) and cfd.rhs == "name"
+        assert len(cfd.tableau) == 2
+        assert satisfies([cfd], rel)
+
+    def test_mines_both_directions_by_default(self):
+        rel = Relation(
+            Schema("v", ["code", "name"]),
+            [("A", "Alpha")] * 3 + [("B", "Beta")] * 3,
+        )
+        cfds = discover_constant_cfds(rel, max_lhs=1, min_support=2)
+        directions = {(cfd.lhs, cfd.rhs) for cfd in cfds}
+        assert (("code",), "name") in directions
+        assert (("name",), "code") in directions
+
+    def test_support_threshold(self):
+        rel = Relation(
+            Schema("v", ["code", "name"]),
+            [("A", "Alpha")] * 3 + [("B", "Beta")],  # B group too small
+        )
+        cfds = discover_constant_cfds(rel, max_lhs=1, min_support=2)
+        rows = cfds[0].tableau
+        assert len(rows) == 1  # only the A row
+
+    def test_confidence_threshold(self):
+        rel = Relation(
+            Schema("v", ["code", "name"]),
+            [("A", "Alpha"), ("A", "Alpha"), ("A", "Oops")],
+        )
+        assert discover_constant_cfds(rel, max_lhs=1, min_support=2,
+                                      targets=["name"]) == []
+        mined = discover_constant_cfds(
+            rel, max_lhs=1, min_support=2, min_confidence=0.6, targets=["name"]
+        )
+        assert mined and mined[0].tableau[0].rhs.value == "Alpha"
+
+    def test_minimality_across_levels(self):
+        rel = Relation(
+            Schema("v", ["code", "region", "name"]),
+            [("A", "r1", "Alpha")] * 2 + [("A", "r2", "Alpha")] * 2,
+        )
+        cfds = discover_constant_cfds(rel, max_lhs=2, min_support=2, targets=["name"])
+        # code alone explains name; (code, region) adds nothing
+        assert all(cfd.lhs == ("code",) for cfd in cfds)
+
+    def test_rediscovers_hospital_vocabulary(self, hospital_master):
+        """The hand-written vocabulary CFDs are rediscoverable from clean
+        samples, and the derived rules behave identically in the chase."""
+        clean = hospital.clean_inputs_from_master(hospital_master, 250, seed=2)
+        mined = discover_constant_cfds(
+            clean, max_lhs=1, min_support=3,
+            targets=["measure_name", "condition", "category", "state_name"],
+        )
+        rules = editing_rules_from_cfds(mined)
+        assert rules
+        ruleset = RuleSet(rules, hospital.INPUT_SCHEMA, hospital.MASTER_SCHEMA)
+        manager = MasterDataManager(hospital_master)
+        t = clean.row(0).to_dict()
+        dirty = dict(t)
+        dirty["measure_name"] = "GARBAGE"
+        result = chase(dirty, ["measure_code"], ruleset, manager)
+        assert result.values["measure_name"] == t["measure_name"]
+
+
+class TestDiscoverMDs:
+    def _pairs(self, master, n=40):
+        clean = uk.clean_inputs_from_master(master, n, seed=3)
+        by_mob = {r["Mphn"]: r for r in master.rows()}
+        by_home = {(r["AC"], r["Hphn"]): r for r in master.rows()}
+        pairs = []
+        for t in clean.rows():
+            values = t.to_dict()
+            s = by_mob[values["phn"]] if values["type"] == "2" else by_home[
+                (values["AC"], values["phn"])
+            ]
+            pairs.append((values, s))
+        return pairs
+
+    def test_discovers_zip_keyed_md(self, uk_master_100):
+        mds = discover_mds(self._pairs(uk_master_100), md_id="uk")
+        assert mds
+        clause_attrs = {c.attr1 for md in mds for c in md.lhs}
+        assert "zip" in clause_attrs  # zip is unique per person: selective
+
+    def test_identified_pairs_exclude_clause_attrs(self, uk_master_100):
+        for md in discover_mds(self._pairs(uk_master_100)):
+            clause_attrs = {c.attr1 for c in md.lhs}
+            assert all(a not in clause_attrs for a, _ in md.identify)
+
+    def test_derived_rules_fix_names(self, uk_master_100):
+        mds = discover_mds(self._pairs(uk_master_100))
+        md = mds[0]
+        wanted = [p for p in md.identify if p[0] in ("FN", "LN", "city")]
+        assert wanted
+        from repro.rules.md import MatchingDependency
+
+        md_small = MatchingDependency(md.md_id, md.lhs, tuple(wanted))
+        rules = editing_rules_from_md(md_small)
+        ruleset = RuleSet(rules, uk.INPUT_SCHEMA, uk.MASTER_SCHEMA)
+        manager = MasterDataManager(uk_master_100)
+        clean = uk.clean_inputs_from_master(uk_master_100, 1, seed=4)
+        t = clean.row(0).to_dict()
+        dirty = dict(t)
+        dirty["FN"] = "WRONG"
+        validated = sorted({c.attr1 for c in md_small.lhs})
+        result = chase(dirty, validated, ruleset, manager)
+        assert result.values["FN"] == t["FN"]
+
+    def test_requires_pairs(self):
+        with pytest.raises(ValidationError):
+            discover_mds([])
+
+    def test_confidence_bounds(self, uk_master_100):
+        with pytest.raises(ValidationError):
+            discover_mds(self._pairs(uk_master_100, n=5), min_confidence=0.0)

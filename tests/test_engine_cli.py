@@ -1,0 +1,164 @@
+"""Tests for the CerFix engine facade, the explorer CLI and rendering."""
+
+import pytest
+
+from repro import CerFix, CertaintyMode, OracleUser, Region
+from repro.explorer.cli import build_parser, main
+from repro.explorer.render import format_kv, format_table, highlight
+from repro.relational.csvio import write_csv
+from repro.scenarios import uk_customers as uk
+
+
+class TestEngine:
+    def test_repr(self, paper_engine):
+        text = repr(paper_engine)
+        assert "9 rules" in text and "master 2 tuples" in text
+
+    def test_check_consistency(self, paper_engine):
+        assert paper_engine.check_consistency(samples=5).is_consistent
+
+    def test_precompute_regions_cached(self, paper_engine):
+        regions = paper_engine.precompute_regions(k=3)
+        assert paper_engine.regions == tuple(regions)
+        assert regions[0].region.attrs == ("AC", "item", "phn", "type", "zip")
+
+    def test_certify_region(self, paper_engine):
+        report = paper_engine.certify_region(
+            Region(("AC", "FN", "LN", "item", "phn", "type", "zip"))
+        )
+        assert report.certain
+
+    def test_fix_with_oracle(self, paper_engine):
+        session = paper_engine.fix(uk.fig3_tuple(), OracleUser(uk.fig3_truth()), "t9")
+        assert session.is_complete
+        assert session.fixed_values() == uk.fig3_truth()
+
+    def test_sessions_share_audit(self, paper_engine):
+        paper_engine.fix(uk.fig3_tuple(), OracleUser(uk.fig3_truth()), "a")
+        paper_engine.fix(uk.fig3_tuple(), OracleUser(uk.fig3_truth()), "b")
+        assert set(paper_engine.audit.tuple_ids()) == {"a", "b"}
+
+    def test_chase_once(self, paper_engine):
+        result = paper_engine.chase_once(uk.fig3_tuple(), ["AC", "phn", "type", "item"])
+        assert result.values["FN"] == "Mark"
+
+    def test_stream(self, paper_engine, uk_master_100):
+        workload = uk.generate_workload(uk_master_100, 10, seed=3)
+        engine = CerFix(paper_engine.ruleset, uk_master_100)
+        report = engine.stream(workload.dirty, workload.clean)
+        assert report.completed == 10
+
+    def test_accepts_manager_or_relation(self, paper_ruleset, paper_master, paper_manager):
+        assert len(CerFix(paper_ruleset, paper_master).master) == 2
+        assert len(CerFix(paper_ruleset, paper_manager).master) == 2
+
+
+class TestRender:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, "xx"), (22, "y")])
+        lines = text.splitlines()
+        assert lines[0].index("bb") == lines[1].index("-+-") - 1 or "bb" in lines[0]
+        assert "22" in lines[3] if len(lines) > 3 else "22" in text
+
+    def test_format_table_truncates(self):
+        text = format_table(("a",), [("x" * 100,)], max_width=10)
+        assert "…" in text
+        assert "x" * 50 not in text
+
+    def test_format_table_title(self):
+        assert format_table(("a",), [(1,)], title="T").startswith("T\n")
+
+    def test_format_kv(self):
+        text = format_kv({"one": 1, "twenty": 20})
+        assert "one    : 1" in text
+
+    def test_format_kv_empty(self):
+        assert format_kv({}, title="x") == "x"
+
+    def test_highlight_markers(self):
+        text = highlight({"a": 1, "b": 2, "c": 3}, suggested={"a"}, validated={"b"})
+        assert "a=1[?]" in text and "b=2[ok]" in text and "c=3" in text
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["rules", "--scenario", "uk"])
+        assert args.command == "rules"
+
+    def test_rules_listing(self, capsys):
+        assert main(["rules", "--scenario", "uk"]) == 0
+        out = capsys.readouterr().out
+        assert "phi9" in out and "9 editing rules" in out
+
+    def test_rules_check(self, capsys):
+        assert main(["rules", "--scenario", "uk", "--check"]) == 0
+        assert "consistent: True" in capsys.readouterr().out
+
+    def test_regions(self, capsys):
+        assert main(["regions", "--scenario", "uk", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "top-2 certain regions" in out
+        assert "zip" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "round 1" in out and "certain fix reached in 2 rounds" in out
+        assert "phi4" in out  # the 'M.' -> 'Mark' provenance
+
+    def test_generate_and_fix_roundtrip(self, tmp_path, capsys):
+        master = tmp_path / "master.csv"
+        dirty = tmp_path / "dirty.csv"
+        truth = tmp_path / "truth.csv"
+        assert main([
+            "generate", "--scenario", "uk", "--master-size", "20", "-n", "15",
+            "--master-out", str(master), "--out", str(dirty),
+            "--truth-out", str(truth),
+        ]) == 0
+        out_csv = tmp_path / "fixed.csv"
+        log = tmp_path / "audit.jsonl"
+        assert main([
+            "fix", "--scenario", "uk", "--master", str(master),
+            "--input", str(dirty), "--truth", str(truth),
+            "--out", str(out_csv), "--log", str(log),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "certain fixes" in out
+        assert out_csv.exists() and log.exists()
+        # the fixed CSV equals the truth CSV (certain fixes are correct)
+        from repro.relational.csvio import read_csv
+
+        fixed = read_csv(out_csv, schema=uk.INPUT_SCHEMA)
+        expect = read_csv(truth, schema=uk.INPUT_SCHEMA)
+        assert fixed.tuples() == expect.tuples()
+
+    def test_audit_command(self, tmp_path, capsys):
+        from repro import CertaintyMode
+
+        engine = CerFix(uk.paper_ruleset(), uk.paper_master())
+        engine.fix(uk.fig3_tuple(), OracleUser(uk.fig3_truth()), "t1")
+        log = tmp_path / "audit.jsonl"
+        engine.audit.to_jsonl(log)
+        assert main(["audit", "--log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "data auditing (Fig. 4)" in out and "FN" in out
+
+    def test_audit_tuple_trace(self, tmp_path, capsys):
+        engine = CerFix(uk.paper_ruleset(), uk.paper_master())
+        engine.fix(uk.fig3_tuple(), OracleUser(uk.fig3_truth()), "t1")
+        log = tmp_path / "audit.jsonl"
+        engine.audit.to_jsonl(log)
+        assert main(["audit", "--log", str(log), "--tuple", "t1"]) == 0
+        assert "phi4" in capsys.readouterr().out
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        # rules file without master/input CSVs is a usage error
+        rules = tmp_path / "rules.txt"
+        rules.write_text("p1: (a=a) -> b := master.b\n", encoding="utf-8")
+        assert main(["rules", "--rules", str(rules)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_hospital_scenario_rules(self, capsys):
+        assert main(["rules", "--scenario", "hospital"]) == 0
+        assert "key_hname" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Failure injection: what happens when the certain-fix contract is broken.
+
+The guarantees hold under the model's assumptions (correct master data,
+correct user validations, consistent rules). These tests break each
+assumption on purpose and check the system *detects and reports* rather
+than silently propagating — the difference between a wrong answer and a
+diagnosed one.
+"""
+
+import random
+
+import pytest
+
+from repro import CerFix, CertaintyMode
+from repro.core.chase import chase
+from repro.core.rule import EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.errors import ConflictError
+from repro.master.manager import MasterDataManager
+from repro.monitor.user import NoisyOracleUser, OracleUser
+from repro.relational.relation import Relation
+from repro.scenarios import uk_customers as uk
+
+
+class TestWrongUserValidations:
+    def test_noisy_user_never_causes_wrong_fixes(self, paper_ruleset, paper_manager):
+        """Garbage validations do not produce garbage fixes: a wrong key
+        simply matches nothing (coverage loss), so machine-written cells
+        remain master-sourced. Sessions stall instead of lying."""
+        truth = uk.fig3_truth()
+        engine = CerFix(paper_ruleset, paper_manager.relation)
+        any_incomplete = False
+        for seed in range(8):
+            session = engine.session(uk.fig3_tuple(), f"n{seed}")
+            user = NoisyOracleUser(truth, error_rate=0.7, rng=random.Random(seed))
+            session.run(user, max_rounds=6)
+            if not session.is_complete:
+                any_incomplete = True
+            for event in engine.audit.by_tuple(f"n{seed}"):
+                if event.source == "rule":
+                    # every machine fix still comes from a real master cell
+                    assert event.master_positions
+                    master_row = paper_manager.row(event.master_positions[0])
+                    assert event.new in master_row.values
+        assert any_incomplete
+
+    def test_wrong_validation_never_overwritten_silently(self, paper_ruleset, paper_manager):
+        """Even when wrong, a user validation is never silently replaced;
+        the disagreement is a recorded conflict."""
+        session = CerFix(paper_ruleset, paper_manager.relation).session(
+            uk.fig3_tuple(), "w"
+        )
+        session.validate({"city": "WRONGCITY"})
+        session.validate({"AC": "201"})  # phi9 now prescribes 'Dur'
+        assert session.current_values()["city"] == "WRONGCITY"
+        assert any(c.attr == "city" for c in session.conflicts)
+
+    def test_strict_session_raises(self, paper_ruleset, paper_manager):
+        session = CerFix(paper_ruleset, paper_manager.relation).session(
+            uk.fig3_tuple(), "s", strict=True
+        )
+        session.validate({"city": "WRONGCITY"})
+        with pytest.raises(ConflictError):
+            session.validate({"AC": "201"})
+
+
+class TestDirtyMasterData:
+    def test_ambiguous_master_blocks_fixes(self, paper_ruleset):
+        """Master duplicates disagreeing on a correction make the rule
+        inapplicable (uniqueness gate) — reported as ambiguities, and the
+        attribute simply stays unvalidated."""
+        master = uk.paper_master()
+        # a second person with the same mobile number but another name
+        clone = list(master.tuples()[1])
+        clone[0] = "Impostor"
+        master.append(tuple(clone))
+        manager = MasterDataManager(master)
+        result = chase(
+            uk.fig3_tuple(), ["AC", "phn", "type", "item"], paper_ruleset, manager
+        )
+        assert "FN" not in result.validated
+        assert any(a.rule_id == "phi4" for a in result.ambiguities)
+        # and the static analysis sees it without any input tuple at all
+        from repro.core.consistency import find_ambiguities
+
+        assert any(w.rule_id == "phi4" for w in find_ambiguities(paper_ruleset, manager))
+
+    def test_inconsistent_master_detected_statically(self):
+        """Two master tuples sharing a zip but disagreeing on the street
+        are visible to find_ambiguities (zip rules can never fire there)."""
+        master = uk.paper_master()
+        clone = list(master.tuples()[0])
+        clone[5] = "999 Other Rd"  # same zip, different street
+        master.append(tuple(clone))
+        from repro.core.consistency import find_ambiguities
+
+        witnesses = find_ambiguities(uk.paper_ruleset(), MasterDataManager(master))
+        assert any(w.rule_id == "phi2" for w in witnesses)
+
+
+class TestNoMasterCoverage:
+    def test_unmatched_entity_stays_incomplete(self, paper_ruleset, paper_manager):
+        """A customer not in the master data cannot get a certain fix for
+        master-sourced attributes — the session reports incompleteness
+        instead of guessing."""
+        engine = CerFix(paper_ruleset, paper_manager.relation)
+        t = {
+            "FN": "Nobody", "LN": "Unknown", "AC": "999", "phn": "000",
+            "type": "2", "str": "?", "city": "?", "zip": "ZZ9 9ZZ", "item": "CD",
+        }
+        session = engine.session(t, "u")
+        user = OracleUser(t)  # the values are "correct"; master just lacks them
+        session.run(user, max_rounds=6)
+        assert not session.is_complete
+        from repro.errors import MonitorError
+
+        with pytest.raises(MonitorError):
+            session.fixed_values()
+
+    def test_stream_counts_incomplete_tuples(self, paper_ruleset, paper_manager):
+        t = {
+            "FN": "Nobody", "LN": "Unknown", "AC": "999", "phn": "000",
+            "type": "2", "str": "?", "city": "?", "zip": "ZZ9 9ZZ", "item": "CD",
+        }
+        dirty = Relation(uk.INPUT_SCHEMA, [t, uk.fig3_tuple()])
+        truth = Relation(uk.INPUT_SCHEMA, [t, uk.fig3_truth()])
+        engine = CerFix(paper_ruleset, paper_manager.relation)
+        report = engine.stream(dirty, truth, max_rounds=6)
+        assert report.tuples == 2
+        assert report.completed == 1
+        assert not report.outcomes[0].complete
+        assert report.outcomes[1].complete
+
+
+class TestInconsistentRules:
+    def test_contradicting_rule_yields_order_dependent_warning(self, paper_master):
+        """A rule set the static analysis rejects also shows its symptom
+        dynamically: the chase reports a conflict on affected tuples."""
+        from repro.core.pattern import Eq, PatternTuple
+        from repro.core.rule import Constant
+
+        bad = EditingRule("bad", (), "city", Constant("Atlantis"),
+                          PatternTuple({"AC": Eq("131")}))
+        ruleset = uk.paper_ruleset().add(bad)
+        manager = MasterDataManager(paper_master)
+        report = CerFix(ruleset, paper_master).check_consistency(samples=10)
+        assert not report.is_consistent
+
+        t = dict(uk.example1_truth())
+        result = chase(t, ["AC", "phn", "type", "item"], ruleset, manager)
+        assert result.conflicts
+        attrs = {c.attr for c in result.conflicts}
+        assert "city" in attrs

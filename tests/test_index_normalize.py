@@ -1,0 +1,87 @@
+"""Unit tests for hash indexes and value normalisers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.relational.index import HashIndex
+from repro.relational.normalize import NORMALIZERS, normalize_value, register_normalizer
+
+
+class TestNormalizers:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("exact", "AbC", "AbC"),
+            ("casefold", "AbC", "abc"),
+            ("digits", "079 172 485", "079172485"),
+            ("digits", "no digits", ""),
+            ("alnum", "EH8 4AH", "eh84ah"),
+            ("alnum", "e-h-8", "eh8"),
+            ("collapse_spaces", "  A   B ", "a b"),
+        ],
+    )
+    def test_string_normalisation(self, op, value, expected):
+        assert normalize_value(value, op) == expected
+
+    def test_non_string_pass_through(self):
+        assert normalize_value(42, "casefold") == 42
+        assert normalize_value(None, "digits") is None
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValidationError, match="unknown match operator"):
+            normalize_value("x", "soundex")
+
+    def test_register_and_use(self):
+        register_normalizer("test_reverse", lambda v: v[::-1] if isinstance(v, str) else v)
+        try:
+            assert normalize_value("abc", "test_reverse") == "cba"
+        finally:
+            del NORMALIZERS["test_reverse"]
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            register_normalizer("exact", lambda v: v)
+
+    def test_equivalence_semantics(self):
+        # two values match under op iff their normalisations are equal
+        assert normalize_value("EH8 4AH", "alnum") == normalize_value("eh84ah", "alnum")
+        assert normalize_value("EH8 4AH", "exact") != normalize_value("eh84ah", "exact")
+
+
+class TestHashIndex:
+    def test_build_and_lookup(self):
+        idx = HashIndex(("a",)).build([(1,), (2,), (1,)])
+        assert idx.lookup((1,)) == [0, 2]
+        assert idx.lookup((3,)) == []
+
+    def test_multi_attr_keys(self):
+        idx = HashIndex(("a", "b")).build([(1, "x"), (1, "y")])
+        assert idx.lookup((1, "x")) == [0]
+
+    def test_normalised_probe_and_build(self):
+        idx = HashIndex(("z",), ops=("alnum",)).build([("EH8 4AH",)])
+        assert idx.lookup(("eh84ah",)) == [0]
+
+    def test_ops_arity_checked(self):
+        with pytest.raises(ValueError):
+            HashIndex(("a", "b"), ops=("exact",))
+
+    def test_duplicate_keys(self):
+        idx = HashIndex(("a",)).build([(1,), (1,), (2,)])
+        assert idx.duplicate_keys() == {(1,): [0, 1]}
+
+    def test_len_counts_entries(self):
+        idx = HashIndex(("a",)).build([(1,), (1,)])
+        assert len(idx) == 2
+
+    def test_keys(self):
+        idx = HashIndex(("a",)).build([(1,), (2,)])
+        assert set(idx.keys()) == {(1,), (2,)}
+
+    def test_add_incremental(self):
+        idx = HashIndex(("a",))
+        idx.add(0, (5,))
+        assert idx.lookup((5,)) == [0]
+
+    def test_repr_mentions_ops(self):
+        assert "z~alnum" in repr(HashIndex(("z",), ops=("alnum",)))

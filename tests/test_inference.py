@@ -1,0 +1,143 @@
+"""Unit tests for the inference system (syntactic closures)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.inference import (
+    chase_depth_bound,
+    dependency_graph,
+    derivation_cycles,
+    mandatory_attributes,
+    potential_closure,
+    reachable_closure,
+    syntactically_certain,
+)
+from repro.core.pattern import Eq, PatternTuple
+from repro.core.rule import EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.relational.schema import Schema
+from repro.scenarios import uk_customers as uk
+
+INPUT = Schema("t", ["k", "a", "b", "c"])
+MASTER = Schema("m", ["mk", "ma", "mb"])
+
+
+def rs(*rules):
+    return RuleSet(rules, INPUT, MASTER)
+
+
+R_KA = EditingRule("ka", (MatchPair("k", "mk"),), "a", MasterColumn("ma"))
+R_AB = EditingRule("ab", (MatchPair("a", "ma"),), "b", MasterColumn("mb"))
+R_AB_GATED = EditingRule(
+    "abg", (MatchPair("a", "ma"),), "b", MasterColumn("mb"), PatternTuple({"c": Eq("go")})
+)
+
+
+class TestPotentialClosure:
+    def test_transitive(self):
+        assert potential_closure({"k"}, rs(R_KA, R_AB)) == frozenset({"k", "a", "b"})
+
+    def test_no_rules_fire(self):
+        assert potential_closure({"c"}, rs(R_KA)) == frozenset({"c"})
+
+    def test_pattern_attrs_count_as_reads(self):
+        # abg reads c via its pattern: without c, b is unreachable
+        assert "b" not in potential_closure({"k"}, rs(R_KA, R_AB_GATED))
+        assert "b" in potential_closure({"k", "c"}, rs(R_KA, R_AB_GATED))
+
+    def test_ignores_pattern_values(self):
+        # syntactic: the closure includes b even though c='stop' blocks it
+        closure = potential_closure({"a", "c"}, rs(R_AB_GATED))
+        assert "b" in closure
+
+    def test_paper_mandatory_plus_zip_closes(self, paper_ruleset):
+        closure = potential_closure({"AC", "phn", "type", "item", "zip"}, paper_ruleset)
+        assert closure == frozenset(uk.INPUT_SCHEMA.names)
+
+
+class TestReachableClosure:
+    def test_respects_known_pattern_values(self):
+        # c is validated with a blocking value -> b not reachable
+        closure = reachable_closure({"a": "A1", "c": "stop"}, {"a", "c"}, rs(R_AB_GATED))
+        assert "b" not in closure
+
+    def test_pattern_on_unknown_assumed_satisfiable(self):
+        # c is to-be-validated (not in the known base) -> optimistic
+        closure = reachable_closure({"a": "A1"}, {"a", "c"}, rs(R_AB_GATED))
+        assert "b" in closure
+
+    def test_fig3_round2_zip_unlocks_str(self, paper_ruleset):
+        t = uk.fig3_tuple()
+        validated = {"AC", "phn", "type", "item", "FN", "LN", "city"}
+        known = {a: uk.fig3_truth()[a] for a in validated}
+        closure = reachable_closure(known, validated | {"zip"}, paper_ruleset)
+        assert closure == frozenset(uk.INPUT_SCHEMA.names)
+
+    def test_fig3_type2_blocks_phi8(self, paper_ruleset):
+        validated = {"AC", "phn", "type", "item"}
+        known = {"AC": "201", "phn": "075568485", "type": "2", "item": "DVD"}
+        closure = reachable_closure(known, frozenset(validated), paper_ruleset)
+        assert "zip" not in closure  # phi8 requires type=1
+
+
+class TestMandatory:
+    def test_simple(self):
+        assert mandatory_attributes(rs(R_KA)) == frozenset({"k", "b", "c"})
+
+    def test_paper_mandatory_is_fig3a_suggestion(self, paper_ruleset):
+        assert mandatory_attributes(paper_ruleset) == frozenset(
+            {"AC", "phn", "type", "item"}
+        )
+
+    def test_extended_rules_drop_ac(self, extended_ruleset):
+        assert mandatory_attributes(extended_ruleset) == frozenset({"phn", "type", "item"})
+
+
+class TestSyntacticCertainty:
+    def test_positive(self):
+        assert syntactically_certain(["k", "c"], rs(R_KA, R_AB))
+
+    def test_negative(self):
+        assert not syntactically_certain(["k"], rs(R_KA))
+
+    def test_paper(self, paper_ruleset):
+        assert syntactically_certain(
+            ["AC", "phn", "type", "item", "zip"], paper_ruleset
+        )
+        assert not syntactically_certain(["AC", "phn", "type"], paper_ruleset)
+
+
+class TestDependencyGraph:
+    def test_nodes_and_edges(self):
+        g = dependency_graph(rs(R_KA, R_AB))
+        assert set(g.nodes) == {"k", "a", "b", "c"}
+        assert g.has_edge("k", "a")
+        assert g.has_edge("a", "b")
+
+    def test_edge_rule_labels(self):
+        g = dependency_graph(rs(R_KA))
+        assert g["k"]["a"]["rules"] == ["ka"]
+
+    def test_parallel_rules_merge_labels(self):
+        r2 = EditingRule("ka2", (MatchPair("k", "mk"),), "a", MasterColumn("mb"))
+        g = dependency_graph(rs(R_KA, r2))
+        assert g["k"]["a"]["rules"] == ["ka", "ka2"]
+
+    def test_no_cycles_in_paper_rules(self, paper_ruleset):
+        assert derivation_cycles(paper_ruleset) == []
+
+    def test_cycle_detection(self):
+        r_ba = EditingRule("ba", (MatchPair("b", "mb"),), "a", MasterColumn("ma"))
+        cycles = derivation_cycles(rs(R_AB, r_ba))
+        assert any(set(c) == {"a", "b"} for c in cycles)
+
+    def test_depth_bound_chain(self):
+        assert chase_depth_bound(rs(R_KA, R_AB)) == 3  # k -> a -> b
+
+    def test_depth_bound_cyclic_falls_back(self):
+        r_ba = EditingRule("ba", (MatchPair("b", "mb"),), "a", MasterColumn("ma"))
+        assert chase_depth_bound(rs(R_AB, r_ba)) == len(INPUT)
+
+    def test_self_normalizing_loop_excluded(self, paper_ruleset):
+        # phi1 (zip -> zip) is a self-loop; it must not count as a cycle
+        assert derivation_cycles(paper_ruleset) == []

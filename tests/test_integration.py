@@ -1,0 +1,210 @@
+"""Integration tests: full pipelines across modules, mirroring the demo."""
+
+import pytest
+
+from repro import (
+    CerFix,
+    CertaintyMode,
+    OracleUser,
+    Relation,
+    RuleSet,
+    SuggestionStrategy,
+    parse_rules,
+)
+from repro.audit.stats import attribute_stats, overall_stats, tuple_trace
+from repro.baselines.cfd_repair import GreedyCFDRepair
+from repro.baselines.quality import evaluate_repair
+from repro.master.manager import MasterDataManager
+from repro.monitor.user import CautiousUser, SelectiveUser
+from repro.relational.csvio import read_csv, write_csv
+from repro.scenarios import hospital, uk_customers as uk
+
+
+class TestFig3EndToEnd:
+    """The complete Fig. 3 demonstration, step by step."""
+
+    def test_walkthrough(self, paper_engine):
+        session = paper_engine.session(uk.fig3_tuple(), "fig3")
+        truth = uk.fig3_truth()
+
+        # Fig. 3(a): initial suggestion highlights AC, phn, type, item.
+        s1 = session.suggestion()
+        assert s1.attrs == ("AC", "phn", "type", "item")
+
+        # The user enters 201 / 075568485 / mobile / DVD.
+        r1 = session.validate({a: truth[a] for a in s1.attrs})
+
+        # Fig. 3(b): FN, LN and city now validated by CerFix.
+        assert {"FN", "LN", "city"} <= set(r1.newly_validated)
+        assert session.current_values()["FN"] == "Mark"  # 'M.' normalised
+
+        # Fig. 3(b): CerFix suggests validating zip.
+        s2 = session.suggestion()
+        assert s2.attrs == ("zip",)
+
+        # Fig. 3(c): after two rounds, everything is green.
+        session.validate({"zip": truth["zip"]})
+        assert session.is_complete
+        assert session.round_no == 2
+        assert session.fixed_values() == truth
+
+        # Data auditing: the FN cell traces to phi4 and master tuple 2.
+        events = [e for e in session.audit.by_tuple("fig3") if e.attr == "FN"]
+        assert events[0].rule_id == "phi4"
+        assert events[0].master_positions == (1,)
+
+    def test_walkthrough_with_region_strategy(self, paper_engine):
+        paper_engine.precompute_regions(k=3)
+        session = paper_engine.session(
+            uk.fig3_tuple(), "fig3r", strategy=SuggestionStrategy.REGION
+        )
+        assert session.run(OracleUser(uk.fig3_truth()))
+        # the region strategy asks for the whole region up front: one round
+        assert session.round_no == 1
+
+    def test_walkthrough_with_semantic_strategy(self, paper_engine):
+        session = paper_engine.session(
+            uk.fig3_tuple(), "fig3s", strategy=SuggestionStrategy.SEMANTIC
+        )
+        assert session.run(OracleUser(uk.fig3_truth()))
+        assert session.round_no == 1
+
+
+class TestExample1EndToEnd:
+    """Example 1/2: constraint repair vs certain fixes, side by side."""
+
+    def test_cfd_detects_but_misrepairs(self):
+        dirty = Relation(uk.INPUT_SCHEMA, [uk.example1_tuple()])
+        truth = Relation(uk.INPUT_SCHEMA, [uk.example1_truth()])
+        repaired, _ = GreedyCFDRepair(uk.paper_cfds()).repair(dirty)
+        quality = evaluate_repair(dirty, repaired, truth)
+        assert quality.new_errors == 1  # city Edi -> Ldn: the paper's point
+        assert quality.errors_fixed == 0
+
+    def test_cerfix_fixes_ac_from_zip(self, paper_master):
+        engine = CerFix(uk.paper_ruleset(extended=True), paper_master)
+        session = engine.session(uk.example1_tuple(), "ex1")
+        session.assure(["zip", "phn", "type", "item"])
+        assert session.is_complete
+        fixed = session.fixed_values()
+        assert fixed["AC"] == "131"      # corrected
+        assert fixed["city"] == "Edi"    # untouched (was correct)
+        assert fixed["FN"] == "Robert"   # normalised from 'Bob' via phi4
+
+
+class TestCSVPipeline:
+    """generate -> CSV -> load -> stream -> audit -> quality."""
+
+    def test_full_pipeline(self, tmp_path, uk_master_100):
+        workload = uk.generate_workload(uk_master_100, 40, rate=0.3, seed=21)
+        master_csv = tmp_path / "master.csv"
+        dirty_csv = tmp_path / "dirty.csv"
+        truth_csv = tmp_path / "truth.csv"
+        write_csv(uk_master_100, master_csv)
+        write_csv(workload.dirty, dirty_csv)
+        write_csv(workload.clean, truth_csv)
+
+        master = read_csv(master_csv, schema=uk.MASTER_SCHEMA)
+        dirty = read_csv(dirty_csv, schema=uk.INPUT_SCHEMA)
+        truth = read_csv(truth_csv, schema=uk.INPUT_SCHEMA)
+
+        engine = CerFix(uk.paper_ruleset(), master)
+        report = engine.stream(dirty, truth)
+        assert report.completed == 40
+
+        # reconstruct the fixed relation from sessions and compare to truth
+        fixed = Relation(uk.INPUT_SCHEMA)
+        for i, row in enumerate(dirty.rows()):
+            values = row.to_dict()
+            for event in engine.audit.by_tuple(f"t{i}"):
+                values[event.attr] = event.new
+            fixed.append(values)
+        quality = evaluate_repair(dirty, fixed, truth)
+        assert quality.new_errors == 0
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+
+    def test_audit_stats_shape(self, uk_master_100):
+        workload = uk.generate_workload(uk_master_100, 30, rate=0.2, seed=31)
+        engine = CerFix(uk.paper_ruleset(), uk_master_100)
+        engine.stream(workload.dirty, workload.clean)
+        stats = attribute_stats(engine.audit, attrs=uk.INPUT_SCHEMA.names)
+        by_attr = {s.attr: s for s in stats}
+        # mandatory attrs are always user-validated
+        for attr in ("AC", "phn", "type", "item"):
+            assert by_attr[attr].pct_user == 100.0
+        # str and city are always machine-fixed (phi2/phi6 and phi3/phi7/phi9
+        # cover both phone types); FN/LN/zip are machine-fixed only on the
+        # type=2 / type=1 paths respectively, so they are mixed.
+        for attr in ("str", "city"):
+            assert by_attr[attr].pct_auto == 100.0
+        for attr in ("FN", "LN", "zip"):
+            assert 0.0 < by_attr[attr].pct_auto < 100.0
+        overall = overall_stats(engine.audit)
+        assert overall.tuples == 30
+        assert 0.4 < overall.user_share < 0.8
+
+
+class TestRuleFileWorkflow:
+    """Author rules as text, parse, validate, run — the rule-manager path."""
+
+    RULES = """
+    # reduced UK rule file
+    phi4: (phn~digits~Mphn) -> FN := master.FN if (type=2)
+    phi5: (phn~digits~Mphn) -> LN := master.LN if (type=2)
+    phi9: (AC=AC) -> city := master.city if (AC!=0800)
+    """
+
+    def test_parse_validate_run(self, paper_master):
+        rules = parse_rules(self.RULES)
+        ruleset = RuleSet(rules, uk.INPUT_SCHEMA, uk.MASTER_SCHEMA)
+        engine = CerFix(ruleset, paper_master)
+        assert engine.check_consistency(samples=10).is_consistent
+        result = engine.chase_once(uk.fig3_tuple(), ["AC", "phn", "type"])
+        assert result.values["FN"] == "Mark"
+        assert result.values["city"] == "Dur"
+
+
+class TestDifferentUsers:
+    def test_cautious_user_more_rounds_same_fix(self, paper_engine):
+        fast = paper_engine.session(uk.fig3_tuple(), "fast")
+        fast.run(OracleUser(uk.fig3_truth()))
+        slow = paper_engine.session(uk.fig3_tuple(), "slow")
+        slow.run(CautiousUser(uk.fig3_truth(), max_per_round=1), max_rounds=12)
+        assert fast.is_complete and slow.is_complete
+        assert slow.round_no > fast.round_no
+        assert slow.fixed_values() == fast.fixed_values()
+
+    def test_selective_user_alternative_path(self, paper_engine):
+        """Paper step (2): the user validates attributes other than the
+        suggested ones; CerFix reacts the same way."""
+        user = SelectiveUser(
+            uk.fig3_truth(),
+            known={"zip", "type", "phn", "AC", "item"},
+        )
+        session = paper_engine.session(uk.fig3_tuple(), "sel")
+        assert session.run(user, max_rounds=12)
+        assert session.fixed_values() == uk.fig3_truth()
+
+
+class TestHospitalEndToEnd:
+    def test_one_round_sessions(self, hospital_ruleset, hospital_master):
+        engine = CerFix(hospital_ruleset, hospital_master)
+        workload = hospital.generate_workload(hospital_master, 15, rate=0.3, seed=9)
+        report = engine.stream(workload.dirty, workload.clean)
+        assert report.completed == 15
+        assert report.mean_rounds == 1.0  # one suggestion covers the key set
+
+    def test_vocabulary_errors_fixed_by_derived_rules(self, hospital_ruleset, hospital_master):
+        engine = CerFix(hospital_ruleset, hospital_master)
+        clean = hospital.clean_inputs_from_master(hospital_master, 1, seed=13)
+        t = clean.row(0).to_dict()
+        t["measure_name"] = "GARBAGE"
+        t["state_name"] = "garbage"
+        session = engine.fix(t, OracleUser(clean.row(0).to_dict()), "h1")
+        assert session.is_complete
+        assert session.fixed_values() == clean.row(0).to_dict()
+        sources = {e.attr: e.rule_id for e in engine.audit.by_tuple("h1")
+                   if e.source == "rule"}
+        assert sources["measure_name"].startswith("cfd_mname")
+        assert sources["state_name"].startswith("cfd_state")

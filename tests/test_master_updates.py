@@ -1,0 +1,116 @@
+"""Tests for incremental master-data maintenance."""
+
+import pytest
+
+from repro import CerFix, CertaintyMode
+from repro.errors import RelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.scenarios import uk_customers as uk
+
+
+class TestDeleteRows:
+    def test_delete(self):
+        rel = Relation(Schema("r", ["a"]), [(1,), (2,), (3,)])
+        rel.delete_rows([1])
+        assert rel.column("a") == [1, 3]
+
+    def test_delete_many(self):
+        rel = Relation(Schema("r", ["a"]), [(1,), (2,), (3,), (4,)])
+        rel.delete_rows({0, 2})
+        assert rel.column("a") == [2, 4]
+
+    def test_delete_nothing(self):
+        rel = Relation(Schema("r", ["a"]), [(1,)])
+        rel.delete_rows([])
+        assert len(rel) == 1
+
+    def test_delete_bad_position(self):
+        rel = Relation(Schema("r", ["a"]), [(1,)])
+        with pytest.raises(RelationError):
+            rel.delete_rows([5])
+
+    def test_delete_invalidates_indexes(self):
+        rel = Relation(Schema("r", ["a"]), [(1,), (2,)])
+        assert len(rel.lookup(("a",), (2,))) == 1
+        rel.delete_rows([1])
+        assert len(rel.lookup(("a",), (2,))) == 0
+
+
+@pytest.fixture()
+def engine(paper_ruleset, paper_master):
+    # fresh copies per test: updates mutate the master relation
+    master = Relation(paper_master.schema, paper_master.tuples())
+    eng = CerFix(
+        paper_ruleset,
+        master,
+        mode=CertaintyMode.SCENARIO,
+        scenario=uk.scenario_tuples(master),
+    )
+    eng.precompute_regions(k=3)
+    return eng
+
+
+class TestUpdateMaster:
+    def test_compatible_add_keeps_regions(self, engine):
+        new_person = {
+            "FN": "Alice", "LN": "Wong", "AC": "131", "Hphn": "5551234",
+            "Mphn": "07999000111", "str": "7 New St", "city": "Edi",
+            "zip": "EH9 9XY", "DOB": "01/01/90", "gender": "F",
+        }
+        before = len(engine.regions)
+        report = engine.update_master(add=[new_person])
+        assert report.added == 1
+        assert len(report.regions_kept) == before
+        assert not report.regions_dropped
+        # the new entity is fixable right away
+        t = {
+            "FN": "?", "LN": "?", "AC": "131", "phn": "07999000111",
+            "type": "2", "str": "?", "city": "?", "zip": "EH9 9XY", "item": "CD",
+        }
+        result = engine.chase_once(t, ["AC", "phn", "type", "item", "zip"])
+        assert result.is_complete
+        assert result.values["FN"] == "Alice"
+
+    def test_ambiguating_add_drops_regions(self, engine):
+        """A new person sharing Mark's mobile number makes phi4/phi5
+        ambiguous: regions relying on the mobile path must be dropped."""
+        impostor = {
+            "FN": "Impostor", "LN": "Smith", "AC": "201", "Hphn": "1112223",
+            "Mphn": "075568485",  # same mobile as master tuple 2
+            "str": "1 Fake St", "city": "Dur", "zip": "DH7 7AA",
+            "DOB": "02/02/80", "gender": "M",
+        }
+        report = engine.update_master(add=[impostor])
+        assert report.regions_dropped
+        dropped_attrs = {r.region.attrs for r, _ in report.regions_dropped}
+        # the top region (mobile path, type=2) is among the casualties
+        assert ("AC", "item", "phn", "type", "zip") in dropped_attrs
+        assert "dropped" in report.describe()
+
+    def test_remove_entity_vacuous_under_scenario(self, engine):
+        """Under SCENARIO semantics, removing Mark shrinks the correct-
+        tuple universe, so his tableau rows become vacuous rather than
+        broken — regions survive (they just cover less)."""
+        report = engine.update_master(remove=[1])
+        assert report.removed == 1
+        assert len(engine.master) == 1
+        assert report.regions_kept and not report.regions_dropped
+
+    def test_remove_entity_drops_coverage_anchored(self, engine):
+        """Re-certifying under ANCHORED (where tableau constants are part
+        of the quantified universe) exposes the lost coverage: Mark's
+        pinned rows now fail and the regions are dropped."""
+        report = engine.update_master(remove=[1], mode=CertaintyMode.ANCHORED)
+        assert report.regions_dropped
+        dropped_attrs = {r.region.attrs for r, _ in report.regions_dropped}
+        assert ("AC", "item", "phn", "type", "zip") in dropped_attrs
+
+    def test_regions_cache_updated(self, engine):
+        impostor_free = {
+            "FN": "Alice", "LN": "Wong", "AC": "131", "Hphn": "5551234",
+            "Mphn": "07999000111", "str": "7 New St", "city": "Edi",
+            "zip": "EH9 9XY", "DOB": "01/01/90", "gender": "F",
+        }
+        engine.update_master(add=[impostor_free])
+        assert engine.regions  # survivors stay cached for suggestions

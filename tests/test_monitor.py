@@ -1,0 +1,292 @@
+"""Unit tests for the data monitor: suggestions, sessions, users, streams."""
+
+import pytest
+
+from repro import CerFix, CertaintyMode
+from repro.audit.log import AuditLog
+from repro.core.region import RankedRegion, Region
+from repro.core.pattern import Eq, PatternTuple
+from repro.errors import MonitorError, ValidationError
+from repro.master.manager import MasterDataManager
+from repro.monitor.session import MonitorSession
+from repro.monitor.stream import StreamProcessor
+from repro.monitor.suggest import SuggestionStrategy, compute_suggestion
+from repro.monitor.user import (
+    CautiousUser,
+    NoisyOracleUser,
+    OracleUser,
+    ScriptedUser,
+    SelectiveUser,
+)
+from repro.relational.relation import Relation
+from repro.scenarios import uk_customers as uk
+
+
+@pytest.fixture()
+def session(paper_ruleset, paper_manager):
+    return MonitorSession(paper_ruleset, paper_manager, uk.fig3_tuple(), "t1")
+
+
+class TestSuggestions:
+    def test_core_first_round1_is_fig3a(self, paper_ruleset, paper_manager):
+        s = compute_suggestion(uk.fig3_tuple(), frozenset(), paper_ruleset, paper_manager)
+        assert s.attrs == ("AC", "phn", "type", "item")
+        assert s.strategy is SuggestionStrategy.CORE_FIRST
+
+    def test_core_first_round2_is_zip(self, paper_ruleset, paper_manager, session):
+        session.validate({a: uk.fig3_truth()[a] for a in ("AC", "phn", "type", "item")})
+        s = session.suggestion()
+        assert s.attrs == ("zip",)
+
+    def test_complete_session_no_suggestion(self, session):
+        truth = uk.fig3_truth()
+        session.validate({a: truth[a] for a in ("AC", "phn", "type", "item")})
+        session.validate({"zip": truth["zip"]})
+        assert session.suggestion() is None
+
+    def test_region_strategy_uses_precomputed(self, paper_ruleset, paper_manager):
+        region = RankedRegion(
+            Region(("AC", "item", "phn", "type", "zip"),
+                   (PatternTuple({"type": Eq("2")}),)),
+            CertaintyMode.SCENARIO,
+        )
+        s = compute_suggestion(
+            uk.fig3_tuple(), frozenset({"type"}), paper_ruleset, paper_manager,
+            strategy=SuggestionStrategy.REGION, regions=[region],
+        )
+        assert s.strategy is SuggestionStrategy.REGION
+        assert set(s.attrs) == {"AC", "item", "phn", "zip"}
+
+    def test_region_strategy_falls_back(self, paper_ruleset, paper_manager):
+        s = compute_suggestion(
+            uk.fig3_tuple(), frozenset(), paper_ruleset, paper_manager,
+            strategy=SuggestionStrategy.REGION, regions=[],
+        )
+        assert s.strategy is SuggestionStrategy.CORE_FIRST
+
+    def test_semantic_strategy_one_round(self, paper_ruleset, paper_manager, paper_master):
+        s = compute_suggestion(
+            uk.fig3_tuple(), frozenset(), paper_ruleset, paper_manager,
+            strategy=SuggestionStrategy.SEMANTIC,
+            mode=CertaintyMode.SCENARIO,
+            scenario=uk.scenario_tuples(paper_master),
+        )
+        assert s.strategy is SuggestionStrategy.SEMANTIC
+        # validating this set completes in one round for any correct values
+        assert set(s.attrs) >= {"AC", "phn", "type", "item"}
+
+    def test_suggestion_render(self, session):
+        assert "validate" in session.suggestion().render()
+
+
+class TestSessionLifecycle:
+    def test_initial_state(self, session):
+        assert not session.is_complete
+        assert session.validated == frozenset()
+        assert session.round_no == 0
+
+    def test_missing_attrs_rejected(self, paper_ruleset, paper_manager):
+        with pytest.raises(MonitorError, match="missing"):
+            MonitorSession(paper_ruleset, paper_manager, {"FN": "x"}, "t")
+
+    def test_fig3_full_walkthrough(self, session):
+        truth = uk.fig3_truth()
+        r1 = session.validate({a: truth[a] for a in ("AC", "phn", "type", "item")})
+        assert set(r1.newly_validated) >= {"FN", "LN", "city"}
+        r2 = session.validate({"zip": truth["zip"]})
+        assert session.is_complete
+        assert session.round_no == 2
+        assert session.fixed_values() == truth
+
+    def test_assure_uses_current_values(self, paper_ruleset, paper_manager):
+        t = uk.fig3_truth()  # already-clean tuple
+        session = MonitorSession(paper_ruleset, paper_manager, t, "t")
+        session.assure(["AC", "phn", "type", "item"])
+        session.assure(["zip"])
+        assert session.is_complete
+        assert session.fixed_values() == t
+
+    def test_normalization_on_assure(self, paper_ruleset, paper_manager):
+        # assure the lower-case zip: phi1 rewrites it to the master form
+        t = dict(uk.fig3_truth())
+        t["zip"] = "dh1 3le"
+        session = MonitorSession(paper_ruleset, paper_manager, t, "t")
+        session.assure(["AC", "phn", "type", "item"])
+        session.assure(["zip"])
+        assert session.fixed_values()["zip"] == "DH1 3LE"
+
+    def test_fixed_values_before_complete_raises(self, session):
+        with pytest.raises(MonitorError, match="no certain fix yet"):
+            session.fixed_values()
+
+    def test_validate_after_complete_raises(self, session):
+        truth = uk.fig3_truth()
+        session.validate({a: truth[a] for a in ("AC", "phn", "type", "item")})
+        session.validate({"zip": truth["zip"]})
+        with pytest.raises(MonitorError, match="already"):
+            session.validate({"zip": truth["zip"]})
+
+    def test_empty_validation_rejected(self, session):
+        with pytest.raises(MonitorError):
+            session.validate({})
+
+    def test_unknown_attr_rejected(self, session):
+        with pytest.raises(MonitorError, match="unknown attribute"):
+            session.validate({"nope": "x"})
+
+    def test_contradicting_validation_rejected(self, session):
+        session.validate({"AC": "201"})
+        with pytest.raises(MonitorError, match="contradictory"):
+            session.validate({"AC": "131"})
+
+    def test_revalidation_same_value_ok(self, session):
+        session.validate({"AC": "201"})
+        session.validate({"AC": "201", "type": "2"})  # AC ignored, no error
+        assert "type" in session.validated
+
+    def test_provenance_split(self, session):
+        truth = uk.fig3_truth()
+        session.validate({a: truth[a] for a in ("AC", "phn", "type", "item")})
+        session.validate({"zip": truth["zip"]})
+        prov = session.provenance
+        assert prov["AC"] == "user"
+        assert prov["FN"] == "rule"
+        assert prov["str"] == "rule"
+
+    def test_audit_events_recorded(self, session):
+        truth = uk.fig3_truth()
+        session.validate({a: truth[a] for a in ("AC", "phn", "type", "item")})
+        events = session.audit.by_tuple("t1")
+        sources = {e.attr: e.source for e in events}
+        assert sources["AC"] == "user"
+        assert sources["FN"] == "rule"
+
+    def test_user_can_validate_unsuggested_attrs(self, session):
+        # paper step (2): S may not be any certain region
+        truth = uk.fig3_truth()
+        record = session.validate({"zip": truth["zip"], "type": truth["type"]})
+        # zip + type validated; phi1 self-normalises, phi3/phi2 need nothing else
+        assert "str" in session.validated
+        assert "city" in session.validated
+
+    def test_conflict_recorded_on_wrong_validation(self, paper_ruleset, paper_manager):
+        t = dict(uk.fig3_tuple())
+        session = MonitorSession(paper_ruleset, paper_manager, t, "t")
+        truth = uk.fig3_truth()
+        # user wrongly validates city as 'Newcastle', then validates AC:
+        # phi9 prescribes 'Dur' -> conflict detected, value not overwritten
+        session.validate({"city": "Newcastle"})
+        session.validate({"AC": truth["AC"]})
+        assert session.conflicts
+        assert session.current_values()["city"] == "Newcastle"
+
+    def test_run_with_oracle(self, paper_ruleset, paper_manager):
+        session = MonitorSession(paper_ruleset, paper_manager, uk.fig3_tuple(), "t")
+        assert session.run(OracleUser(uk.fig3_truth()))
+        assert session.round_no == 2
+
+    def test_suggestion_cache_invalidated(self, session):
+        s1 = session.suggestion()
+        assert session.suggestion() is s1  # cached
+        session.validate({"AC": "201"})
+        assert session.suggestion() is not s1
+
+
+class TestUsers:
+    def test_oracle_answers_suggestion(self, session):
+        user = OracleUser(uk.fig3_truth())
+        out = user.respond(session.suggestion(), session)
+        assert out == {a: uk.fig3_truth()[a] for a in ("AC", "phn", "type", "item")}
+
+    def test_cautious_limits_per_round(self, session):
+        user = CautiousUser(uk.fig3_truth(), max_per_round=2)
+        out = user.respond(session.suggestion(), session)
+        assert len(out) == 2
+
+    def test_cautious_validates_eventually(self, paper_ruleset, paper_manager):
+        session = MonitorSession(paper_ruleset, paper_manager, uk.fig3_tuple(), "t")
+        assert session.run(CautiousUser(uk.fig3_truth(), max_per_round=1), max_rounds=10)
+        assert session.round_no > 2  # more rounds than the oracle
+
+    def test_cautious_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            CautiousUser({}, max_per_round=0)
+
+    def test_selective_volunteers_known_attr(self, session):
+        user = SelectiveUser(uk.fig3_truth(), known={"zip"})
+        out = user.respond(session.suggestion(), session)
+        assert out == {"zip": uk.fig3_truth()["zip"]}
+
+    def test_selective_gives_up(self, session):
+        user = SelectiveUser(uk.fig3_truth(), known=set())
+        assert user.respond(session.suggestion(), session) == {}
+
+    def test_scripted_replays(self, session):
+        user = ScriptedUser([{"AC": "201"}, {"zip": "DH1 3LE"}])
+        assert user.respond(session.suggestion(), session) == {"AC": "201"}
+        assert user.respond(session.suggestion(), session) == {"zip": "DH1 3LE"}
+        assert user.respond(session.suggestion(), session) == {}
+
+    def test_noisy_oracle_bounds(self):
+        with pytest.raises(ValidationError):
+            NoisyOracleUser({}, error_rate=1.5)
+
+    def test_noisy_oracle_corrupts(self, session):
+        import random
+
+        user = NoisyOracleUser(uk.fig3_truth(), error_rate=1.0, rng=random.Random(1))
+        out = user.respond(session.suggestion(), session)
+        assert all(v.endswith("!wrong") for v in out.values())
+
+
+class TestStream:
+    def test_oracle_stream_completes(self, paper_ruleset, paper_manager, uk_master_100):
+        workload = uk.generate_workload(uk_master_100, 30, rate=0.3, seed=5)
+        manager = MasterDataManager(uk_master_100)
+        processor = StreamProcessor(paper_ruleset, manager)
+        report = processor.process(workload.dirty, workload.clean)
+        assert report.tuples == 30
+        assert report.completed == 30
+        assert 0 < report.user_share < 1
+        assert report.throughput > 0
+
+    def test_fixed_tuples_match_truth(self, paper_ruleset, uk_master_100):
+        """The headline guarantee: every certain fix equals the ground truth."""
+        workload = uk.generate_workload(uk_master_100, 25, rate=0.4, seed=6)
+        manager = MasterDataManager(uk_master_100)
+        engine = CerFix(paper_ruleset, manager)
+        for i, (dirty_row, clean_row) in enumerate(
+            zip(workload.dirty.rows(), workload.clean.rows())
+        ):
+            session = engine.fix(dirty_row.to_dict(), OracleUser(clean_row.to_dict()), f"t{i}")
+            assert session.is_complete
+            assert session.fixed_values() == clean_row.to_dict()
+
+    def test_stalling_user_marks_incomplete(self, paper_ruleset, paper_manager):
+        dirty = Relation(uk.INPUT_SCHEMA, [uk.fig3_tuple()])
+        processor = StreamProcessor(paper_ruleset, paper_manager)
+        report = processor.process(
+            dirty, user_factory=lambda tid, truth: SelectiveUser({}, known=set())
+        )
+        assert report.completed == 0
+        assert not report.outcomes[0].complete
+
+    def test_truth_size_mismatch_rejected(self, paper_ruleset, paper_manager):
+        dirty = Relation(uk.INPUT_SCHEMA, [uk.fig3_tuple()])
+        truth = Relation(uk.INPUT_SCHEMA, [])
+        with pytest.raises(MonitorError):
+            StreamProcessor(paper_ruleset, paper_manager).process(dirty, truth)
+
+    def test_needs_truth_or_factory(self, paper_ruleset, paper_manager):
+        dirty = Relation(uk.INPUT_SCHEMA, [uk.fig3_tuple()])
+        with pytest.raises(MonitorError):
+            StreamProcessor(paper_ruleset, paper_manager).process(dirty)
+
+    def test_custom_tuple_ids(self, paper_ruleset, paper_manager):
+        dirty = Relation(uk.INPUT_SCHEMA, [uk.fig3_tuple()])
+        truth = Relation(uk.INPUT_SCHEMA, [uk.fig3_truth()])
+        audit = AuditLog()
+        processor = StreamProcessor(paper_ruleset, paper_manager, audit=audit)
+        report = processor.process(dirty, truth, tuple_ids=["order-42"])
+        assert report.outcomes[0].tuple_id == "order-42"
+        assert audit.by_tuple("order-42")

@@ -1,0 +1,124 @@
+"""Unit tests for the textual rule syntax."""
+
+import pytest
+
+from repro.core.pattern import Eq, NotIn, PatternTuple
+from repro.core.rule import Constant, MasterColumn
+from repro.errors import ParseError
+from repro.rules.parser import parse_condition, parse_pattern, parse_rule, parse_rules
+from repro.scenarios import uk_customers as uk
+
+
+class TestParseCondition:
+    def test_eq(self):
+        assert parse_condition("type=2") == ("type", Eq("2"))
+
+    def test_neq(self):
+        assert parse_condition("AC!=0800") == ("AC", NotIn(["0800"]))
+
+    def test_notin_multi(self):
+        assert parse_condition("AC!=0800|0845") == ("AC", NotIn(["0800", "0845"]))
+
+    def test_quoted_value(self):
+        assert parse_condition("city='New York'") == ("city", Eq("New York"))
+
+    def test_quoted_value_with_comma(self):
+        assert parse_condition("x='a, b'") == ("x", Eq("a, b"))
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_condition("no-operator-here")
+
+
+class TestParsePattern:
+    def test_empty(self):
+        assert parse_pattern("") == PatternTuple()
+
+    def test_multiple_conditions(self):
+        p = parse_pattern("type=2, AC!=0800")
+        assert p.condition("type") == Eq("2")
+        assert p.condition("AC") == NotIn(["0800"])
+
+    def test_repeated_attr_merges(self):
+        p = parse_pattern("AC!=0800, AC!=0845")
+        assert p.condition("AC") == NotIn(["0800", "0845"])
+
+    def test_contradiction_raises(self):
+        with pytest.raises(ParseError, match="contradictory"):
+            parse_pattern("type=1, type=2")
+
+
+class TestParseRule:
+    def test_master_sourced(self):
+        r = parse_rule("p9: (AC=AC) -> city := master.city if (AC!=0800)")
+        assert r.rule_id == "p9"
+        assert r.lhs_attrs == ("AC",)
+        assert r.target == "city"
+        assert r.source == MasterColumn("city")
+        assert r.pattern.condition("AC") == NotIn(["0800"])
+
+    def test_operator(self):
+        r = parse_rule("p4: (phn~digits~=Mphn) -> FN := master.FN if (type=2)")
+        assert r.match[0].op == "digits"
+        assert r.match[0].m_attr == "Mphn"
+
+    def test_multi_match(self):
+        r = parse_rule("p6: (AC=AC, phn~digits~=Hphn) -> str := master.str if (type=1)")
+        assert r.lhs_attrs == ("AC", "phn")
+        assert r.ops == ("exact", "digits")
+
+    def test_constant_source(self):
+        r = parse_rule("c1: () -> city := const 'Ldn' if (AC=020)")
+        assert r.source == Constant("Ldn")
+        assert r.match == ()
+
+    def test_constant_unquoted(self):
+        r = parse_rule("c1: () -> city := const Ldn if (AC=020)")
+        assert r.source == Constant("Ldn")
+
+    def test_no_pattern(self):
+        r = parse_rule("p1: (zip~alnum~=zip) -> zip := master.zip")
+        assert len(r.pattern) == 0
+
+    def test_bad_grammar_raises(self):
+        with pytest.raises(ParseError, match="grammar"):
+            parse_rule("this is not a rule")
+
+    def test_bad_match_raises(self):
+        with pytest.raises(ParseError, match="match clause"):
+            parse_rule("r: (zip ~ zip) -> a := master.a")
+
+    def test_roundtrip_paper_rules(self):
+        for rule in uk.paper_rules():
+            parsed = parse_rule(rule.render())
+            assert parsed.rule_id == rule.rule_id
+            assert parsed.match == rule.match
+            assert parsed.target == rule.target
+            assert parsed.source == rule.source
+            assert parsed.pattern == rule.pattern
+
+    def test_roundtrip_constant_rule(self):
+        from repro.core.rule import EditingRule
+
+        rule = EditingRule("c", (), "city", Constant("Ldn"), PatternTuple({"AC": Eq("020")}))
+        assert parse_rule(rule.render()).source == Constant("Ldn")
+
+
+class TestParseRules:
+    def test_lines_comments_blanks(self):
+        text = """
+        # the paper's phi9
+        p9: (AC=AC) -> city := master.city if (AC!=0800)
+
+        p1: (zip~alnum~=zip) -> zip := master.zip  # trailing comment
+        """
+        rules = parse_rules(text)
+        assert [r.rule_id for r in rules] == ["p9", "p1"]
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_rules("p1: (a=a) -> b := master.b\nBROKEN LINE")
+
+    def test_list_input(self):
+        rules = parse_rules(["p1: (a=a) -> b := master.b"])
+        assert len(rules) == 1

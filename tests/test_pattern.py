@@ -1,0 +1,162 @@
+"""Unit tests for the pattern condition language."""
+
+import pytest
+
+from repro.core.certainty import fresh
+from repro.core.pattern import (
+    EMPTY_PATTERN,
+    WILDCARD,
+    Eq,
+    Neq,
+    NotIn,
+    PatternTuple,
+    Wildcard,
+)
+from repro.errors import PatternError
+
+
+class TestConditions:
+    def test_wildcard_matches_everything(self):
+        assert WILDCARD.matches("x")
+        assert WILDCARD.matches(None)
+        assert WILDCARD.matches(fresh("a"))
+
+    def test_eq(self):
+        assert Eq("2").matches("2")
+        assert not Eq("2").matches("1")
+
+    def test_eq_rejects_fresh(self):
+        assert not Eq("2").matches(fresh("type"))
+
+    def test_notin(self):
+        c = NotIn(["0800", "0845"])
+        assert c.matches("020")
+        assert not c.matches("0800")
+
+    def test_notin_accepts_fresh(self):
+        assert NotIn(["0800"]).matches(fresh("AC"))
+
+    def test_neq_is_singleton_notin(self):
+        assert Neq("0800") == NotIn(["0800"])
+
+    def test_notin_requires_values(self):
+        with pytest.raises(PatternError):
+            NotIn([])
+
+    def test_allowed_filters(self):
+        assert Eq("a").allowed(["a", "b"]) == ["a"]
+        assert NotIn(["a"]).allowed(["a", "b", "c"]) == ["b", "c"]
+
+    def test_constants(self):
+        assert Eq("a").constants() == frozenset(["a"])
+        assert NotIn(["a", "b"]).constants() == frozenset(["a", "b"])
+        assert WILDCARD.constants() == frozenset()
+
+    def test_render(self):
+        assert WILDCARD.render() == "_"
+        assert Eq("2").render() == "=2"
+        assert Neq("0800").render() == "!=0800"
+        assert NotIn(["a", "b"]).render() == "!=a|b"
+
+    def test_equality_and_hash(self):
+        assert Eq("x") == Eq("x")
+        assert Eq("x") != Eq("y")
+        assert hash(NotIn(["a", "b"])) == hash(NotIn(["b", "a"]))
+        assert Wildcard() == WILDCARD
+
+
+class TestConditionMerge:
+    def test_wildcard_identity(self):
+        assert WILDCARD.merge(Eq("x")) == Eq("x")
+        assert Eq("x").merge(WILDCARD) == Eq("x")
+
+    def test_eq_eq_same(self):
+        assert Eq("x").merge(Eq("x")) == Eq("x")
+
+    def test_eq_eq_different_is_unsat(self):
+        assert Eq("x").merge(Eq("y")) is None
+
+    def test_eq_notin_compatible(self):
+        assert Eq("x").merge(NotIn(["y"])) == Eq("x")
+
+    def test_eq_notin_contradiction(self):
+        assert Eq("x").merge(NotIn(["x"])) is None
+
+    def test_notin_notin_unions(self):
+        assert NotIn(["a"]).merge(NotIn(["b"])) == NotIn(["a", "b"])
+
+    def test_notin_eq_commutes(self):
+        assert NotIn(["y"]).merge(Eq("x")) == Eq("x")
+
+
+class TestPatternTuple:
+    def test_empty_matches_everything(self):
+        assert EMPTY_PATTERN.matches({"a": 1})
+        assert len(EMPTY_PATTERN) == 0
+
+    def test_wildcards_not_stored(self):
+        p = PatternTuple({"a": WILDCARD, "b": Eq("1")})
+        assert p.attrs == ("b",)
+
+    def test_matches(self):
+        p = PatternTuple({"type": Eq("2"), "AC": Neq("0800")})
+        assert p.matches({"type": "2", "AC": "020"})
+        assert not p.matches({"type": "1", "AC": "020"})
+        assert not p.matches({"type": "2", "AC": "0800"})
+
+    def test_missing_attr_fails_match(self):
+        p = PatternTuple({"type": Eq("2")})
+        assert not p.matches({"AC": "020"})
+
+    def test_condition_lookup(self):
+        p = PatternTuple({"a": Eq("1")})
+        assert p.condition("a") == Eq("1")
+        assert p.condition("b") == WILDCARD
+
+    def test_rejects_non_condition(self):
+        with pytest.raises(PatternError):
+            PatternTuple({"a": "not-a-condition"})  # type: ignore[dict-item]
+
+    def test_merge(self):
+        p1 = PatternTuple({"a": Eq("1")})
+        p2 = PatternTuple({"b": Neq("x")})
+        merged = p1.merge(p2)
+        assert merged is not None
+        assert merged.attrs == ("a", "b")
+
+    def test_merge_unsat(self):
+        p1 = PatternTuple({"a": Eq("1")})
+        p2 = PatternTuple({"a": Eq("2")})
+        assert p1.merge(p2) is None
+
+    def test_merge_notin_union(self):
+        p1 = PatternTuple({"a": Neq("x")})
+        p2 = PatternTuple({"a": Neq("y")})
+        assert p1.merge(p2).condition("a") == NotIn(["x", "y"])
+
+    def test_restrict(self):
+        p = PatternTuple({"a": Eq("1"), "b": Eq("2")})
+        assert p.restrict(["a"]).attrs == ("a",)
+
+    def test_constants_on(self):
+        p = PatternTuple({"a": NotIn(["x", "y"])})
+        assert p.constants_on("a") == frozenset(["x", "y"])
+        assert p.constants_on("b") == frozenset()
+
+    def test_render(self):
+        p = PatternTuple({"type": Eq("2")})
+        assert p.render() == "(type=2)"
+        assert EMPTY_PATTERN.render() == "()"
+
+    def test_render_with_explicit_attrs(self):
+        p = PatternTuple({"b": Eq("2")})
+        assert p.render(["a", "b"]) == "(a_, b=2)"
+
+    def test_equality_and_hash(self):
+        assert PatternTuple({"a": Eq("1")}) == PatternTuple({"a": Eq("1")})
+        assert hash(PatternTuple({"a": Eq("1")})) == hash(PatternTuple({"a": Eq("1")}))
+        assert PatternTuple({"a": Eq("1")}) != PatternTuple({"a": Eq("2")})
+
+    def test_attrs_sorted_deterministically(self):
+        p = PatternTuple({"z": Eq("1"), "a": Eq("2")})
+        assert p.attrs == ("a", "z")

@@ -1,0 +1,304 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the theory the system rests on:
+
+* the chase is monotone, idempotent and — for consistent rule sets —
+  order-independent (Church–Rosser);
+* certain fixes never disagree with ground truth ("no new errors");
+* tableau condensation preserves the matched set exactly;
+* the rule parser round-trips;
+* error injection preserves ground truth bookkeeping;
+* edit distance is a metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cfd_repair import _edit_distance
+from repro.core.certainty import fresh, value_partition
+from repro.core.chase import chase
+from repro.core.pattern import Eq, NotIn, PatternTuple
+from repro.core.region_finder import condense_tableau
+from repro.core.rule import Constant, EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.datagen.inject import ErrorInjector
+from repro.datagen.noise import typo_replace
+from repro.master.manager import MasterDataManager
+from repro.monitor.user import OracleUser
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.rules.parser import parse_rule
+from repro.scenarios import uk_customers as uk
+
+# ---------------------------------------------------------------------------
+# Shared strategies: a small synthetic key->value world, guaranteed consistent
+# (one master relation with a key column determining everything).
+# ---------------------------------------------------------------------------
+
+INPUT = Schema("t", ["k", "a", "b", "c"])
+MASTER = Schema("m", ["mk", "ma", "mb"])
+
+keys = st.sampled_from(["k1", "k2", "k3", "nope"])
+cells = st.sampled_from(["v1", "v2", "x", ""])
+
+
+@st.composite
+def master_relations(draw):
+    """Master data where mk is a key (no ambiguity by construction)."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    rows = []
+    for i in range(n):
+        rows.append((f"k{i + 1}", draw(cells), draw(cells)))
+    return Relation(MASTER, rows)
+
+
+@st.composite
+def consistent_rulesets(draw):
+    """Rules keyed on k only — same source relation, hence consistent."""
+    rules = [
+        EditingRule("ka", (MatchPair("k", "mk"),), "a", MasterColumn("ma")),
+        EditingRule("kb", (MatchPair("k", "mk"),), "b", MasterColumn("mb")),
+    ]
+    if draw(st.booleans()):
+        rules.append(
+            EditingRule("ab", (MatchPair("a", "ma"),), "b", MasterColumn("mb"))
+        )
+    if draw(st.booleans()):
+        rules.append(
+            EditingRule("cc", (), "c", Constant("C"), PatternTuple({"k": Eq("k1")}))
+        )
+    return RuleSet(rules, INPUT, MASTER)
+
+
+@st.composite
+def tuples_and_validated(draw):
+    values = {
+        "k": draw(keys),
+        "a": draw(cells),
+        "b": draw(cells),
+        "c": draw(cells),
+    }
+    validated = frozenset(
+        a for a in INPUT.names if draw(st.booleans())
+    )
+    return values, validated
+
+
+class TestChaseProperties:
+    @given(master_relations(), consistent_rulesets(), tuples_and_validated())
+    @settings(max_examples=80, deadline=None)
+    def test_validated_set_monotone(self, master_rel, ruleset, tv):
+        values, validated = tv
+        result = chase(values, validated, ruleset, MasterDataManager(master_rel))
+        assert result.validated >= validated
+
+    @given(master_relations(), consistent_rulesets(), tuples_and_validated())
+    @settings(max_examples=80, deadline=None)
+    def test_validated_values_never_overwritten(self, master_rel, ruleset, tv):
+        values, validated = tv
+        result = chase(values, validated, ruleset, MasterDataManager(master_rel))
+        for attr in validated:
+            # (no self-normalising rules in this ruleset family)
+            assert result.values[attr] == values[attr]
+
+    @given(master_relations(), consistent_rulesets(), tuples_and_validated())
+    @settings(max_examples=80, deadline=None)
+    def test_idempotent(self, master_rel, ruleset, tv):
+        values, validated = tv
+        manager = MasterDataManager(master_rel)
+        once = chase(values, validated, ruleset, manager)
+        twice = chase(once.values, once.validated, ruleset, manager)
+        assert twice.values == once.values
+        assert twice.validated == once.validated
+        assert twice.steps == ()
+
+    @given(master_relations(), consistent_rulesets(), tuples_and_validated(),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_church_rosser_when_conflict_free(self, master_rel, ruleset, tv, rnd):
+        values, validated = tv
+        manager = MasterDataManager(master_rel)
+        base = chase(values, validated, ruleset, manager)
+        if base.conflicts:
+            return  # detected-inconsistent inputs are allowed to diverge
+        order = [r.rule_id for r in ruleset]
+        rnd.shuffle(order)
+        other = chase(values, validated, ruleset, manager, rule_order=order)
+        assert other.values == base.values
+        assert other.validated == base.validated
+
+    @given(master_relations(), consistent_rulesets(), tuples_and_validated())
+    @settings(max_examples=60, deadline=None)
+    def test_steps_only_touch_unvalidated(self, master_rel, ruleset, tv):
+        values, validated = tv
+        result = chase(values, validated, ruleset, MasterDataManager(master_rel))
+        fixed = [s.attr for s in result.steps if not s.normalized]
+        assert len(fixed) == len(set(fixed))  # each attr fixed at most once
+        assert not (set(fixed) & validated)
+
+
+class TestCertainFixCorrectness:
+    """The headline invariant: with a correct user and correct master data,
+    CerFix never writes a wrong value (paper §1: fixes "guaranteed correct";
+    no new errors are introduced)."""
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.floats(0.0, 0.6))
+    @settings(max_examples=12, deadline=None)
+    def test_fixed_tuples_equal_ground_truth(self, seed, rate):
+        master = uk.generate_master(25, seed=seed % 1000)
+        workload = uk.generate_workload(master, 8, rate=rate, seed=seed % 997)
+        from repro import CerFix
+
+        engine = CerFix(uk.paper_ruleset(), master)
+        for i, (dirty, clean) in enumerate(
+            zip(workload.dirty.rows(), workload.clean.rows())
+        ):
+            session = engine.fix(dirty.to_dict(), OracleUser(clean.to_dict()), f"t{i}")
+            assert session.is_complete
+            assert session.fixed_values() == clean.to_dict()
+            # every machine change landed on the truth
+            for event in engine.audit.by_tuple(f"t{i}"):
+                if event.source in ("rule", "normalize"):
+                    assert event.new == clean.to_dict()[event.attr]
+
+
+class TestCondensationProperties:
+    @st.composite
+    def safe_sets(draw):
+        attrs = ("x", "y")
+        universe = {
+            "x": ["a", "b", "c", fresh("x")],
+            "y": ["1", "2", fresh("y")],
+        }
+        all_combos = [
+            {"x": vx, "y": vy}
+            for vx in universe["x"]
+            for vy in universe["y"]
+        ]
+        picked = draw(st.lists(st.sampled_from(range(len(all_combos))),
+                               unique=True, max_size=len(all_combos)))
+        return attrs, [all_combos[i] for i in picked], universe
+
+    @given(safe_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_condense_matches_exactly_the_safe_set(self, case):
+        attrs, safe, universe = case
+        tableau = condense_tableau(attrs, safe, universe)
+        safe_keys = {tuple(c[a] for a in attrs) for c in safe}
+        for values in itertools.product(*(universe[a] for a in attrs)):
+            combo = dict(zip(attrs, values))
+            matched = any(p.matches(combo) for p in tableau)
+            assert matched == (values in safe_keys)
+
+    @given(safe_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_condense_never_bigger_than_input(self, case):
+        attrs, safe, universe = case
+        tableau = condense_tableau(attrs, safe, universe)
+        assert len(tableau) <= max(len(safe), 1)
+
+
+class TestParserProperties:
+    rule_ids = st.from_regex(r"[A-Za-z][A-Za-z0-9_.]{0,8}", fullmatch=True)
+    attr_names = st.sampled_from(["FN", "LN", "AC", "phn", "zipc", "city"])
+    ops = st.sampled_from(["exact", "digits", "alnum", "casefold"])
+    values = st.from_regex(r"[A-Za-z0-9 ]{1,10}", fullmatch=True).map(str.strip).filter(bool)
+
+    @st.composite
+    def rules(draw):
+        rid = draw(TestParserProperties.rule_ids)
+        n = draw(st.integers(1, 3))
+        attrs = draw(st.lists(TestParserProperties.attr_names, min_size=n,
+                              max_size=n, unique=True))
+        match = tuple(
+            MatchPair(a, f"m_{a}", draw(TestParserProperties.ops)) for a in attrs
+        )
+        target = draw(st.sampled_from(["out1", "out2"]))
+        if draw(st.booleans()):
+            source = MasterColumn("m_src")
+        else:
+            source = Constant(draw(TestParserProperties.values))
+        conds = {}
+        for attr in draw(st.lists(TestParserProperties.attr_names, max_size=2,
+                                  unique=True)):
+            if draw(st.booleans()):
+                conds[attr] = Eq(draw(TestParserProperties.values))
+            else:
+                conds[attr] = NotIn(
+                    draw(st.lists(TestParserProperties.values, min_size=1,
+                                  max_size=2, unique=True))
+                )
+        return EditingRule(rid, match, target, source, PatternTuple(conds))
+
+    @given(rules())
+    @settings(max_examples=150, deadline=None)
+    def test_render_parse_roundtrip(self, rule):
+        parsed = parse_rule(rule.render())
+        assert parsed.rule_id == rule.rule_id
+        assert parsed.match == rule.match
+        assert parsed.target == rule.target
+        assert parsed.source == rule.source
+        assert parsed.pattern == rule.pattern
+
+
+class TestInjectorProperties:
+    schema = Schema("p", ["n", "v"])
+
+    @given(st.integers(0, 10_000), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_ground_truth_bookkeeping(self, seed, rate):
+        clean = Relation(self.schema, [(f"name{i}", f"07{i:04d}55") for i in range(20)])
+        injector = ErrorInjector(
+            {"n": [("typo_replace", typo_replace)]}, rate=rate, seed=seed
+        )
+        report = injector.inject(clean)
+        assert len(report.dirty) == len(report.clean) == 20
+        corrupted = report.error_positions()
+        for pos in range(20):
+            for attr in self.schema.names:
+                d = report.dirty.row(pos)[attr]
+                c = report.clean.row(pos)[attr]
+                if (pos, attr) in corrupted:
+                    assert d != c
+                else:
+                    assert d == c
+
+
+class TestEditDistanceProperties:
+    words = st.text(alphabet="abcdef", max_size=8)
+
+    @given(words, words)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry(self, a, b):
+        assert _edit_distance(a, b) == _edit_distance(b, a)
+
+    @given(words)
+    @settings(max_examples=60, deadline=None)
+    def test_identity(self, a):
+        assert _edit_distance(a, a) == 0
+
+    @given(words, words, words)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert _edit_distance(a, c) <= _edit_distance(a, b) + _edit_distance(b, c)
+
+    @given(words, words)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_longer(self, a, b):
+        assert _edit_distance(a, b) <= max(len(a), len(b))
+
+
+class TestPartitionProperties:
+    @given(master_relations())
+    @settings(max_examples=40, deadline=None)
+    def test_partition_contains_all_master_key_values(self, master_rel):
+        ruleset = RuleSet(
+            [EditingRule("ka", (MatchPair("k", "mk"),), "a", MasterColumn("ma"))],
+            INPUT, MASTER,
+        )
+        part = value_partition(ruleset, MasterDataManager(master_rel))
+        assert set(part["k"]) == set(master_rel.active_domain("mk"))

@@ -1,0 +1,119 @@
+"""Property-based tests for region certainty — the core soundness claim.
+
+If the region finder certifies ``(Z, Tc)``, then *every* tuple matching
+``Tc`` whose ``Z`` attributes are validated must chase to a complete,
+conflict-free fix. We generate random master relations and rule sets,
+run the finder, then try to falsify its output with randomly sampled
+matching tuples (including out-of-partition values).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.certainty import CertaintyMode, fresh, value_partition
+from repro.core.chase import chase
+from repro.core.inference import mandatory_attributes
+from repro.core.pattern import Eq, PatternTuple
+from repro.core.region_finder import find_certain_regions
+from repro.core.rule import Constant, EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.master.manager import MasterDataManager
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+INPUT = Schema("t", ["k", "j", "a", "b"])
+MASTER = Schema("m", ["mk", "mj", "ma", "mb"])
+
+cells = st.sampled_from(["v1", "v2", "v3"])
+
+
+@st.composite
+def worlds(draw):
+    """(master manager, ruleset) with key-determined columns."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    rows = []
+    for i in range(n):
+        rows.append((f"k{i}", f"j{i}", draw(cells), draw(cells)))
+    master = MasterDataManager(Relation(MASTER, rows))
+    rules = [
+        EditingRule("ka", (MatchPair("k", "mk"),), "a", MasterColumn("ma")),
+        EditingRule("kb", (MatchPair("k", "mk"),), "b", MasterColumn("mb")),
+    ]
+    if draw(st.booleans()):
+        rules.append(EditingRule("ja", (MatchPair("j", "mj"),), "a", MasterColumn("ma")))
+    if draw(st.booleans()):
+        rules.append(
+            EditingRule("const_b", (), "b", Constant("CB"),
+                        PatternTuple({"j": Eq("j0")}))
+        )
+    return master, RuleSet(rules, INPUT, MASTER)
+
+
+def _sample_matching_tuples(region, ruleset, master, rnd):
+    """Random full tuples matching the region tableau, with values drawn
+    from the partition plus out-of-partition strings."""
+    partition = value_partition(ruleset, master, extra_patterns=region.tableau)
+    out = []
+    for pattern in region.tableau:
+        for _ in range(3):
+            values = {}
+            for attr in ruleset.input_schema.names:
+                cond = pattern.condition(attr)
+                pool = list(partition.get(attr, ())) + [f"junk{rnd.randrange(99)}", fresh(attr)]
+                allowed = cond.allowed(pool)
+                if not allowed:
+                    break
+                values[attr] = rnd.choice(allowed)
+            else:
+                out.append(values)
+    return out
+
+
+class TestRegionSoundness:
+    @given(worlds(), st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_certified_regions_cannot_be_falsified(self, world, rnd):
+        master, ruleset = world
+        regions = find_certain_regions(ruleset, master, k=4, max_combos=50_000)
+        for ranked in regions:
+            region = ranked.region
+            for values in _sample_matching_tuples(region, ruleset, master, rnd):
+                result = chase(values, region.attrs, ruleset, master)
+                assert result.is_complete, (region.render(), values)
+                assert not result.conflicts
+
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_regions_contain_mandatory_attributes(self, world):
+        master, ruleset = world
+        mandatory = mandatory_attributes(ruleset)
+        for ranked in find_certain_regions(ruleset, master, k=4, max_combos=50_000):
+            assert mandatory <= frozenset(ranked.region.attrs)
+
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_ranking_is_ascending_by_size(self, world):
+        master, ruleset = world
+        regions = find_certain_regions(ruleset, master, k=6, max_combos=50_000)
+        sizes = [r.region.size for r in regions]
+        assert sizes == sorted(sizes)
+
+    @given(worlds())
+    @settings(max_examples=30, deadline=None)
+    def test_anchored_regions_hold_on_master_induced_tuples(self, world):
+        """ANCHORED-certified regions must at least fix every tuple whose
+        region values come verbatim from one master tuple."""
+        master, ruleset = world
+        regions = find_certain_regions(
+            ruleset, master, k=3, mode=CertaintyMode.ANCHORED, max_combos=50_000
+        )
+        corr = {"k": "mk", "j": "mj", "a": "ma", "b": "mb"}
+        for ranked in regions:
+            region = ranked.region
+            for s in master.relation.rows():
+                values = {attr: s[corr[attr]] for attr in ruleset.input_schema.names}
+                if not region.matches(values):
+                    continue
+                result = chase(values, region.attrs, ruleset, master)
+                assert result.is_complete, (region.render(), values)

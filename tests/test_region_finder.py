@@ -1,0 +1,225 @@
+"""Unit tests for regions, tableau condensation and the region finder."""
+
+import pytest
+
+from repro.core.certainty import CertaintyMode, fresh, is_certain_region
+from repro.core.pattern import EMPTY_PATTERN, Eq, NotIn, PatternTuple, WILDCARD
+from repro.core.region import RankedRegion, Region
+from repro.core.region_finder import (
+    condense_tableau,
+    find_certain_regions,
+    harvest_safe_combos,
+)
+from repro.core.rule import EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.errors import BudgetExceededError, PatternError
+from repro.master.manager import MasterDataManager
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.scenarios import uk_customers as uk
+
+INPUT = Schema("t", ["k", "a", "b"])
+MASTER = Schema("m", ["mk", "ma", "mb"])
+
+
+@pytest.fixture()
+def master():
+    return MasterDataManager(Relation(MASTER, [("k1", "A1", "B1"), ("k2", "A2", "B2")]))
+
+
+@pytest.fixture()
+def ruleset():
+    return RuleSet(
+        [
+            EditingRule("ka", (MatchPair("k", "mk"),), "a", MasterColumn("ma")),
+            EditingRule("kb", (MatchPair("k", "mk"),), "b", MasterColumn("mb")),
+        ],
+        INPUT,
+        MASTER,
+    )
+
+
+class TestRegion:
+    def test_attrs_sorted(self):
+        assert Region(("b", "a")).attrs == ("a", "b")
+
+    def test_empty_attrs_rejected(self):
+        with pytest.raises(PatternError):
+            Region(())
+
+    def test_duplicate_attrs_rejected(self):
+        with pytest.raises(PatternError):
+            Region(("a", "a"))
+
+    def test_empty_tableau_rejected(self):
+        with pytest.raises(PatternError):
+            Region(("a",), ())
+
+    def test_default_tableau_unconditional(self):
+        r = Region(("a",))
+        assert r.is_unconditional
+        assert r.matches({"a": "anything"})
+
+    def test_matches_any_pattern(self):
+        r = Region(("a",), (PatternTuple({"a": Eq("1")}), PatternTuple({"a": Eq("2")})))
+        assert r.matches({"a": "1"}) and r.matches({"a": "2"})
+        assert not r.matches({"a": "3"})
+
+    def test_compatible_with_unknown_assumed_ok(self):
+        r = Region(("a", "b"), (PatternTuple({"a": Eq("1"), "b": Eq("2")}),))
+        assert r.compatible_with({"a": "1"}, known={"a"})
+        assert not r.compatible_with({"a": "9"}, known={"a"})
+
+    def test_render(self):
+        assert "Z={a}" in Region(("a",)).render()
+
+    def test_ranked_sort_key(self):
+        small = RankedRegion(Region(("a",)), CertaintyMode.STRICT, coverage=0.5)
+        big = RankedRegion(Region(("a", "b")), CertaintyMode.STRICT, coverage=1.0)
+        assert small.sort_key() < big.sort_key()  # size dominates coverage
+
+
+class TestCondenseTableau:
+    def _exact(self, attrs, safe, universe):
+        """Condensation must accept exactly the safe combos over the universe."""
+        import itertools
+
+        tableau = condense_tableau(attrs, safe, universe)
+        safe_keys = {tuple(c[a] for a in attrs) for c in safe}
+        for values in itertools.product(*(universe[a] for a in attrs)):
+            combo = dict(zip(attrs, values))
+            matched = any(p.matches(combo) for p in tableau)
+            assert matched == (tuple(values) in safe_keys), (combo, tableau)
+        return tableau
+
+    def test_all_safe_becomes_wildcard(self):
+        universe = {"a": ["x", "y", fresh("a")]}
+        tableau = self._exact(("a",), [{"a": v} for v in universe["a"]], universe)
+        assert tableau == (EMPTY_PATTERN,)
+
+    def test_all_but_one_becomes_notin(self):
+        universe = {"a": ["x", "y", fresh("a")]}
+        tableau = self._exact(("a",), [{"a": "y"}, {"a": fresh("a")}], universe)
+        assert tableau == (PatternTuple({"a": NotIn(["x"])}),)
+
+    def test_constants_stay_constants(self):
+        universe = {"a": ["x", "y", fresh("a")]}
+        tableau = self._exact(("a",), [{"a": "x"}], universe)
+        assert tableau == (PatternTuple({"a": Eq("x")}),)
+
+    def test_fresh_only_safe_is_notin_all(self):
+        universe = {"a": ["x", "y", fresh("a")]}
+        tableau = self._exact(("a",), [{"a": fresh("a")}], universe)
+        assert tableau == (PatternTuple({"a": NotIn(["x", "y"])}),)
+
+    def test_two_attr_generalisation(self):
+        fa, fb = fresh("a"), fresh("b")
+        universe = {"a": ["x", "y", fa], "b": ["1", "2", fb]}
+        # every combo with a == 'x' is safe, regardless of b
+        safe = [{"a": "x", "b": v} for v in universe["b"]]
+        tableau = self._exact(("a", "b"), safe, universe)
+        assert tableau == (PatternTuple({"a": Eq("x")}),)
+
+    def test_cross_product_not_overgeneralised(self):
+        fa, fb = fresh("a"), fresh("b")
+        universe = {"a": ["x", "y", fa], "b": ["1", "2", fb]}
+        # diagonal: (x,1), (y,2) — not expressible as one pattern
+        self._exact(("a", "b"), [{"a": "x", "b": "1"}, {"a": "y", "b": "2"}], universe)
+
+    def test_empty_safe_empty_tableau(self):
+        assert condense_tableau(("a",), [], {"a": ["x"]}) == ()
+
+
+class TestHarvest:
+    def test_counts(self, ruleset, master):
+        safe, universe, total = harvest_safe_combos(("k",), ruleset, master)
+        # universe is {fresh, k1, k2}; fresh fails coverage
+        assert total == 3
+        assert {c["k"] for c in safe} == {"k1", "k2"}
+        assert fresh("k") in universe["k"]
+
+    def test_anchored_all_safe(self, ruleset, master):
+        safe, _, total = harvest_safe_combos(
+            ("k",), ruleset, master, mode=CertaintyMode.ANCHORED
+        )
+        assert len(safe) == total == 2
+
+
+class TestFindCertainRegions:
+    def test_strict_produces_pinned_tableau(self, ruleset, master):
+        regions = find_certain_regions(ruleset, master, k=3)
+        assert regions, "expected at least one region"
+        top = regions[0]
+        assert top.region.attrs == ("k",)
+        assert 0 < top.coverage < 1  # fresh k is excluded by the tableau
+        # and the returned region re-certifies
+        report = is_certain_region(
+            top.region.attrs, top.region.tableau, ruleset, master
+        )
+        assert report.certain
+
+    def test_anchored_unconditional(self, ruleset, master):
+        regions = find_certain_regions(ruleset, master, k=3, mode=CertaintyMode.ANCHORED)
+        top = regions[0]
+        assert top.region.attrs == ("k",)
+        assert top.region.is_unconditional
+        assert top.coverage == 1.0
+
+    def test_superset_of_unconditional_pruned(self, ruleset, master):
+        regions = find_certain_regions(ruleset, master, k=10, mode=CertaintyMode.ANCHORED)
+        attr_sets = [frozenset(r.region.attrs) for r in regions]
+        for s in attr_sets:
+            assert not any(t < s for t in attr_sets if t != s)
+
+    def test_generalize_false_keeps_only_unconditional(self, ruleset, master):
+        regions = find_certain_regions(ruleset, master, k=5, generalize=False)
+        assert all(r.region.is_unconditional for r in regions)
+
+    def test_subset_budget(self, paper_ruleset, paper_manager):
+        with pytest.raises(BudgetExceededError):
+            find_certain_regions(paper_ruleset, paper_manager, k=50, subset_budget=2,
+                                 mode=CertaintyMode.ANCHORED)
+
+    def test_ranking_ascending_by_size(self, paper_ruleset, paper_manager, paper_master):
+        regions = find_certain_regions(
+            paper_ruleset, paper_manager, k=6,
+            mode=CertaintyMode.SCENARIO, scenario=uk.scenario_tuples(paper_master),
+        )
+        sizes = [r.region.size for r in regions]
+        assert sizes == sorted(sizes)
+
+    def test_paper_top_region(self, paper_ruleset, paper_manager, paper_master):
+        """The smallest certain region is {AC, item, phn, type, zip} with a
+        type=2 tableau — the Fig. 3 interaction in region form."""
+        regions = find_certain_regions(
+            paper_ruleset, paper_manager, k=5,
+            mode=CertaintyMode.SCENARIO, scenario=uk.scenario_tuples(paper_master),
+        )
+        top = regions[0]
+        assert top.region.attrs == ("AC", "item", "phn", "type", "zip")
+        assert all(p.condition("type") == Eq("2") for p in top.region.tableau)
+
+    def test_every_region_contains_mandatory(self, paper_ruleset, paper_manager, paper_master):
+        from repro.core.inference import mandatory_attributes
+
+        mandatory = mandatory_attributes(paper_ruleset)
+        regions = find_certain_regions(
+            paper_ruleset, paper_manager, k=6,
+            mode=CertaintyMode.SCENARIO, scenario=uk.scenario_tuples(paper_master),
+        )
+        for r in regions:
+            assert mandatory <= frozenset(r.region.attrs)
+
+    def test_returned_regions_recertify(self, paper_ruleset, paper_manager, paper_master):
+        scenario = uk.scenario_tuples(paper_master)
+        regions = find_certain_regions(
+            paper_ruleset, paper_manager, k=3,
+            mode=CertaintyMode.SCENARIO, scenario=scenario,
+        )
+        for ranked in regions:
+            report = is_certain_region(
+                ranked.region.attrs, ranked.region.tableau,
+                paper_ruleset, paper_manager,
+                mode=CertaintyMode.SCENARIO, scenario=scenario,
+            )
+            assert report.certain, ranked.region.render()

@@ -1,0 +1,104 @@
+"""Unit tests for repro.relational.row."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relational.row import Row
+from repro.relational.schema import Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema("r", ["a", "b", "c"])
+
+
+class TestRowConstruction:
+    def test_basic(self, schema):
+        r = Row(schema, [1, 2, 3])
+        assert r.values == (1, 2, 3)
+
+    def test_arity_mismatch(self, schema):
+        with pytest.raises(RelationError, match="arity"):
+            Row(schema, [1, 2])
+
+    def test_from_dict(self, schema):
+        r = Row.from_dict(schema, {"b": 2, "a": 1, "c": 3})
+        assert r.values == (1, 2, 3)
+
+    def test_from_dict_missing_attr(self, schema):
+        with pytest.raises(RelationError, match="missing"):
+            Row.from_dict(schema, {"a": 1})
+
+    def test_from_dict_ignores_extras(self, schema):
+        r = Row.from_dict(schema, {"a": 1, "b": 2, "c": 3, "zz": 9})
+        assert r.values == (1, 2, 3)
+
+
+class TestRowAccess:
+    def test_getitem_by_name(self, schema):
+        assert Row(schema, [1, 2, 3])["b"] == 2
+
+    def test_getitem_by_position(self, schema):
+        assert Row(schema, [1, 2, 3])[0] == 1
+
+    def test_getitem_unknown(self, schema):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            Row(schema, [1, 2, 3])["zz"]
+
+    def test_get_with_default(self, schema):
+        r = Row(schema, [1, 2, 3])
+        assert r.get("a") == 1
+        assert r.get("zz", 42) == 42
+
+    def test_to_dict(self, schema):
+        assert Row(schema, [1, 2, 3]).to_dict() == {"a": 1, "b": 2, "c": 3}
+
+    def test_to_dict_is_copy(self, schema):
+        r = Row(schema, [1, 2, 3])
+        d = r.to_dict()
+        d["a"] = 99
+        assert r["a"] == 1
+
+    def test_project(self, schema):
+        assert Row(schema, [1, 2, 3]).project(["c", "a"]) == (3, 1)
+
+    def test_iter_and_len(self, schema):
+        r = Row(schema, [1, 2, 3])
+        assert list(r) == [1, 2, 3]
+        assert len(r) == 3
+
+
+class TestRowUpdate:
+    def test_with_values(self, schema):
+        r = Row(schema, [1, 2, 3]).with_values({"b": 9})
+        assert r.values == (1, 9, 3)
+
+    def test_with_values_does_not_mutate(self, schema):
+        r = Row(schema, [1, 2, 3])
+        r.with_values({"a": 0})
+        assert r["a"] == 1
+
+    def test_with_values_unknown_attr(self, schema):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            Row(schema, [1, 2, 3]).with_values({"zz": 1})
+
+
+class TestRowEquality:
+    def test_equal(self, schema):
+        assert Row(schema, [1, 2, 3]) == Row(schema, [1, 2, 3])
+
+    def test_unequal_values(self, schema):
+        assert Row(schema, [1, 2, 3]) != Row(schema, [1, 2, 4])
+
+    def test_hashable(self, schema):
+        assert len({Row(schema, [1, 2, 3]), Row(schema, [1, 2, 3])}) == 1
+
+    def test_not_equal_to_tuple(self, schema):
+        assert Row(schema, [1, 2, 3]) != (1, 2, 3)
+
+    def test_repr(self, schema):
+        assert "a=1" in repr(Row(schema, [1, 2, 3]))

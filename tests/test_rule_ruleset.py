@@ -1,0 +1,171 @@
+"""Unit tests for editing rules and rule sets."""
+
+import pytest
+
+from repro.core.pattern import Eq, PatternTuple
+from repro.core.rule import Constant, EditingRule, MasterColumn, MatchPair
+from repro.core.ruleset import RuleSet
+from repro.errors import RuleError
+from repro.relational.schema import Schema
+
+INPUT = Schema("t", ["a", "b", "c", "d"])
+MASTER = Schema("m", ["ma", "mb", "mc"])
+
+
+def rule(rid="r1", match=(("a", "ma"),), target="b", source=MasterColumn("mb"),
+         pattern=None):
+    return EditingRule(
+        rid,
+        tuple(MatchPair(t, m) for t, m in match),
+        target,
+        source,
+        pattern or PatternTuple(),
+    )
+
+
+class TestMatchPair:
+    def test_default_op(self):
+        assert MatchPair("a", "ma").op == "exact"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(RuleError, match="unknown operator"):
+            MatchPair("a", "ma", "soundex")
+
+    def test_render(self):
+        assert MatchPair("a", "ma").render() == "a=ma"
+        assert MatchPair("a", "ma", "digits").render() == "a~digits~ma"
+
+
+class TestEditingRule:
+    def test_derived_views(self):
+        r = rule(match=(("a", "ma"), ("c", "mc")), pattern=PatternTuple({"d": Eq("1")}))
+        assert r.lhs_attrs == ("a", "c")
+        assert r.m_attrs == ("ma", "mc")
+        assert r.pattern_attrs == ("d",)
+        assert r.reads == frozenset({"a", "c", "d"})
+
+    def test_empty_rule_id_rejected(self):
+        with pytest.raises(RuleError):
+            rule(rid="")
+
+    def test_master_rule_needs_match(self):
+        with pytest.raises(RuleError, match="match pair"):
+            EditingRule("r", (), "b", MasterColumn("mb"))
+
+    def test_constant_rule_no_match_ok(self):
+        r = EditingRule("r", (), "b", Constant("x"))
+        assert r.is_constant
+        assert r.reads == frozenset()
+
+    def test_duplicate_match_attr_rejected(self):
+        with pytest.raises(RuleError, match="duplicate"):
+            rule(match=(("a", "ma"), ("a", "mb")))
+
+    def test_self_normalizing_via_match(self):
+        r = rule(match=(("b", "mb"),), target="b")
+        assert r.is_self_normalizing
+
+    def test_self_normalizing_via_pattern(self):
+        r = rule(pattern=PatternTuple({"b": Eq("1")}))
+        assert r.is_self_normalizing
+
+    def test_not_self_normalizing(self):
+        assert not rule().is_self_normalizing
+
+    def test_index_spec(self):
+        assert rule().index_spec() == (("ma",), ("exact",))
+        assert EditingRule("r", (), "b", Constant("x")).index_spec() is None
+
+    def test_validate_ok(self):
+        rule().validate(INPUT, MASTER)
+
+    def test_validate_bad_input_attr(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            rule(match=(("zz", "ma"),)).validate(INPUT, MASTER)
+
+    def test_validate_bad_master_attr(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            rule(source=MasterColumn("zz")).validate(INPUT, MASTER)
+
+    def test_render_roundtrippable_shape(self):
+        r = rule(pattern=PatternTuple({"d": Eq("1")}))
+        assert r.render() == "r1: (a=ma) -> b := master.mb if (d=1)"
+
+    def test_render_constant(self):
+        r = EditingRule("r", (), "b", Constant("x"))
+        assert "const 'x'" in r.render()
+
+
+class TestRuleSet:
+    def test_iteration_preserves_order(self):
+        rs = RuleSet([rule("r1"), rule("r2", target="c", source=MasterColumn("mc"))], INPUT, MASTER)
+        assert [r.rule_id for r in rs] == ["r1", "r2"]
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(RuleError, match="duplicate rule id"):
+            RuleSet([rule("r1"), rule("r1")], INPUT, MASTER)
+
+    def test_validation_happens_at_construction(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            RuleSet([rule(match=(("zz", "ma"),))], INPUT, MASTER)
+
+    def test_get(self):
+        rs = RuleSet([rule("r1")], INPUT, MASTER)
+        assert rs.get("r1").rule_id == "r1"
+
+    def test_get_unknown(self):
+        rs = RuleSet([rule("r1")], INPUT, MASTER)
+        with pytest.raises(RuleError, match="no rule"):
+            rs.get("zz")
+
+    def test_by_target_and_targets(self):
+        rs = RuleSet([rule("r1"), rule("r2", target="c", source=MasterColumn("mc"))], INPUT, MASTER)
+        assert [r.rule_id for r in rs.by_target("b")] == ["r1"]
+        assert rs.targets == frozenset({"b", "c"})
+        assert rs.by_target("zz") == ()
+
+    def test_contains_and_len(self):
+        rs = RuleSet([rule("r1")], INPUT, MASTER)
+        assert "r1" in rs and "zz" not in rs
+        assert len(rs) == 1
+
+    def test_index_specs_deduplicated(self):
+        rs = RuleSet(
+            [rule("r1"), rule("r2", target="c", source=MasterColumn("mc"))],
+            INPUT,
+            MASTER,
+        )
+        assert rs.index_specs() == {(("ma",), ("exact",))}
+
+    def test_add_returns_new(self):
+        rs = RuleSet([rule("r1")], INPUT, MASTER)
+        rs2 = rs.add(rule("r2"))
+        assert len(rs) == 1 and len(rs2) == 2
+
+    def test_remove(self):
+        rs = RuleSet([rule("r1"), rule("r2")], INPUT, MASTER)
+        assert [r.rule_id for r in rs.remove("r1")] == ["r2"]
+
+    def test_remove_unknown(self):
+        rs = RuleSet([rule("r1")], INPUT, MASTER)
+        with pytest.raises(RuleError, match="unknown"):
+            rs.remove("zz")
+
+    def test_reordered(self):
+        rs = RuleSet([rule("r1"), rule("r2")], INPUT, MASTER)
+        assert [r.rule_id for r in rs.reordered(["r2", "r1"])] == ["r2", "r1"]
+
+    def test_reordered_requires_permutation(self):
+        rs = RuleSet([rule("r1"), rule("r2")], INPUT, MASTER)
+        with pytest.raises(RuleError, match="permutation"):
+            rs.reordered(["r1"])
+
+    def test_paper_ruleset_shape(self, paper_ruleset):
+        assert len(paper_ruleset) == 9
+        assert paper_ruleset.targets == frozenset({"zip", "str", "city", "FN", "LN"})

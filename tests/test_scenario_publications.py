@@ -1,0 +1,107 @@
+"""Tests for the DBLP-shaped publications scenario."""
+
+import pytest
+
+from repro import CerFix, CertaintyMode
+from repro.core.chase import chase
+from repro.core.inference import mandatory_attributes
+from repro.master.manager import MasterDataManager
+from repro.scenarios import publications as pub
+
+
+@pytest.fixture(scope="module")
+def master():
+    return pub.generate_master(40, seed=5)
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return pub.publication_ruleset()
+
+
+class TestScenarioShape:
+    def test_schema_sizes(self):
+        assert len(pub.INPUT_SCHEMA) == 9
+        assert len(pub.MASTER_SCHEMA) == 6
+
+    def test_mandatory_is_title_and_note(self, ruleset):
+        assert mandatory_attributes(ruleset) == frozenset({"title", "note"})
+
+    def test_title_rule_is_self_normalising(self, ruleset):
+        assert ruleset.get("t_title").is_self_normalizing
+
+    def test_master_titles_unique_under_alnum(self, master):
+        keys = {
+            "".join(ch for ch in t.casefold() if ch.isalnum())
+            for t in master.column("title")
+        }
+        assert len(keys) == len(master)
+
+    def test_rules_consistent(self, ruleset, master):
+        report = CerFix(ruleset, master).check_consistency(samples=15)
+        assert report.is_consistent
+        assert report.ambiguities == ()
+
+
+class TestCleaning:
+    def test_title_key_chases_whole_record(self, ruleset, master):
+        clean = pub.clean_inputs_from_master(master, 1, seed=6)
+        t = clean.row(0).to_dict()
+        result = chase(t, ["title", "note"], ruleset, MasterDataManager(master))
+        assert result.is_complete
+
+    def test_case_mangled_title_normalised(self, ruleset, master):
+        """The citation-mess case: the user assures a lower-cased title;
+        the alnum match still hits and the title is canonicalised."""
+        clean = pub.clean_inputs_from_master(master, 1, seed=7)
+        truth = clean.row(0).to_dict()
+        t = dict(truth)
+        t["title"] = truth["title"].lower()
+        t["authors"] = "X. Wrong"
+        engine = CerFix(ruleset, master)
+        session = engine.session(t, "c1")
+        session.assure(["title", "note"])
+        assert session.is_complete
+        assert session.fixed_values() == truth  # incl. the canonical title
+        events = engine.audit.by_tuple("c1")
+        assert any(e.source == "normalize" and e.attr == "title" for e in events)
+
+    def test_stream_hits_paper_regime(self, ruleset, master):
+        workload = pub.generate_workload(master, 80, rate=0.25, seed=8)
+        engine = CerFix(ruleset, master)
+        report = engine.stream(workload.dirty, workload.clean)
+        assert report.completed == 80
+        assert report.mean_rounds == 1.0
+        assert 0.18 <= report.user_share <= 0.28  # 2 of 9 attrs ≈ 22%
+
+    def test_fixes_equal_ground_truth(self, ruleset, master):
+        workload = pub.generate_workload(master, 30, rate=0.4, seed=9)
+        engine = CerFix(ruleset, master)
+        engine.stream(workload.dirty, workload.clean)
+        for i in range(30):
+            values = workload.dirty.row(i).to_dict()
+            for event in engine.audit.by_tuple(f"t{i}"):
+                values[event.attr] = event.new
+            assert values == workload.clean.row(i).to_dict()
+
+    def test_unknown_publication_stays_incomplete(self, ruleset, master):
+        engine = CerFix(ruleset, master)
+        t = {
+            "title": "A Paper That Does Not Exist", "authors": "?", "venue": "?",
+            "venue_full": "?", "publisher": "?", "year": "?", "pages": "?",
+            "doi": "?", "note": "n",
+        }
+        session = engine.session(t, "u")
+        session.assure(["title", "note"])
+        assert not session.is_complete
+
+
+class TestRegions:
+    def test_top_region_is_title_note(self, ruleset, master):
+        from repro.core.region_finder import find_certain_regions
+
+        regions = find_certain_regions(
+            ruleset, MasterDataManager(master), k=1,
+            mode=CertaintyMode.SCENARIO, scenario=pub.scenario_tuples(master),
+        )
+        assert regions[0].region.attrs == ("note", "title")

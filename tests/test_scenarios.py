@@ -1,0 +1,165 @@
+"""Tests for the UK-customers and hospital scenarios (paper artefacts)."""
+
+import pytest
+
+from repro.core.chase import chase
+from repro.core.inference import mandatory_attributes
+from repro.master.manager import MasterDataManager
+from repro.scenarios import hospital, uk_customers as uk
+
+
+class TestPaperArtefacts:
+    def test_schemas_match_paper(self):
+        assert uk.INPUT_SCHEMA.names == (
+            "FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item"
+        )
+        assert uk.MASTER_SCHEMA.names == (
+            "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"
+        )
+
+    def test_nine_rules(self):
+        assert [r.rule_id for r in uk.paper_rules()] == [
+            f"phi{i}" for i in range(1, 10)
+        ]
+
+    def test_master_tuple_s_from_example2(self, paper_master):
+        s = paper_master.row(0)
+        assert s["FN"] == "Robert" and s["LN"] == "Brady"
+        assert s["AC"] == "131" and s["zip"] == "EH8 4AH"
+        assert s["Mphn"] == "079172485"
+
+    def test_example1_tuple_matches_paper(self):
+        t = uk.example1_tuple()
+        assert t["AC"] == "020" and t["city"] == "Edi" and t["zip"] == "EH8 4AH"
+
+    def test_example1_truth_has_corrected_ac(self):
+        assert uk.example1_truth()["AC"] == "131"
+
+    def test_extended_ruleset_includes_example2_rule(self):
+        rs = uk.paper_ruleset(extended=True)
+        assert "phi10" in rs
+        assert rs.get("phi10").target == "AC"
+
+    def test_paper_cfds_cover_psi1_psi2(self):
+        cfds = uk.paper_cfds()
+        rel_rows = [(row.lhs.condition("AC"), row.rhs) for row in cfds[0].tableau]
+        from repro.core.pattern import Eq
+
+        assert (Eq("020"), Eq("Ldn")) in rel_rows
+        assert (Eq("131"), Eq("Edi")) in rel_rows
+
+    def test_mandatory_attrs_are_fig3a(self, paper_ruleset):
+        assert mandatory_attributes(paper_ruleset) == frozenset(
+            {"AC", "phn", "type", "item"}
+        )
+
+
+class TestUKGeneration:
+    def test_master_size_and_uniqueness(self, uk_master_100):
+        assert len(uk_master_100) == 102  # paper's 2 + generated 100
+        assert len(set(uk_master_100.column("Mphn"))) == len(uk_master_100)
+        assert len(set(uk_master_100.column("zip"))) == len(uk_master_100)
+        home = {(r["AC"], r["Hphn"]) for r in uk_master_100.rows()}
+        assert len(home) == len(uk_master_100)
+
+    def test_master_geography_consistent(self, uk_master_100):
+        from repro.datagen.pools import region_for_ac
+
+        for row in uk_master_100.rows():
+            region = region_for_ac(row["AC"])
+            assert row["city"] == region.city
+            assert any(row["zip"].startswith(d) for d in region.districts)
+
+    def test_clean_inputs_describe_master_entities(self, uk_master_100):
+        clean = uk.clean_inputs_from_master(uk_master_100, 40, seed=4)
+        by_mob = {r["Mphn"]: r for r in uk_master_100.rows()}
+        by_home = {(r["AC"], r["Hphn"]): r for r in uk_master_100.rows()}
+        for t in clean.rows():
+            if t["type"] == "2":
+                s = by_mob[t["phn"]]
+            else:
+                s = by_home[(t["AC"], t["phn"])]
+            assert t["FN"] == s["FN"] and t["zip"] == s["zip"]
+
+    def test_workload_reports_ground_truth(self, uk_workload):
+        assert len(uk_workload.dirty) == len(uk_workload.clean) == 120
+        assert uk_workload.error_cells > 0
+        for e in uk_workload.errors:
+            assert uk_workload.dirty.row(e.position)[e.attr] == e.dirty
+
+    def test_scenario_tuples_cover_both_phone_types(self, paper_master):
+        tuples = list(uk.scenario_tuples(paper_master)())
+        assert len(tuples) == 4  # 2 master rows x 2 phone types
+        assert {t["type"] for t in tuples} == {"1", "2"}
+
+    def test_scenario_tuples_chase_complete(self, paper_ruleset, paper_manager, paper_master):
+        """Every scenario-correct tuple with everything validated is a
+        (trivially) certain fix — sanity for the SCENARIO universe."""
+        for t in uk.scenario_tuples(paper_master)():
+            result = chase(t, uk.INPUT_SCHEMA.names, paper_ruleset, paper_manager)
+            assert result.is_complete
+            assert not result.conflicts
+
+
+class TestHospitalScenario:
+    def test_schema_is_19_attributes(self):
+        assert len(hospital.INPUT_SCHEMA) == 19
+
+    def test_mandatory_is_four_payload_attrs(self, hospital_ruleset):
+        assert mandatory_attributes(hospital_ruleset) == frozenset(
+            {"provider_id", "measure_code", "score", "sample"}
+        )
+
+    def test_rules_validate_against_schemas(self, hospital_ruleset):
+        assert len(hospital_ruleset) > 100  # 11 master-sourced + derived constants
+
+    def test_master_unique_keys(self, hospital_master):
+        ids = hospital_master.column("provider_id")
+        zips = hospital_master.column("zip")
+        assert len(set(ids)) == len(ids)
+        assert len(set(zips)) == len(zips)
+
+    def test_zip_determines_city_state(self, hospital_master):
+        seen = {}
+        for row in hospital_master.rows():
+            key = row["zip"]
+            val = (row["city"], row["state"])
+            assert seen.setdefault(key, val) == val
+
+    def test_clean_records_consistent(self, hospital_master):
+        clean = hospital.clean_inputs_from_master(hospital_master, 30, seed=2)
+        by_id = {r["provider_id"]: r for r in hospital_master.rows()}
+        names = dict(hospital.STATES)
+        for t in clean.rows():
+            p = by_id[t["provider_id"]]
+            assert t["hname"] == p["hname"]
+            assert t["state_name"] == names[t["state"]]
+            assert t["stateavg"] == f"{t['state']}-{t['measure_code']}"
+
+    def test_provider_key_chases_whole_record(self, hospital_ruleset, hospital_master):
+        clean = hospital.clean_inputs_from_master(hospital_master, 1, seed=5)
+        t = clean.row(0).to_dict()
+        manager = MasterDataManager(hospital_master)
+        result = chase(
+            t, ["provider_id", "measure_code", "score", "sample"],
+            hospital_ruleset, manager,
+        )
+        assert result.is_complete
+
+    def test_user_share_near_paper_claim(self, hospital_ruleset, hospital_master):
+        """4 of 19 attributes validated by the user ≈ the paper's 20%."""
+        from repro import CerFix
+
+        workload = hospital.generate_workload(hospital_master, 40, rate=0.25, seed=6)
+        engine = CerFix(hospital_ruleset, hospital_master)
+        report = engine.stream(workload.dirty, workload.clean)
+        assert report.completed == 40
+        assert 0.18 <= report.user_share <= 0.25
+        assert report.auto_share >= 0.75
+
+    def test_workload_injects_errors(self, hospital_master):
+        workload = hospital.generate_workload(hospital_master, 25, rate=0.3, seed=8)
+        assert workload.error_cells > 0
+        # payload attributes stay clean by design
+        assert all(e.attr not in ("provider_id", "measure_code", "score", "sample")
+                   for e in workload.errors)

@@ -1,0 +1,122 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, Schema
+
+
+class TestAttribute:
+    def test_defaults(self):
+        a = Attribute("zip")
+        assert a.dtype == "str"
+        assert a.description == ""
+
+    def test_explicit_dtype(self):
+        assert Attribute("n", "int").dtype == "int"
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(SchemaError, match="unknown dtype"):
+            Attribute("n", "float")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(SchemaError):
+            Attribute(3)  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        a = Attribute("zip")
+        with pytest.raises(AttributeError):
+            a.name = "other"  # type: ignore[misc]
+
+
+class TestSchema:
+    def test_names_in_order(self):
+        s = Schema("r", ["b", "a", "c"])
+        assert s.names == ("b", "a", "c")
+
+    def test_accepts_attribute_objects(self):
+        s = Schema("r", [Attribute("a", "int"), "b"])
+        assert s.attribute("a").dtype == "int"
+        assert s.attribute("b").dtype == "str"
+
+    def test_position(self):
+        s = Schema("r", ["a", "b", "c"])
+        assert s.position("c") == 2
+
+    def test_position_unknown_raises(self):
+        s = Schema("r", ["a"])
+        with pytest.raises(SchemaError, match="has no attribute 'x'"):
+            s.position("x")
+
+    def test_contains(self):
+        s = Schema("r", ["a", "b"])
+        assert "a" in s
+        assert "z" not in s
+
+    def test_len_and_iter(self):
+        s = Schema("r", ["a", "b", "c"])
+        assert len(s) == 3
+        assert [a.name for a in s] == ["a", "b", "c"]
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema("r", ["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("r", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("", ["a"])
+
+    def test_require_passes_through(self):
+        s = Schema("r", ["a", "b"])
+        assert s.require(["b", "a"]) == ("b", "a")
+
+    def test_require_unknown_raises(self):
+        s = Schema("r", ["a"])
+        with pytest.raises(SchemaError):
+            s.require(["a", "zz"])
+
+    def test_project_order_and_name(self):
+        s = Schema("r", ["a", "b", "c"])
+        p = s.project(["c", "a"])
+        assert p.names == ("c", "a")
+        assert "r" in p.name
+
+    def test_project_custom_name(self):
+        s = Schema("r", ["a", "b"])
+        assert s.project(["a"], name="q").name == "q"
+
+    def test_project_unknown_raises(self):
+        s = Schema("r", ["a"])
+        with pytest.raises(SchemaError):
+            s.project(["zz"])
+
+    def test_extend(self):
+        s = Schema("r", ["a"]).extend(["b", Attribute("c", "int")])
+        assert s.names == ("a", "b", "c")
+        assert s.attribute("c").dtype == "int"
+
+    def test_extend_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("r", ["a"]).extend(["a"])
+
+    def test_equality_and_hash(self):
+        s1 = Schema("r", ["a", "b"])
+        s2 = Schema("r", ["a", "b"])
+        s3 = Schema("r", ["a", "c"])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3
+
+    def test_equality_other_type(self):
+        assert Schema("r", ["a"]) != "r"
+
+    def test_repr_mentions_names(self):
+        assert "'a'" in repr(Schema("r", ["a"]))
