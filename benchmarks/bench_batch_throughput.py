@@ -1,0 +1,96 @@
+"""B1 — batch throughput: whole-relation cleaning, size x workers.
+
+The batch pipeline (repro.batch) must beat the pre-existing serial
+path — one :class:`StreamProcessor` monitor session per tuple, no
+dedup, no caching — on whole-relation workloads. This bench sweeps
+relation size x worker count over a generated UK-customers workload
+with realistic duplication (a small master population re-entering
+transactions), and records, per configuration: wall-clock seconds,
+tuples/second, speedup over the stream baseline, the planner's dedup
+ratio and the probe-cache hit rate.
+
+Where the speedup comes from depends on the host: the planner and the
+probe cache cut *work* (each distinct repair signature is resolved
+once; each distinct master probe is answered once), which dominates on
+the single-core CI runner; on multi-core hosts the shard executor adds
+wall-clock parallelism on top. The JSON snapshot (``BENCH_batch.json``
+at the repo root) records the machine so trajectories stay comparable.
+"""
+
+import pytest
+
+from repro import CerFix
+from repro.bench.harness import BenchResult, save_json, save_table, time_call
+from repro.scenarios import uk_customers as uk
+
+SIZES = (1_000, 5_000)
+WORKER_SWEEP = ((1, "thread"), (2, "thread"), (4, "thread"), (4, "process"))
+MASTER_SIZE = 40  # small population -> realistic signature duplication
+RATE = 0.15
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = BenchResult(
+        "B1 — batch cleaning throughput: relation size x workers",
+        ("rows", "mode", "workers", "seconds", "tuples/s", "speedup",
+         "dedup", "cache hit rate"),
+    )
+    yield result
+    result.note("speedup is vs the serial per-tuple stream path on the same rows")
+    result.note("acceptance: >= 2x at 4 workers on the 5k-row relation")
+    save_table(result, "b1_batch_throughput.txt")
+    save_json(result, "BENCH_batch.json")
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    master = uk.generate_master(MASTER_SIZE, seed=7)
+    return master, {
+        n: uk.generate_workload(master, n, rate=RATE, seed=8) for n in SIZES
+    }
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_batch_throughput(table, workloads, size):
+    master, by_size = workloads
+    wl = by_size[size]
+
+    def stream_once():
+        return CerFix(uk.paper_ruleset(), master).stream(wl.dirty, wl.clean)
+
+    t_stream, _ = time_call(stream_once, repeat=1)
+    table.add(size, "stream", 1, f"{t_stream:.2f}", f"{size / t_stream:.0f}",
+              "1.00x", "x1.00", "-")
+
+    serial_rows = None
+    for workers, backend in WORKER_SWEEP:
+        def batch_once():
+            engine = CerFix(uk.paper_ruleset(), master)
+            return engine.clean_relation(
+                wl.dirty, wl.clean, workers=workers, backend=backend
+            )
+
+        t_batch, result = time_call(batch_once, repeat=1)
+        if serial_rows is None:
+            serial_rows = result.relation.tuples()
+        else:
+            assert result.relation.tuples() == serial_rows, (
+                f"{workers}x{backend} output diverged from serial"
+            )
+        speedup = t_stream / t_batch
+        table.add(
+            size,
+            f"batch/{backend}",
+            workers,
+            f"{t_batch:.2f}",
+            f"{size / t_batch:.0f}",
+            f"{speedup:.2f}x",
+            f"x{result.report.dedup_ratio:.2f}",
+            f"{result.report.cache.hit_rate:.0%}",
+        )
+        assert result.report.completed == size
+        assert result.report.cache.hits > 0
+        # The work-cutting layers alone must keep batch ahead of the
+        # per-tuple stream path, whatever the core count.
+        assert speedup > 1.0, f"batch ({workers} workers) slower than the stream path"

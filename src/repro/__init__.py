@@ -52,6 +52,14 @@ from repro.core import (
 )
 from repro.core.pattern import Neq
 from repro.master import MasterDataManager
+from repro.batch import (
+    BatchCleaner,
+    BatchReport,
+    BatchResult,
+    CacheStats,
+    CheckpointJournal,
+    ProbeCache,
+)
 from repro.audit import AuditLog, attribute_stats, overall_stats
 from repro.monitor import (
     CautiousUser,
@@ -75,7 +83,7 @@ from repro.rules import (
 from repro.discovery import discover_constant_cfds, discover_fds, discover_mds
 from repro.config import InstanceConfig, load_instance, save_instance
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CerFix",
@@ -111,6 +119,12 @@ __all__ = [
     "is_certain_region",
     "mandatory_attributes",
     "MasterDataManager",
+    "BatchCleaner",
+    "BatchReport",
+    "BatchResult",
+    "CacheStats",
+    "CheckpointJournal",
+    "ProbeCache",
     "AuditLog",
     "attribute_stats",
     "overall_stats",

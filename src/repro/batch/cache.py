@@ -1,0 +1,160 @@
+"""The probe cache: memoised master-data lookups for batch cleaning.
+
+Batch workloads probe the master data with heavily repeated keys — a
+relation of customer transactions re-derives the same zip → (street,
+city) correction for every tuple sharing that zip. The
+:class:`ProbeCache` is a bounded LRU over :class:`MasterMatch` results
+keyed on ``(rule id, normalised key values)``; the
+:class:`CachingMasterDataManager` drops it transparently between the
+chase/monitor machinery and a base :class:`MasterDataManager`.
+
+Cache keys are normalised with the rule's match operators (``digits``,
+``alnum``, …), so two raw keys that the index would bucket together
+('EH8 4AH' / 'eh8 4ah') also share one cache entry. Cached values are
+frozen :class:`MasterMatch` objects and probing is deterministic, so a
+hit returns byte-for-byte what the base manager would have computed —
+the cache can only change speed, never output.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.rule import Constant, EditingRule
+from repro.master.manager import MasterDataManager, MasterMatch
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/eviction counters for one cache (or an aggregate)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ProbeCache:
+    """A bounded, thread-safe LRU store of probe results.
+
+    The store is shared between shard workers (one per thread under the
+    thread backend, one per process under the process backend); hit/miss
+    counters live on the per-shard :class:`CachingMasterDataManager`, so
+    per-shard statistics stay exact even when the store is shared.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._store: OrderedDict[tuple, MasterMatch] = OrderedDict()
+        self._lock = threading.Lock()
+        self._evictions = 0
+
+    def get(self, key: tuple) -> MasterMatch | None:
+        """The cached match for ``key``, or None (marks it most-recent)."""
+        with self._lock:
+            match = self._store.get(key)
+            if match is not None:
+                self._store.move_to_end(key)
+            return match
+
+    def put(self, key: tuple, match: MasterMatch) -> None:
+        with self._lock:
+            self._store[key] = match
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+                self._evictions += 1
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return f"ProbeCache({len(self)}/{self.maxsize} entries, {self._evictions} evictions)"
+
+
+class CachingMasterDataManager(MasterDataManager):
+    """A :class:`MasterDataManager` whose :meth:`match` consults a
+    :class:`ProbeCache` first.
+
+    Shares the base relation (and therefore its lazily built hash
+    indexes); constant rules bypass the cache — they never touch master
+    data. Intended to live for one batch run: the cache is never
+    invalidated, so do not mutate the master relation underneath it.
+    """
+
+    def __init__(self, relation: Relation, cache: ProbeCache):
+        super().__init__(relation)
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+        self._probes: dict[str, HashIndex] = {}  # rule_id -> key normaliser
+
+    def _cache_key(self, rule: EditingRule, values: Mapping[str, Any]) -> tuple:
+        probe = self._probes.get(rule.rule_id)
+        if probe is None:
+            probe = HashIndex(rule.m_attrs, rule.ops)
+            self._probes[rule.rule_id] = probe
+        raw = tuple(values[a] for a in rule.lhs_attrs)
+        return (rule.rule_id, probe.key_of(raw))
+
+    def match(
+        self,
+        rule: EditingRule,
+        values: Mapping[str, Any],
+        *,
+        use_index: bool = True,
+    ) -> MasterMatch:
+        if isinstance(rule.source, Constant):
+            return super().match(rule, values, use_index=use_index)
+        key = self._cache_key(rule, values)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        match = super().match(rule, values, use_index=use_index)
+        self.cache.put(key, match)
+        return match
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses, evictions=self.cache.evictions)
+
+    def __repr__(self) -> str:
+        return (
+            f"CachingMasterDataManager({self.relation!r}, "
+            f"{self.hits} hits / {self.misses} misses)"
+        )

@@ -1,0 +1,276 @@
+"""The batch cleaning pipeline: plan → execute → assemble.
+
+:class:`BatchCleaner` is the orchestrator behind
+:meth:`CerFix.clean_relation`: it fingerprints and deduplicates the
+dirty relation (:mod:`repro.batch.planner`), resumes any checkpointed
+shards (:mod:`repro.batch.journal`), runs the rest under the selected
+backend (:mod:`repro.batch.executor`), then assembles the repaired
+relation, replays per-cell provenance into the engine's audit log, and
+aggregates a :class:`~repro.batch.report.BatchReport`.
+
+Scheduling never influences output: groups are independent and probing
+is deterministic, so ``workers=4`` (threads or processes) produces the
+same repaired relation, byte for byte, as the serial path — the
+property the batch test suite pins down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import CerFixError
+from repro.audit.log import AuditLog
+from repro.batch.executor import BatchContext, ShardExecutor, ShardResult
+from repro.batch.journal import CheckpointJournal
+from repro.batch.planner import build_plan
+from repro.batch.report import BatchReport, build_report
+from repro.core.certainty import CertaintyMode, Scenario
+from repro.core.region import RankedRegion
+from repro.core.ruleset import RuleSet
+from repro.master.manager import MasterDataManager
+from repro.monitor.suggest import SuggestionStrategy
+from repro.relational.relation import Relation
+
+
+@dataclass
+class BatchResult:
+    """A repaired relation plus the run's report."""
+
+    relation: Relation
+    report: BatchReport
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+
+class BatchCleaner:
+    """Whole-relation cleaning with dedup, caching, sharding and resume.
+
+    Construction mirrors :class:`~repro.engine.CerFix`; per-run knobs
+    (workers, backend, sharding, journal) live on :meth:`clean`.
+    """
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        master: Relation | MasterDataManager,
+        *,
+        mode: CertaintyMode = CertaintyMode.STRICT,
+        scenario: Scenario | None = None,
+        strategy: SuggestionStrategy = SuggestionStrategy.CORE_FIRST,
+        regions: Sequence[RankedRegion] = (),
+        audit: AuditLog | None = None,
+        use_index: bool = True,
+        max_combos: int = 50_000,
+        cache_size: int = 4096,
+    ):
+        self.ruleset = ruleset
+        self.master = master if isinstance(master, MasterDataManager) else MasterDataManager(master)
+        self.mode = mode
+        self.scenario = scenario
+        self.strategy = strategy
+        self.regions = tuple(regions)
+        self.audit = audit if audit is not None else AuditLog()
+        self.use_index = use_index
+        self.max_combos = max_combos
+        self.cache_size = cache_size
+
+    def clean(
+        self,
+        dirty: Relation,
+        truth: Relation | None = None,
+        *,
+        workers: int = 1,
+        backend: str = "thread",
+        shards: int | None = None,
+        dedupe: bool = True,
+        validated: Sequence[str] = (),
+        journal_path: str | Path | None = None,
+        tuple_ids: Sequence[str] | None = None,
+        max_rounds: int | None = None,
+    ) -> BatchResult:
+        """Clean ``dirty`` and return the repaired relation + report.
+
+        With ``truth``, every tuple is driven through the full monitor
+        loop by an oracle user (the batch equivalent of
+        :meth:`CerFix.stream`). Without it, the chase runs rule-only
+        repairs from the trusted ``validated`` columns. ``journal_path``
+        enables checkpoint/resume; an interrupted run picks up where it
+        stopped as long as inputs and configuration are unchanged.
+        """
+        got, want = set(dirty.schema.names), set(self.ruleset.input_schema.names)
+        if got != want:
+            raise CerFixError(
+                f"dirty relation does not match the input schema: "
+                f"missing {sorted(want - got)}, unexpected {sorted(got - want)}"
+            )
+        if tuple_ids is not None and len(tuple_ids) != len(dirty):
+            raise CerFixError(
+                f"got {len(tuple_ids)} tuple ids for {len(dirty)} rows"
+            )
+        unknown = [a for a in validated if a not in self.ruleset.input_schema]
+        if unknown:
+            raise CerFixError(f"validated attributes {unknown} not in the input schema")
+        start = time.perf_counter()
+        notes: list[str] = []
+
+        n_shards = shards if shards is not None else max(1, workers) * 4
+        plan = build_plan(
+            dirty,
+            truth,
+            shards=n_shards,
+            dedupe=dedupe,
+            # The master content digest is O(|master|); only the journal
+            # ever consumes the fingerprint, so only pay for it then.
+            context=self._context_key(
+                validated, max_rounds, include_master=journal_path is not None
+            ),
+        )
+
+        # The scenario generator is only ever consulted under SCENARIO
+        # mode; dropping it otherwise keeps the context picklable (it is
+        # typically a closure), which is what the process backend needs.
+        scenario = self.scenario if self.mode is CertaintyMode.SCENARIO else None
+        ctx = BatchContext(
+            ruleset=self.ruleset,
+            master=self.master,
+            mode=self.mode,
+            scenario=scenario,
+            strategy=self.strategy,
+            regions=self.regions,
+            validated=tuple(validated),
+            use_index=self.use_index,
+            max_combos=self.max_combos,
+            max_rounds=max_rounds,
+            cache_size=self.cache_size,
+        )
+        # Probe only the fields that can realistically be unpicklable
+        # (scenario closures, exotic regions/rules) — not the master
+        # relation, whose serialization can be large and is known-good.
+        if workers > 1 and backend == "process" and not _picklable(
+            (ctx.scenario, ctx.regions, ctx.ruleset)
+        ):
+            backend = "thread"
+            notes.append(
+                "process backend unavailable (context not picklable — typically a "
+                "scenario closure); fell back to threads"
+            )
+        # Workers of the process backend rebuild the master indexes
+        # themselves (pickling strips them); the parent only needs them
+        # when it resolves shards on its own threads.
+        if not (workers > 1 and backend == "process"):
+            self.master.prebuild(self.ruleset)
+
+        journal = CheckpointJournal(journal_path) if journal_path is not None else None
+        done: dict[int, ShardResult] = journal.open(plan.fingerprint) if journal else {}
+        pending = [s for s in plan.shards if s.shard_id not in done]
+
+        executor = ShardExecutor(ctx, workers=workers, backend=backend)
+        on_result = journal.record if journal is not None else None
+        fresh = executor.run(pending, on_result=on_result)
+        results = sorted(
+            list(done.values()) + list(fresh), key=lambda r: r.shard_id
+        )
+
+        relation = self._assemble(dirty, results)
+        self._replay_audit(results, tuple_ids)
+        # The serial/thread paths share the executor's cache (its counter
+        # is exact there); process workers each hold a private cache, so
+        # their evictions only exist as per-shard deltas.
+        if workers > 1 and backend == "process":
+            evictions = sum(r.cache_evictions for r in results if not r.resumed)
+        else:
+            evictions = executor.cache.evictions
+        report = build_report(
+            results,
+            tuples=plan.total_tuples,
+            groups=plan.n_groups,
+            workers=workers,
+            backend=backend,
+            elapsed_seconds=time.perf_counter() - start,
+            evictions=evictions,
+            notes=notes,
+        )
+        return BatchResult(relation=relation, report=report)
+
+    # -- internals -----------------------------------------------------------
+
+    def _context_key(
+        self,
+        validated: Sequence[str],
+        max_rounds: int | None,
+        *,
+        include_master: bool = True,
+    ) -> tuple[str, ...]:
+        """Engine-configuration identity folded into the plan fingerprint.
+
+        The master data is identified by *content* digest, not cardinality:
+        a checkpoint computed against different master tuples must never be
+        resumed, even when the row count happens to match."""
+        if include_master:
+            master_digest = hashlib.sha256()
+            master_digest.update(repr(tuple(self.master.schema.names)).encode("utf-8"))
+            for t in self.master.relation.tuples():
+                master_digest.update(repr(t).encode("utf-8"))
+            master_id = master_digest.hexdigest()
+        else:
+            master_id = "unjournaled"
+        return (
+            ",".join(r.rule_id for r in self.ruleset),
+            f"master={master_id}",
+            self.mode.value,
+            self.strategy.value,
+            f"validated={','.join(validated)}",
+            f"max_rounds={max_rounds}",
+            f"regions={len(self.regions)}",
+        )
+
+    def _assemble(self, dirty: Relation, results: Sequence[ShardResult]) -> Relation:
+        schema = self.ruleset.input_schema
+        rows: list[tuple | None] = [None] * len(dirty)
+        for result in results:
+            for outcome in result.outcomes:
+                values = tuple(outcome.values[n] for n in schema.names)
+                for member in outcome.members:
+                    rows[member] = values
+        missing = [i for i, r in enumerate(rows) if r is None]
+        if missing:
+            raise CerFixError(f"batch results left rows {missing[:5]}... unassembled")
+        return Relation(schema, rows)
+
+    def _replay_audit(
+        self, results: Sequence[ShardResult], tuple_ids: Sequence[str] | None
+    ) -> None:
+        """Replay per-cell provenance onto every member tuple.
+
+        Each duplicate member genuinely received the group's repair, so
+        each gets its own audit trail (ids follow the stream convention:
+        ``t<row>`` unless ``tuple_ids`` overrides)."""
+        for result in results:
+            for outcome in result.outcomes:
+                for member in outcome.members:
+                    tid = tuple_ids[member] if tuple_ids is not None else f"t{member}"
+                    for e in outcome.audit_events:
+                        self.audit.record(
+                            tid,
+                            e["attr"],
+                            e["old"],
+                            e["new"],
+                            e["source"],
+                            rule_id=e["rule_id"],
+                            master_positions=tuple(e["master_positions"]),
+                            round_no=e["round_no"],
+                        )
+
+
+def _picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False

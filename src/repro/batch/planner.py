@@ -1,0 +1,161 @@
+"""The batch planner: fingerprint, deduplicate and shard a dirty relation.
+
+Whole-relation workloads are repetitive: the same customer re-enters the
+same transaction, the same noise pattern corrupts the same clean tuple.
+The planner exploits this by fingerprinting every tuple with its *repair
+signature* — the value vector that determines the repair transcript —
+and grouping rows that share one. Each group is resolved once by a
+shard worker and the outcome is replayed onto every member row.
+
+The signature covers the dirty values of **all** attributes plus (when
+ground truth drives an oracle user) the truth values: a monitor session
+may ask the user about any attribute, so any cell can influence the
+transcript. Two rows collapse into one group exactly when their repair
+is guaranteed identical.
+
+Groups are dealt round-robin into :class:`Shard` s (deterministically,
+by first-seen order), so shard workloads stay balanced without
+inspecting group cost. The plan's ``fingerprint`` ties a checkpoint
+journal to the exact inputs and partitioning that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import CerFixError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+def repair_signature(
+    values: Mapping[str, Any],
+    truth: Mapping[str, Any] | None,
+    schema: Schema,
+) -> tuple:
+    """The value vector that determines a tuple's repair transcript."""
+    sig = tuple(values[n] for n in schema.names)
+    if truth is not None:
+        sig += tuple(truth[n] for n in schema.names)
+    return sig
+
+
+@dataclass(frozen=True)
+class PlanGroup:
+    """Rows sharing one repair signature; resolved once per batch."""
+
+    representative: int  # position of the first member in the dirty relation
+    members: tuple[int, ...]  # all positions sharing the signature
+    values: dict[str, Any]  # the (dirty) input values
+    truth: dict[str, Any] | None  # oracle answers, when truth is supplied
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of (possibly concurrent) execution."""
+
+    shard_id: int
+    groups: tuple[PlanGroup, ...]
+
+    @property
+    def tuples(self) -> int:
+        return sum(g.size for g in self.groups)
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """The full batch plan: deduplicated groups dealt into shards."""
+
+    groups: tuple[PlanGroup, ...]
+    shards: tuple[Shard, ...]
+    total_tuples: int
+    fingerprint: str
+    dedupe: bool
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def duplicates_collapsed(self) -> int:
+        """Rows that ride along on another row's repair."""
+        return self.total_tuples - self.n_groups
+
+    def describe(self) -> str:
+        return (
+            f"plan: {self.total_tuples} tuples -> {self.n_groups} groups "
+            f"({self.duplicates_collapsed} duplicates collapsed) in "
+            f"{len(self.shards)} shard(s)"
+        )
+
+
+def build_plan(
+    dirty: Relation,
+    truth: Relation | None = None,
+    *,
+    shards: int = 1,
+    dedupe: bool = True,
+    context: Sequence[str] = (),
+) -> RepairPlan:
+    """Plan the batch repair of ``dirty`` (optionally oracle-backed by
+    ``truth``).
+
+    ``context`` is extra identity (rule ids, mode, …) folded into the
+    plan fingerprint so a checkpoint journal written under one engine
+    configuration is never resumed under another.
+    """
+    if shards < 1:
+        raise CerFixError(f"shards must be >= 1, got {shards}")
+    if truth is not None and len(truth) != len(dirty):
+        raise CerFixError(
+            f"truth has {len(truth)} rows but the dirty relation has {len(dirty)}"
+        )
+    schema = dirty.schema
+    by_signature: dict[tuple, list[int]] = {}
+    signatures: list[tuple] = []
+    for i, row in enumerate(dirty.rows()):
+        truth_row = truth.row(i).to_dict() if truth is not None else None
+        sig = repair_signature(row.to_dict(), truth_row, schema)
+        if not dedupe:
+            sig = sig + (i,)  # unique per row: every row is its own group
+        signatures.append(sig)
+        by_signature.setdefault(sig, []).append(i)
+
+    groups = []
+    for members in by_signature.values():  # insertion (first-seen) order
+        rep = members[0]
+        groups.append(
+            PlanGroup(
+                representative=rep,
+                members=tuple(members),
+                values=dirty.row(rep).to_dict(),
+                truth=truth.row(rep).to_dict() if truth is not None else None,
+            )
+        )
+
+    n_shards = max(1, min(shards, len(groups))) if groups else 1
+    shard_list = tuple(
+        Shard(shard_id=i, groups=tuple(groups[i::n_shards]))
+        for i in range(n_shards)
+    )
+
+    digest = hashlib.sha256()
+    digest.update(repr(tuple(schema.names)).encode("utf-8"))
+    digest.update(repr(tuple(context)).encode("utf-8"))
+    digest.update(f"shards={n_shards};dedupe={dedupe}".encode("utf-8"))
+    for sig in signatures:
+        digest.update(repr(sig).encode("utf-8"))
+
+    return RepairPlan(
+        groups=tuple(groups),
+        shards=shard_list,
+        total_tuples=len(dirty),
+        fingerprint=digest.hexdigest(),
+        dedupe=dedupe,
+    )

@@ -9,6 +9,8 @@ output capture and can be pasted into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import platform
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -16,8 +18,11 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.explorer.render import format_table
 
+#: The repo root (BENCH_*.json trajectory files land here).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
 #: Where bench tables land (created on demand, relative to the repo root).
-OUT_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "out"
+OUT_DIR = REPO_ROOT / "benchmarks" / "out"
 
 
 @dataclass
@@ -41,6 +46,20 @@ class BenchResult:
             body += "\n" + "\n".join(f"# {n}" for n in self.notes)
         return body
 
+    def to_json(self) -> dict:
+        """A machine-readable snapshot (rows keyed by header name)."""
+        return {
+            "experiment": self.experiment,
+            "headers": list(self.headers),
+            "rows": [dict(zip(self.headers, row)) for row in self.rows],
+            "notes": list(self.notes),
+            "machine": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "cpus": _cpu_count(),
+            },
+        }
+
 
 def save_table(result: BenchResult, filename: str) -> Path:
     """Print the table and persist it under ``benchmarks/out/``."""
@@ -50,6 +69,28 @@ def save_table(result: BenchResult, filename: str) -> Path:
     path.write_text(text + "\n", encoding="utf-8")
     print()
     print(text)
+    return path
+
+
+def _cpu_count() -> int:
+    import os
+
+    return os.cpu_count() or 1
+
+
+def save_json(result: BenchResult, filename: str, out_dir: Path | None = None) -> Path:
+    """Persist the table as ``BENCH_*.json`` for the perf trajectory.
+
+    JSON snapshots default to the repo root (unlike the text tables
+    under ``benchmarks/out/``) so successive PRs leave a machine-
+    readable performance trail next to the code they measured.
+    """
+    out_dir = out_dir if out_dir is not None else REPO_ROOT
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / filename
+    path.write_text(
+        json.dumps(result.to_json(), indent=2, default=str) + "\n", encoding="utf-8"
+    )
     return path
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.audit.log import AuditLog
+from repro.batch.pipeline import BatchCleaner, BatchResult
 from repro.core.certainty import CertaintyMode, Scenario, is_certain_region
 from repro.core.chase import ChaseResult, chase
 from repro.core.consistency import ConsistencyReport, check_consistency
@@ -158,6 +159,58 @@ class CerFix:
         )
         return processor.process(
             dirty, truth, user_factory=user_factory, tuple_ids=tuple_ids
+        )
+
+    def clean_relation(
+        self,
+        dirty: Relation,
+        truth: Relation | None = None,
+        *,
+        workers: int = 1,
+        backend: str = "thread",
+        shards: int | None = None,
+        dedupe: bool = True,
+        validated: Sequence[str] = (),
+        journal_path: Any = None,
+        tuple_ids: Sequence[str] | None = None,
+        max_rounds: int | None = None,
+        cache_size: int = 4096,
+    ) -> BatchResult:
+        """Clean a whole relation through the batch pipeline.
+
+        The batch counterpart of :meth:`stream`: duplicate repair
+        signatures are resolved once, master probes are LRU-cached, and
+        the plan is sharded across ``workers`` (``backend`` picks threads
+        or processes; ``workers=1`` is the deterministic serial path —
+        parallel runs produce bit-identical output). ``journal_path``
+        checkpoints per-shard progress so an interrupted run resumes
+        without recleaning. Returns a :class:`BatchResult` carrying the
+        repaired relation and the :class:`BatchReport`; per-cell
+        provenance lands in :attr:`audit`.
+        """
+        cleaner = BatchCleaner(
+            self.ruleset,
+            self.master,
+            mode=self.mode,
+            scenario=self.scenario,
+            strategy=self.strategy,
+            regions=self.regions,
+            audit=self.audit,
+            use_index=self.use_index,
+            max_combos=self.max_combos,
+            cache_size=cache_size,
+        )
+        return cleaner.clean(
+            dirty,
+            truth,
+            workers=workers,
+            backend=backend,
+            shards=shards,
+            dedupe=dedupe,
+            validated=validated,
+            journal_path=journal_path,
+            tuple_ids=tuple_ids,
+            max_rounds=max_rounds,
         )
 
     # -- master data maintenance ---------------------------------------------

@@ -8,6 +8,7 @@ Subcommands::
     cerfix rules    [--scenario uk|hospital] [--rules FILE] [--check]
     cerfix regions  [--scenario ...] [-k N] [--mode strict|anchored|scenario]
     cerfix fix      [--scenario ...] --input CSV --truth CSV [--out CSV]
+    cerfix clean    [--scenario ...] --input CSV [--truth CSV] [--workers N]
     cerfix monitor  [--scenario ...]              # interactive, stdin-driven
     cerfix audit    --log FILE [--attr NAME] [--tuple ID]
     cerfix generate [--scenario ...] --master-out CSV --out CSV --truth-out CSV
@@ -132,6 +133,42 @@ def cmd_fix(args) -> int:
             fixed.append(values)
         write_csv(fixed, args.out)
         print(f"fixed tuples written to {args.out}")
+    if args.log:
+        engine.audit.to_jsonl(args.log)
+        print(f"audit log written to {args.log}")
+    return 0
+
+
+def cmd_clean(args) -> int:
+    """Whole-relation cleaning through the batch pipeline."""
+    import json as _json
+
+    engine = _engine(args)
+    dirty = read_csv(args.input, schema=engine.ruleset.input_schema)
+    truth = (
+        read_csv(args.truth, schema=engine.ruleset.input_schema) if args.truth else None
+    )
+    validated = tuple(a for a in (args.validated or "").split(",") if a)
+    result = engine.clean_relation(
+        dirty,
+        truth,
+        workers=args.workers,
+        backend=args.backend,
+        shards=args.shards,
+        dedupe=not args.no_dedupe,
+        validated=validated,
+        journal_path=args.journal,
+    )
+    print(result.report.describe())
+    if args.out:
+        write_csv(result.relation, args.out)
+        print(f"repaired relation written to {args.out}")
+    if args.report:
+        Path(args.report).write_text(
+            _json.dumps(result.report.to_json(), indent=2, default=str) + "\n",
+            encoding="utf-8",
+        )
+        print(f"batch report written to {args.report}")
     if args.log:
         engine.audit.to_jsonl(args.log)
         print(f"audit log written to {args.log}")
@@ -325,6 +362,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write fixed tuples here")
     p.add_argument("--log", help="write the audit log (JSON lines) here")
     p.set_defaults(func=cmd_fix)
+
+    p = sub.add_parser("clean", help="clean a whole CSV through the batch pipeline")
+    _add_scenario_flags(p)
+    p.add_argument("--input", required=True)
+    p.add_argument("--truth", help="ground-truth CSV driving an oracle user (optional)")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--backend", choices=("thread", "process"), default="thread")
+    p.add_argument("--shards", type=int, help="shard count (default: 4 per worker)")
+    p.add_argument("--no-dedupe", action="store_true", dest="no_dedupe",
+                   help="disable duplicate-signature collapsing")
+    p.add_argument("--validated", help="comma-separated trusted columns (rule-only mode)")
+    p.add_argument("--journal", help="checkpoint journal path (enables crash-safe resume)")
+    p.add_argument("--out", help="write the repaired relation here")
+    p.add_argument("--report", help="write the batch report (JSON) here")
+    p.add_argument("--log", help="write the audit log (JSON lines) here")
+    p.set_defaults(func=cmd_clean)
 
     p = sub.add_parser("monitor", help="interactively fix one tuple")
     _add_scenario_flags(p)

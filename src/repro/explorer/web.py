@@ -12,6 +12,9 @@ GET   /api/instance                  engine summary (schemas, rule count, mode)
 GET   /api/rules                     the rule table (Fig. 2)
 GET   /api/rules/check               run the consistency analysis
 GET   /api/regions?k=5               top-k certain regions
+POST  /api/clean                     {"rows": [...], "truth": [...]?} — batch-clean
+                                     a whole relation; returns repaired rows + the
+                                     batch report (see repro.batch)
 POST  /api/sessions                  {"tuple_id": ..., "values": {...}} — open a
                                      monitor session; returns state + suggestion
 GET   /api/sessions/<id>             session state
@@ -62,7 +65,11 @@ def _session_state(session: MonitorSession) -> dict[str, Any]:
 
 class CerFixWebApp:
     """Routes HTTP requests onto one engine. Thread-safe via one lock —
-    sessions are interactive, not high-throughput."""
+    sessions are interactive, not high-throughput. Note that the lock
+    also serializes ``POST /api/clean``: a large batch clean blocks the
+    other routes for its duration (the engine's audit log and master
+    indexes are not safe under concurrent mutation). Front a dedicated
+    :class:`~repro.batch.pipeline.BatchCleaner` for heavy batch traffic."""
 
     def __init__(self, engine: CerFix):
         self.engine = engine
@@ -118,6 +125,32 @@ class CerFixWebApp:
                 }
                 for i, r in enumerate(regions)
             ]
+        if parts == ["api", "clean"] and method == "POST":
+            from repro.relational.relation import Relation
+
+            rows = body.get("rows")
+            if not isinstance(rows, list) or not rows:
+                return 400, {"error": "body must carry a non-empty 'rows' array"}
+            schema = self.engine.ruleset.input_schema
+            dirty = Relation(schema, rows)
+            truth_rows = body.get("truth")
+            truth = Relation(schema, truth_rows) if truth_rows else None
+            try:
+                workers = int(body.get("workers", 1))
+            except (TypeError, ValueError):
+                return 400, {"error": f"'workers' must be an integer, got {body.get('workers')!r}"}
+            result = self.engine.clean_relation(
+                dirty,
+                truth,
+                workers=workers,
+                backend=str(body.get("backend", "thread")),
+                dedupe=bool(body.get("dedupe", True)),
+                validated=tuple(body.get("validated", ())),
+            )
+            return 200, {
+                "rows": [r.to_dict() for r in result.relation.rows()],
+                "report": result.report.to_json(),
+            }
         if parts == ["api", "sessions"] and method == "POST":
             tuple_id = str(body.get("tuple_id", f"web{len(self.sessions)}"))
             values = body.get("values")

@@ -170,6 +170,14 @@ class Relation:
 
     # -- dunder ----------------------------------------------------------
 
+    def __getstate__(self) -> dict:
+        """Pickle without the indexes: they are derived caches, rebuilt
+        lazily on first probe, and shipping them (e.g. to batch worker
+        processes) would dwarf the data itself."""
+        state = self.__dict__.copy()
+        state["_indexes"] = {}
+        return state
+
     def __len__(self) -> int:
         return len(self._tuples)
 

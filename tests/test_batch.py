@@ -1,0 +1,281 @@
+"""The batch pipeline: planner, probe cache, and parallel determinism.
+
+The load-bearing properties, per ISSUE 2's acceptance criteria:
+
+- thread and process execution at 1/2/4 workers is *byte-identical*
+  to the serial path (uk_customers and hospital scenarios);
+- the planner collapses duplicate repair signatures and each group is
+  resolved exactly once;
+- probe-cache hit counters are exact on relations with duplicated
+  tuples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CerFix
+from repro.batch import BatchCleaner, ProbeCache, build_plan
+from repro.batch.cache import CachingMasterDataManager
+from repro.errors import CerFixError
+from repro.relational.relation import Relation
+from repro.scenarios import hospital, uk_customers as uk
+
+
+# ---------------------------------------------------------------------------
+# Shared workloads (small but dirty enough to exercise every layer)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def uk_batch():
+    master = uk.generate_master(20, seed=31)
+    wl = uk.generate_workload(master, 40, rate=0.25, seed=32)
+    return master, wl
+
+
+@pytest.fixture(scope="module")
+def hospital_batch():
+    master = hospital.generate_master(15, seed=33)
+    wl = hospital.generate_workload(master, 30, rate=0.2, seed=34)
+    return master, wl
+
+
+def _clean(master, wl, ruleset, **kwargs):
+    engine = CerFix(ruleset, master)
+    return engine.clean_relation(wl.dirty, wl.clean, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+def test_plan_groups_duplicates(uk_batch):
+    master, wl = uk_batch
+    doubled = Relation(wl.dirty.schema, wl.dirty.tuples() + wl.dirty.tuples())
+    truth2 = Relation(wl.clean.schema, wl.clean.tuples() + wl.clean.tuples())
+    plan = build_plan(doubled, truth2, shards=4)
+    assert plan.total_tuples == 2 * len(wl.dirty)
+    assert plan.n_groups <= len(wl.dirty)
+    assert plan.duplicates_collapsed >= len(wl.dirty)
+    # every row lands in exactly one group
+    members = sorted(m for g in plan.groups for m in g.members)
+    assert members == list(range(len(doubled)))
+    # shards partition the groups
+    sharded = sorted(g.representative for s in plan.shards for g in s.groups)
+    assert sharded == sorted(g.representative for g in plan.groups)
+
+
+def test_plan_dedupe_off_keeps_every_row(uk_batch):
+    _, wl = uk_batch
+    plan = build_plan(wl.dirty, wl.clean, dedupe=False)
+    assert plan.n_groups == len(wl.dirty)
+    assert plan.duplicates_collapsed == 0
+
+
+def test_plan_fingerprint_sensitivity(uk_batch):
+    _, wl = uk_batch
+    base = build_plan(wl.dirty, wl.clean, shards=4)
+    assert base.fingerprint == build_plan(wl.dirty, wl.clean, shards=4).fingerprint
+    assert base.fingerprint != build_plan(wl.dirty, wl.clean, shards=2).fingerprint
+    assert base.fingerprint != build_plan(wl.dirty, shards=4).fingerprint
+    assert base.fingerprint != build_plan(
+        wl.dirty, wl.clean, shards=4, context=("other-engine",)
+    ).fingerprint
+
+
+def test_plan_rejects_bad_inputs(uk_batch):
+    _, wl = uk_batch
+    with pytest.raises(CerFixError):
+        build_plan(wl.dirty, wl.clean, shards=0)
+    short = Relation(wl.clean.schema, wl.clean.tuples()[:-1])
+    with pytest.raises(CerFixError):
+        build_plan(wl.dirty, short)
+
+
+# ---------------------------------------------------------------------------
+# Parallel determinism (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ("thread", "process"))
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_uk_parallel_identical_to_serial(uk_batch, backend, workers):
+    master, wl = uk_batch
+    serial = _clean(master, wl, uk.paper_ruleset(), workers=1)
+    parallel = _clean(
+        master, wl, uk.paper_ruleset(), workers=workers, backend=backend
+    )
+    assert parallel.relation.tuples() == serial.relation.tuples()
+    assert parallel.relation.schema.names == serial.relation.schema.names
+    # the work accounting is scheduling-independent too
+    assert parallel.report.completed == serial.report.completed
+    assert parallel.report.user_cells == serial.report.user_cells
+    assert parallel.report.rule_cells == serial.report.rule_cells
+
+
+@pytest.mark.parametrize("backend", ("thread", "process"))
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_hospital_parallel_identical_to_serial(hospital_batch, backend, workers):
+    master, wl = hospital_batch
+    serial = _clean(master, wl, hospital.hospital_ruleset(), workers=1)
+    parallel = _clean(
+        master, wl, hospital.hospital_ruleset(), workers=workers, backend=backend
+    )
+    assert parallel.relation.tuples() == serial.relation.tuples()
+    assert parallel.report.completed == serial.report.completed
+
+
+def test_oracle_batch_reaches_truth(uk_batch):
+    """With an oracle user, a completed batch equals the ground truth."""
+    master, wl = uk_batch
+    result = _clean(master, wl, uk.paper_ruleset(), workers=1)
+    assert result.report.completed == result.report.tuples
+    assert result.relation.tuples() == wl.clean.tuples()
+
+
+def test_sharding_never_changes_output(uk_batch):
+    master, wl = uk_batch
+    rows = _clean(master, wl, uk.paper_ruleset(), workers=1, shards=1).relation.tuples()
+    for shards in (3, 7, 16):
+        assert (
+            _clean(master, wl, uk.paper_ruleset(), workers=1, shards=shards)
+            .relation.tuples()
+            == rows
+        )
+
+
+# ---------------------------------------------------------------------------
+# Probe cache
+# ---------------------------------------------------------------------------
+
+
+def test_probe_cache_lru_eviction():
+    cache = ProbeCache(maxsize=2)
+    from repro.master.manager import MasterMatch
+
+    m = MasterMatch(positions=(0,), values=("x",))
+    cache.put(("a",), m)
+    cache.put(("b",), m)
+    assert cache.get(("a",)) is m  # refreshes 'a'
+    cache.put(("c",), m)  # evicts 'b' (least recent)
+    assert cache.get(("b",)) is None
+    assert cache.get(("a",)) is m
+    assert cache.get(("c",)) is m
+    assert cache.evictions == 1
+
+
+def test_caching_manager_matches_base(paper_ruleset, paper_manager):
+    """A cached probe returns exactly what the base manager computes."""
+    manager = CachingMasterDataManager(paper_manager.relation, ProbeCache(64))
+    values = uk.fig3_truth()
+    for rule in paper_ruleset:
+        if rule.is_constant:
+            continue
+        base = paper_manager.match(rule, values)
+        assert manager.match(rule, values) == base  # miss path
+        assert manager.match(rule, values) == base  # hit path
+    assert manager.hits == manager.misses  # every probe repeated once
+
+
+def test_cache_counters_exact_on_duplicated_relation():
+    """Duplicating a 1-tuple relation 3x replays the exact probe sequence:
+    misses stay constant and every extra tuple's probes all hit."""
+    master = uk.paper_master()
+    dirty1 = Relation(uk.INPUT_SCHEMA, [uk.fig3_tuple()])
+    truth1 = Relation(uk.INPUT_SCHEMA, [uk.fig3_truth()])
+
+    def run(dirty, truth):
+        cleaner = BatchCleaner(uk.paper_ruleset(), master)
+        report = cleaner.clean(dirty, truth, workers=1, dedupe=False).report
+        return report.cache.hits, report.cache.misses
+
+    hits1, misses1 = run(dirty1, truth1)
+    probes1 = hits1 + misses1
+    assert misses1 > 0 and probes1 > 0
+
+    dirty3 = Relation(uk.INPUT_SCHEMA, dirty1.tuples() * 3)
+    truth3 = Relation(uk.INPUT_SCHEMA, truth1.tuples() * 3)
+    hits3, misses3 = run(dirty3, truth3)
+    assert misses3 == misses1  # nothing new to learn
+    assert hits3 == hits1 + 2 * probes1  # tuples 2 and 3 hit on every probe
+
+
+@pytest.mark.parametrize(
+    "workers,backend", ((1, "thread"), (2, "process"))
+)
+def test_tiny_cache_reports_evictions(uk_batch, workers, backend):
+    """A 1-entry cache must thrash — and the report must say so, on the
+    shared-cache path and the per-process path alike."""
+    master, wl = uk_batch
+    cleaner = BatchCleaner(uk.paper_ruleset(), master, cache_size=1)
+    result = cleaner.clean(wl.dirty, wl.clean, workers=workers, backend=backend)
+    assert result.report.cache.evictions > 0
+
+
+def test_duplicate_signatures_mean_cache_hits_and_dedup(uk_batch):
+    master, wl = uk_batch
+    doubled = Relation(wl.dirty.schema, wl.dirty.tuples() + wl.dirty.tuples())
+    truth2 = Relation(wl.clean.schema, wl.clean.tuples() + wl.clean.tuples())
+    result = CerFix(uk.paper_ruleset(), master).clean_relation(doubled, truth2)
+    assert result.report.duplicates_collapsed >= len(wl.dirty)
+    assert result.report.cache.hit_rate > 0
+    assert result.report.dedup_ratio >= 2.0
+
+
+# ---------------------------------------------------------------------------
+# Rule-only (no-truth) mode and report accounting
+# ---------------------------------------------------------------------------
+
+
+def test_rule_only_mode_repairs_from_trusted_columns():
+    master = uk.paper_master()
+    dirty = Relation(
+        uk.INPUT_SCHEMA,
+        [
+            {**uk.fig3_tuple(), "zip": "DH1 3LE"},  # trusted zip, dirty street/city
+        ],
+    )
+    engine = CerFix(uk.paper_ruleset(), master)
+    result = engine.clean_relation(dirty, validated=("zip",))
+    fixed = result.relation.row(0).to_dict()
+    assert fixed["str"] == "20 Baker St"  # phi2 from the validated zip
+    assert fixed["city"] == "Dur"  # phi3
+    assert fixed["FN"] == "M."  # untouched: no rule reaches it without truth
+    assert result.report.rule_cells >= 2
+    assert result.report.completed == 0  # not a certain fix — that's the point
+
+
+def test_rule_only_mode_unknown_validated_attr_rejected(uk_batch):
+    master, wl = uk_batch
+    engine = CerFix(uk.paper_ruleset(), master)
+    with pytest.raises(CerFixError):
+        engine.clean_relation(wl.dirty, validated=("nope",))
+
+
+def test_report_shape_and_json(uk_batch):
+    master, wl = uk_batch
+    result = _clean(master, wl, uk.paper_ruleset(), workers=2, shards=4)
+    report = result.report
+    assert report.tuples == len(wl.dirty)
+    assert report.groups + report.duplicates_collapsed == report.tuples
+    assert len(report.shards) == report.executed_shards == 4
+    assert sum(s.tuples for s in report.shards) == report.tuples
+    assert 0.0 < report.auto_share < 1.0
+    assert report.user_share + report.auto_share == pytest.approx(1.0)
+    payload = report.to_json()
+    assert payload["tuples"] == report.tuples
+    assert payload["cache"]["hits"] == report.cache.hits
+    assert len(payload["shards"]) == 4
+    assert "throughput" in payload
+    text = report.describe()
+    assert "duplicates collapsed" in text and "hit rate" in text
+
+
+def test_schema_mismatch_rejected(uk_batch):
+    master, _ = uk_batch
+    engine = CerFix(uk.paper_ruleset(), master)
+    wrong = Relation(uk.MASTER_SCHEMA, master.tuples())
+    with pytest.raises(CerFixError):
+        engine.clean_relation(wrong)
