@@ -15,18 +15,32 @@ once; each distinct master probe is answered once), which dominates on
 the single-core CI runner; on multi-core hosts the shard executor adds
 wall-clock parallelism on top. The JSON snapshot (``BENCH_batch.json``
 at the repo root) records the machine so trajectories stay comparable.
+
+B2 (same module) adds the ``--store`` axis: raw master-probe throughput
+and whole-relation batch throughput per master-store backend (single vs
+sharded vs sqlite — see :mod:`repro.master.store`), recorded in
+``BENCH_master_store.json``. Restrict the sweep with
+``pytest benchmarks/bench_batch_throughput.py --store sharded``.
 """
 
 import pytest
 
 from repro import CerFix
 from repro.bench.harness import BenchResult, save_json, save_table, time_call
+from repro.master import make_store
 from repro.scenarios import uk_customers as uk
 
 SIZES = (1_000, 5_000)
 WORKER_SWEEP = ((1, "thread"), (2, "thread"), (4, "thread"), (4, "process"))
 MASTER_SIZE = 40  # small population -> realistic signature duplication
 RATE = 0.15
+
+# -- B2: the --store axis (single vs sharded vs sqlite master stores) --------
+STORE_SWEEP = ("single", "sharded", "sqlite")
+STORE_MASTER_SIZE = 2_000  # large enough that probe routing matters
+STORE_PROBE_ROUNDS = 10    # probe workload repetitions over the clean inputs
+STORE_BATCH_ROWS = 2_000
+STORE_SHARDS = 8
 
 
 @pytest.fixture(scope="module")
@@ -94,3 +108,89 @@ def test_batch_throughput(table, workloads, size):
         # The work-cutting layers alone must keep batch ahead of the
         # per-tuple stream path, whatever the core count.
         assert speedup > 1.0, f"batch ({workers} workers) slower than the stream path"
+
+
+# ---------------------------------------------------------------------------
+# B2 — master store backends: probe and batch throughput per --store axis
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def store_table(store_axis):
+    result = BenchResult(
+        "B2 — master store backends: probe + batch throughput "
+        "(single vs sharded vs sqlite)",
+        ("store", "master rows", "probes", "probes/s",
+         "batch rows", "batch mode", "seconds", "tuples/s"),
+    )
+    yield result
+    if store_axis != "all":
+        # A restricted sweep must not clobber the committed full-table
+        # snapshot with a partial one.
+        return
+    result.note(f"sharded store runs {STORE_SHARDS} shards; probes repeat the "
+                f"clean inputs {STORE_PROBE_ROUNDS}x against every master-sourced rule")
+    result.note("acceptance: every backend within 3x of 'single' on raw probes "
+                "(parity is asserted functionally by tests/test_store_parity.py)")
+    save_table(result, "b2_master_store.txt")
+    save_json(result, "BENCH_master_store.json")
+
+
+@pytest.fixture(scope="module")
+def store_workload():
+    master = uk.generate_master(STORE_MASTER_SIZE, seed=9)
+    probe_inputs = uk.generate_workload(master, 500, rate=0.0, seed=10).clean
+    batch_wl = uk.generate_workload(master, STORE_BATCH_ROWS, rate=RATE, seed=11)
+    return master, probe_inputs, batch_wl
+
+
+def _build_store(name: str, master, tmp_path):
+    if name == "sqlite":
+        return make_store(master, name, path=tmp_path / "bench_master.db")
+    return make_store(master, name, shards=STORE_SHARDS)
+
+
+@pytest.mark.parametrize("store_name", STORE_SWEEP)
+def test_store_throughput(store_table, store_workload, store_axis, store_name, tmp_path):
+    if store_axis not in ("all", store_name):
+        pytest.skip(f"--store {store_axis} excludes {store_name}")
+    master, probe_inputs, batch_wl = store_workload
+    ruleset = uk.paper_ruleset()
+    rules = [r for r in ruleset if not r.is_constant]
+    rows = [r.to_dict() for r in probe_inputs.rows()]
+
+    # raw probe throughput: every master-sourced rule against every input
+    store = _build_store(store_name, master, tmp_path)
+    store.prebuild(ruleset)
+
+    def probe_once():
+        n = 0
+        for _ in range(STORE_PROBE_ROUNDS):
+            for values in rows:
+                for rule in rules:
+                    store.probe(rule, values)
+                    n += 1
+        return n
+
+    t_probe, n_probes = time_call(probe_once, repeat=1)
+
+    # whole-relation batch throughput on the same backend
+    def batch_once():
+        engine = CerFix(ruleset, _build_store(store_name, master, tmp_path))
+        return engine.clean_relation(
+            batch_wl.dirty, batch_wl.clean, workers=4, backend="process"
+        )
+
+    t_batch, result = time_call(batch_once, repeat=1)
+    assert result.report.completed == STORE_BATCH_ROWS
+
+    store_table.add(
+        store_name,
+        STORE_MASTER_SIZE,
+        n_probes,
+        f"{n_probes / t_probe:.0f}",
+        STORE_BATCH_ROWS,
+        "batch/process x4",
+        f"{t_batch:.2f}",
+        f"{STORE_BATCH_ROWS / t_batch:.0f}",
+    )

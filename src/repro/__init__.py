@@ -51,7 +51,15 @@ from repro.core import (
     mandatory_attributes,
 )
 from repro.core.pattern import Neq
-from repro.master import MasterDataManager
+from repro.master import (
+    STORE_BACKENDS,
+    MasterDataManager,
+    MasterStore,
+    ShardedMasterStore,
+    SingleRelationStore,
+    SqliteMasterStore,
+    make_store,
+)
 from repro.batch import (
     BatchCleaner,
     BatchReport,
@@ -83,7 +91,7 @@ from repro.rules import (
 from repro.discovery import discover_constant_cfds, discover_fds, discover_mds
 from repro.config import InstanceConfig, load_instance, save_instance
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CerFix",
@@ -119,6 +127,12 @@ __all__ = [
     "is_certain_region",
     "mandatory_attributes",
     "MasterDataManager",
+    "MasterStore",
+    "SingleRelationStore",
+    "ShardedMasterStore",
+    "SqliteMasterStore",
+    "STORE_BACKENDS",
+    "make_store",
     "BatchCleaner",
     "BatchReport",
     "BatchResult",

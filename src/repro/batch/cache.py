@@ -25,6 +25,7 @@ from typing import Any, Mapping
 
 from repro.core.rule import Constant, EditingRule
 from repro.master.manager import MasterDataManager, MasterMatch
+from repro.master.store import MasterStore
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 
@@ -109,14 +110,19 @@ class CachingMasterDataManager(MasterDataManager):
     """A :class:`MasterDataManager` whose :meth:`match` consults a
     :class:`ProbeCache` first.
 
-    Shares the base relation (and therefore its lazily built hash
-    indexes); constant rules bypass the cache — they never touch master
-    data. Intended to live for one batch run: the cache is never
-    invalidated, so do not mutate the master relation underneath it.
+    Store-agnostic: pass a bare :class:`Relation` (wrapped in the single
+    backend) or any :class:`~repro.master.store.MasterStore` — the cache
+    sits *above* the store, so a hit costs the same whatever backend is
+    underneath, and a miss is answered by whichever backend the batch
+    run configured. Shares the base store (and therefore its lazily
+    built probe structures); constant rules bypass the cache — they
+    never touch master data. Intended to live for one batch run: the
+    cache is never invalidated, so do not mutate the master data
+    underneath it.
     """
 
-    def __init__(self, relation: Relation, cache: ProbeCache):
-        super().__init__(relation)
+    def __init__(self, source: Relation | MasterStore, cache: ProbeCache):
+        super().__init__(source)
         self.cache = cache
         self.hits = 0
         self.misses = 0

@@ -49,6 +49,12 @@ BACKENDS = ("thread", "process")
 class BatchContext:
     """Everything a shard worker needs, picklable for the process backend.
 
+    ``master`` carries its configured
+    :class:`~repro.master.store.MasterStore` backend along: a sharded
+    store pickles as raw tuples and rebuilds only the shards a worker's
+    probes route to; the single store rebuilds its indexes eagerly in
+    the worker (see :func:`_init_process`).
+
     ``scenario`` is typically a closure and therefore unpicklable; the
     pipeline downgrades ``backend="process"`` to threads when the
     context cannot be shipped (see :meth:`BatchCleaner.clean`).
@@ -229,8 +235,13 @@ def _resolve_group(
 def _run_shard(
     shard: Shard, ctx: BatchContext, base: MasterDataManager, cache: ProbeCache
 ) -> ShardResult:
-    """Resolve every group of one shard behind a caching manager."""
-    manager = CachingMasterDataManager(base.relation, cache)
+    """Resolve every group of one shard behind a caching manager.
+
+    The caching manager wraps the base manager's *store*, so whatever
+    backend the run configured (single, sharded, sqlite) answers the
+    cache misses — and its probe structures are shared across shards.
+    """
+    manager = CachingMasterDataManager(base.store, cache)
     evictions_before = cache.evictions
     start = time.perf_counter()
     outcomes = tuple(_resolve_group(g, ctx, manager) for g in shard.groups)
@@ -256,7 +267,10 @@ def _init_process(ctx: BatchContext) -> None:
     global _PROCESS_CTX, _PROCESS_CACHE
     _PROCESS_CTX = ctx
     _PROCESS_CACHE = ProbeCache(ctx.cache_size)
-    ctx.master.prebuild(ctx.ruleset)
+    # Store-specific warm-up: the single store rebuilds its (pickle-
+    # stripped) indexes eagerly; the sharded store stays lazy so this
+    # worker only materialises the shards its probes actually route to.
+    ctx.master.prepare_worker(ctx.ruleset)
 
 
 def _process_shard(shard: Shard) -> ShardResult:

@@ -16,7 +16,6 @@ property the batch test suite pins down.
 
 from __future__ import annotations
 
-import hashlib
 import pickle
 import time
 from dataclasses import dataclass
@@ -33,6 +32,7 @@ from repro.core.certainty import CertaintyMode, Scenario
 from repro.core.region import RankedRegion
 from repro.core.ruleset import RuleSet
 from repro.master.manager import MasterDataManager
+from repro.master.store import MasterStore, resolve_master
 from repro.monitor.suggest import SuggestionStrategy
 from repro.relational.relation import Relation
 
@@ -58,7 +58,7 @@ class BatchCleaner:
     def __init__(
         self,
         ruleset: RuleSet,
-        master: Relation | MasterDataManager,
+        master: Relation | MasterDataManager | MasterStore,
         *,
         mode: CertaintyMode = CertaintyMode.STRICT,
         scenario: Scenario | None = None,
@@ -68,8 +68,17 @@ class BatchCleaner:
         use_index: bool = True,
         max_combos: int = 50_000,
         cache_size: int = 4096,
+        store: str | None = None,
+        store_shards: int = 4,
+        store_path: str | Path | None = None,
     ):
+        """``master`` may be a bare relation, a manager, or a
+        :class:`~repro.master.store.MasterStore`. ``store`` selects a
+        backend by name for the bare-relation form (``"single"``,
+        ``"sharded"``, ``"sqlite"``); ``store_shards`` / ``store_path``
+        parameterise the sharded and sqlite backends."""
         self.ruleset = ruleset
+        master = resolve_master(master, store, shards=store_shards, path=store_path)
         self.master = master if isinstance(master, MasterDataManager) else MasterDataManager(master)
         self.mode = mode
         self.scenario = scenario
@@ -211,13 +220,12 @@ class BatchCleaner:
 
         The master data is identified by *content* digest, not cardinality:
         a checkpoint computed against different master tuples must never be
-        resumed, even when the row count happens to match."""
+        resumed, even when the row count happens to match. The digest is
+        store-backend-independent (see
+        :meth:`~repro.master.store.MasterStore.content_digest`), so a
+        journal written under one backend resumes under another."""
         if include_master:
-            master_digest = hashlib.sha256()
-            master_digest.update(repr(tuple(self.master.schema.names)).encode("utf-8"))
-            for t in self.master.relation.tuples():
-                master_digest.update(repr(t).encode("utf-8"))
-            master_id = master_digest.hexdigest()
+            master_id = self.master.content_digest()
         else:
             master_id = "unjournaled"
         return (

@@ -22,8 +22,24 @@ Example document::
       "rules_file": "rules.txt",
       "mode": "strict",
       "strategy": "core_first",
-      "precompute_regions": 5
+      "precompute_regions": 5,
+      "store": {"backend": "sharded", "shards": 8}
     }
+
+The optional ``store`` section selects the master store backend (see
+:mod:`repro.master.store`):
+
+``{"backend": "single"}``
+    the default — one in-memory relation;
+``{"backend": "sharded", "shards": N}``
+    probe structures hash-partitioned across N shards;
+``{"backend": "sqlite", "path": "master.db"}``
+    in-memory probing over a SQLite-persisted snapshot (``path``
+    resolves against the instance directory; the snapshot is written or
+    refreshed from ``master_csv`` on load).
+
+Every backend produces bit-identical fixes — the choice only affects
+scale and durability.
 """
 
 from __future__ import annotations
@@ -40,27 +56,15 @@ from repro.engine import CerFix
 from repro.monitor.suggest import SuggestionStrategy
 from repro.relational.csvio import read_csv, write_csv
 from repro.relational.relation import Relation
-from repro.relational.schema import Attribute, Schema
+from repro.relational.schema import Schema, schema_from_json, schema_to_json
 from repro.rules.parser import parse_rules
 
-
-def _schema_to_json(schema: Schema) -> dict:
-    return {
-        "name": schema.name,
-        "attributes": [
-            {"name": a.name, "dtype": a.dtype, "description": a.description}
-            for a in schema.attributes
-        ],
-    }
+_schema_to_json = schema_to_json
 
 
 def _schema_from_json(obj: dict) -> Schema:
     try:
-        attributes = [
-            Attribute(a["name"], a.get("dtype", "str"), a.get("description", ""))
-            for a in obj["attributes"]
-        ]
-        return Schema(obj["name"], attributes)
+        return schema_from_json(obj)
     except KeyError as exc:
         raise ValidationError(f"schema document missing key {exc}") from None
 
@@ -77,6 +81,8 @@ class InstanceConfig:
     mode: CertaintyMode = CertaintyMode.STRICT
     strategy: SuggestionStrategy = SuggestionStrategy.CORE_FIRST
     precompute_regions: int = 0
+    #: Master store selection: {"backend": ..., "shards": ..., "path": ...}.
+    store: dict[str, Any] = field(default_factory=dict)
     options: dict[str, Any] = field(default_factory=dict)
 
     # -- (de)serialisation ---------------------------------------------------
@@ -91,6 +97,7 @@ class InstanceConfig:
             "mode": self.mode.value,
             "strategy": self.strategy.value,
             "precompute_regions": self.precompute_regions,
+            "store": self.store,
             "options": self.options,
         }
 
@@ -107,6 +114,28 @@ class InstanceConfig:
             strategy = SuggestionStrategy(obj.get("strategy", "core_first"))
         except ValueError:
             raise ValidationError(f"unknown strategy {obj.get('strategy')!r}") from None
+        store = dict(obj.get("store", {}))
+        if store:
+            from repro.master.store import STORE_BACKENDS
+
+            backend = store.get("backend", "single")
+            if backend not in STORE_BACKENDS:
+                raise ValidationError(
+                    f"unknown master store backend {backend!r} "
+                    f"(expected one of {STORE_BACKENDS})"
+                )
+            if backend == "sqlite" and not store.get("path"):
+                raise ValidationError("store backend 'sqlite' needs a 'path'")
+            if "shards" in store:
+                try:
+                    shards = int(store["shards"])
+                except (TypeError, ValueError):
+                    raise ValidationError(
+                        f"store 'shards' must be an integer, got {store['shards']!r}"
+                    ) from None
+                if shards < 1:
+                    raise ValidationError(f"store 'shards' must be >= 1, got {shards}")
+                store["shards"] = shards
         return cls(
             name=obj["name"],
             input_schema=_schema_from_json(obj["input_schema"]),
@@ -116,6 +145,7 @@ class InstanceConfig:
             mode=mode,
             strategy=strategy,
             precompute_regions=int(obj.get("precompute_regions", 0)),
+            store=store,
             options=dict(obj.get("options", {})),
         )
 
@@ -166,6 +196,19 @@ def load_instance(path: str | Path) -> tuple[CerFix, InstanceConfig]:
     master = read_csv(base / config.master_csv, schema=config.master_schema)
     rules_text = (base / config.rules_file).read_text(encoding="utf-8")
     ruleset = RuleSet(parse_rules(rules_text), config.input_schema, config.master_schema)
+    store_cfg = config.store
+    if store_cfg:
+        from repro.master.store import make_store
+
+        backend = store_cfg.get("backend", "single")
+        store_path = store_cfg.get("path")
+        master = make_store(
+            master,
+            backend,
+            shards=int(store_cfg.get("shards", 4)),
+            # relative snapshot paths live next to the other artefacts
+            path=(base / store_path) if store_path else None,
+        )
     engine = CerFix(
         ruleset,
         master,

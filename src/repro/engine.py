@@ -25,6 +25,7 @@ from repro.core.region import RankedRegion, Region
 from repro.core.region_finder import find_certain_regions
 from repro.core.ruleset import RuleSet
 from repro.master.manager import MasterDataManager
+from repro.master.store import MasterStore, resolve_master
 from repro.monitor.session import MonitorSession
 from repro.monitor.stream import StreamProcessor, StreamReport
 from repro.monitor.suggest import SuggestionStrategy
@@ -58,12 +59,21 @@ class CerFix:
     carries both schemas) and the master data. ``mode`` / ``scenario``
     pick the certainty semantics (see DESIGN.md §1); ``strategy`` the
     suggestion policy of the data monitor.
+
+    ``master`` may be a bare :class:`Relation` (stored under the default
+    single-relation backend), any
+    :class:`~repro.master.store.MasterStore`, or a ready
+    :class:`MasterDataManager`. ``store`` selects a backend by name for
+    the bare-relation form — ``"single"``, ``"sharded"`` (with
+    ``store_shards``) or ``"sqlite"`` (with ``store_path``); every
+    backend produces bit-identical fixes (the differential parity suite
+    enforces this), so the choice is purely about scale and durability.
     """
 
     def __init__(
         self,
         ruleset: RuleSet,
-        master: Relation | MasterDataManager,
+        master: Relation | MasterDataManager | MasterStore,
         *,
         mode: CertaintyMode = CertaintyMode.STRICT,
         scenario: Scenario | None = None,
@@ -71,8 +81,12 @@ class CerFix:
         audit: AuditLog | None = None,
         use_index: bool = True,
         max_combos: int = 50_000,
+        store: str | None = None,
+        store_shards: int = 4,
+        store_path: Any = None,
     ):
         self.ruleset = ruleset
+        master = resolve_master(master, store, shards=store_shards, path=store_path)
         self.master = master if isinstance(master, MasterDataManager) else MasterDataManager(master)
         self.mode = mode
         self.scenario = scenario
@@ -232,13 +246,10 @@ class CerFix:
 
         Removal uses current row positions; audit provenance recorded
         earlier refers to the pre-update master (snapshot semantics).
+        Changes go through the store, so persistent backends (sqlite)
+        write through and derived probe structures invalidate.
         """
-        removed = sorted(set(remove))
-        if removed:
-            self.master.relation.delete_rows(removed)
-        added = [dict(r) for r in add]
-        if added:
-            self.master.relation.extend(added)
+        n_added, n_removed = self.master.apply_update(add=add, remove=remove)
         if self.use_index:
             self.master.prebuild(self.ruleset)
         kept: list[RankedRegion] = []
@@ -251,8 +262,8 @@ class CerFix:
                 dropped.append((ranked, report))
         self.regions = tuple(kept)
         return MasterUpdateReport(
-            added=len(added),
-            removed=len(removed),
+            added=n_added,
+            removed=n_removed,
             regions_kept=tuple(kept),
             regions_dropped=tuple(dropped),
         )

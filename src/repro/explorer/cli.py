@@ -9,6 +9,7 @@ Subcommands::
     cerfix regions  [--scenario ...] [-k N] [--mode strict|anchored|scenario]
     cerfix fix      [--scenario ...] --input CSV --truth CSV [--out CSV]
     cerfix clean    [--scenario ...] --input CSV [--truth CSV] [--workers N]
+                    [--store single|sharded|sqlite [--store-shards N] [--store-path DB]]
     cerfix monitor  [--scenario ...]              # interactive, stdin-driven
     cerfix audit    --log FILE [--attr NAME] [--tuple ID]
     cerfix generate [--scenario ...] --master-out CSV --out CSV --truth-out CSV
@@ -71,12 +72,19 @@ def _engine(args) -> CerFix:
     mode = CertaintyMode(getattr(args, "mode", "scenario"))
     if mode is CertaintyMode.SCENARIO and scenario is None:
         mode = CertaintyMode.STRICT
+    store = getattr(args, "store", None)
+    if store == "sqlite" and not getattr(args, "store_path", None):
+        raise CerFixError("--store sqlite requires --store-path for the snapshot file")
+    store_shards = getattr(args, "store_shards", None)
     return CerFix(
         ruleset,
         master,
         mode=mode,
         scenario=scenario,
         strategy=SuggestionStrategy(getattr(args, "strategy", "core_first")),
+        store=store,
+        store_shards=store_shards if store_shards is not None else 4,
+        store_path=getattr(args, "store_path", None),
     )
 
 
@@ -306,6 +314,11 @@ def cmd_serve(args) -> int:
     from repro.explorer.web import serve
 
     if args.instance:
+        if args.store or args.store_path or args.store_shards is not None:
+            raise CerFixError(
+                "--store flags conflict with --instance: configure the "
+                "backend in the instance document's 'store' section"
+            )
         from repro.config import load_instance
 
         engine, config = load_instance(args.instance)
@@ -337,6 +350,17 @@ def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
                    default="core_first")
 
 
+def _add_store_flags(p: argparse.ArgumentParser) -> None:
+    from repro.master import STORE_BACKENDS
+
+    p.add_argument("--store", choices=STORE_BACKENDS, default=None,
+                   help="master store backend (default: single in-memory relation)")
+    p.add_argument("--store-shards", type=int, default=None, dest="store_shards",
+                   help="shard count for --store sharded (default 4)")
+    p.add_argument("--store-path", dest="store_path",
+                   help="snapshot file for --store sqlite")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cerfix",
@@ -365,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("clean", help="clean a whole CSV through the batch pipeline")
     _add_scenario_flags(p)
+    _add_store_flags(p)
     p.add_argument("--input", required=True)
     p.add_argument("--truth", help="ground-truth CSV driving an oracle user (optional)")
     p.add_argument("--workers", type=int, default=1)
@@ -413,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve", help="run the web explorer (JSON API)")
     _add_scenario_flags(p)
+    _add_store_flags(p)
     p.add_argument("--instance", help="serve a saved instance directory instead")
     p.add_argument("--port", type=int, default=8384)
     p.set_defaults(func=cmd_serve)

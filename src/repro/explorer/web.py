@@ -99,6 +99,7 @@ class CerFixWebApp:
                 "master_tuples": len(engine.master),
                 "mode": engine.mode.value,
                 "strategy": engine.strategy.value,
+                "store": engine.master.store.stats(),
             }
         if parts == ["api", "rules"] and method == "GET":
             return 200, [

@@ -1,5 +1,24 @@
 """Master data management (paper Fig. 1, "master data manager")."""
 
 from repro.master.manager import MasterDataManager, MasterMatch
+from repro.master.store import (
+    STORE_BACKENDS,
+    MasterStore,
+    ShardedMasterStore,
+    SingleRelationStore,
+    SqliteMasterStore,
+    make_store,
+    shard_of,
+)
 
-__all__ = ["MasterDataManager", "MasterMatch"]
+__all__ = [
+    "MasterDataManager",
+    "MasterMatch",
+    "MasterStore",
+    "SingleRelationStore",
+    "ShardedMasterStore",
+    "SqliteMasterStore",
+    "STORE_BACKENDS",
+    "make_store",
+    "shard_of",
+]

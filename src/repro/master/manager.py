@@ -1,56 +1,40 @@
 """The master data manager.
 
 Master data (reference data) is "a single repository of high-quality data
-… assumed consistent and accurate" (paper §2, citing [9]). The manager
-wraps the master :class:`~repro.relational.relation.Relation` and serves
-exactly one query shape — *given an editing rule and an input tuple's
-validated values, which master tuples match, and do they agree on the
-correction value?* — backed by the hash indexes the rule set declares.
+… assumed consistent and accurate" (paper §2, citing [9]). The manager is
+the facade the chase, monitor and batch layers talk to; storage itself
+lives behind the :class:`~repro.master.store.MasterStore` interface
+(single in-memory relation, hash-sharded, or sqlite-persisted — see
+:mod:`repro.master.store`). The manager serves exactly one query shape —
+*given an editing rule and an input tuple's validated values, which
+master tuples match, and do they agree on the correction value?* — and
+handles the one case no store ever sees: constant-sourced rules, whose
+"fix" never touches master data.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
-from repro.errors import MasterDataError
-from repro.core.rule import Constant, EditingRule, MasterColumn
+from repro.core.rule import Constant, EditingRule
 from repro.core.ruleset import RuleSet
+from repro.master.store import (
+    MasterMatch,
+    MasterStore,
+    SingleRelationStore,
+)
 from repro.relational.relation import Relation
 from repro.relational.row import Row
 
-
-@dataclass(frozen=True)
-class MasterMatch:
-    """The outcome of probing the master data for one rule.
-
-    ``positions`` are the matching master row positions; ``values`` the
-    distinct correction values they carry for the rule's source column.
-    The fix is certain only when ``len(values) == 1`` (uniqueness gate);
-    ``len(values) > 1`` is an ambiguity the consistency checker can also
-    surface statically.
-    """
-
-    positions: tuple[int, ...]
-    values: tuple[Any, ...]
-
-    @property
-    def is_empty(self) -> bool:
-        return not self.positions
-
-    @property
-    def is_unique(self) -> bool:
-        return len(self.values) == 1
-
-    @property
-    def value(self) -> Any:
-        if not self.is_unique:
-            raise MasterDataError(f"no unique correction value: {self.values!r}")
-        return self.values[0]
+__all__ = ["MasterDataManager", "MasterMatch"]
 
 
 class MasterDataManager:
-    """Indexed access to one master relation.
+    """Indexed access to one master relation, behind a pluggable store.
+
+    Accepts either a bare :class:`Relation` (wrapped in the default
+    :class:`~repro.master.store.SingleRelationStore`) or any
+    :class:`~repro.master.store.MasterStore` backend.
 
     >>> from repro.relational import Relation, Schema
     >>> rel = Relation(Schema("m", ["zip", "AC"]), [("EH8 4AH", "131")])
@@ -59,27 +43,36 @@ class MasterDataManager:
     1
     """
 
-    def __init__(self, relation: Relation):
-        self.relation = relation
+    def __init__(self, source: Relation | MasterStore):
+        self.store = source if isinstance(source, MasterStore) else SingleRelationStore(source)
+
+    @property
+    def relation(self) -> Relation:
+        """The canonical master relation (global position order)."""
+        return self.store.relation
 
     @property
     def schema(self):
-        return self.relation.schema
+        return self.store.schema
 
     def __len__(self) -> int:
-        return len(self.relation)
+        return len(self.store)
 
     # -- rule probing ------------------------------------------------------
 
     def prebuild(self, ruleset: RuleSet) -> None:
-        """Eagerly build every index the rule set will probe.
+        """Eagerly build every probe structure the rule set will touch.
 
-        Optional — indexes build lazily on first probe — but useful to move
-        the build cost out of the first point-of-entry fix (benchmark E6
-        measures both).
+        Optional — structures build lazily on first probe — but useful to
+        move the build cost out of the first point-of-entry fix
+        (benchmark E6 measures both), and required before probing one
+        store from several threads.
         """
-        for attrs, ops in ruleset.index_specs():
-            self.relation.index_on(attrs, ops)
+        self.store.prebuild(ruleset)
+
+    def prepare_worker(self, ruleset: RuleSet) -> None:
+        """Store-specific warm-up for a freshly unpickled process worker."""
+        self.store.prepare_worker(ruleset)
 
     def match(
         self,
@@ -96,34 +89,7 @@ class MasterDataManager:
         """
         if isinstance(rule.source, Constant):
             return MasterMatch(positions=(), values=(rule.source.value,))
-        key = tuple(values[a] for a in rule.lhs_attrs)
-        if use_index:
-            index = self.relation.index_on(rule.m_attrs, rule.ops)
-            positions = tuple(index.lookup(key))
-        else:
-            positions = tuple(self._scan_positions(rule, key))
-        source = rule.source
-        assert isinstance(source, MasterColumn)
-        col = self.relation.schema.position(source.name)
-        raw = self.relation.tuples()
-        distinct: list[Any] = []
-        for pos in positions:
-            v = raw[pos][col]
-            if v not in distinct:
-                distinct.append(v)
-        return MasterMatch(positions=positions, values=tuple(distinct))
-
-    def _scan_positions(self, rule: EditingRule, key: tuple) -> list[int]:
-        from repro.relational.index import HashIndex
-
-        probe = HashIndex(rule.m_attrs, rule.ops)
-        target = probe.key_of(key)
-        positions = [self.relation.schema.position(a) for a in rule.m_attrs]
-        out = []
-        for i, t in enumerate(self.relation.tuples()):
-            if probe.key_of(tuple(t[p] for p in positions)) == target:
-                out.append(i)
-        return out
+        return self.store.probe(rule, values, use_index=use_index)
 
     def row(self, position: int) -> Row:
         """The master tuple at ``position`` (for audit provenance)."""
@@ -141,15 +107,22 @@ class MasterDataManager:
         """
         if isinstance(rule.source, Constant):
             return {}
-        index = self.relation.index_on(rule.m_attrs, rule.ops)
-        col = self.relation.schema.position(rule.source.name)
-        raw = self.relation.tuples()
-        out: dict[tuple, tuple[Any, ...]] = {}
-        for key, positions in index.duplicate_keys().items():
-            values = {raw[p][col] for p in positions}
-            if len(values) > 1:
-                out[key] = tuple(sorted(map(str, values)))
-        return out
+        return self.store.ambiguous_keys(rule)
+
+    # -- maintenance -------------------------------------------------------
+
+    def apply_update(
+        self,
+        add: Iterable[Mapping[str, Any]] = (),
+        remove: Iterable[int] = (),
+    ) -> tuple[int, int]:
+        """Apply master-data changes through the store (so persistent
+        backends write through and derived caches invalidate)."""
+        return self.store.apply_update(add, remove)
+
+    def content_digest(self) -> str:
+        """Backend-independent SHA-256 of the master content."""
+        return self.store.content_digest()
 
     def __repr__(self) -> str:
-        return f"MasterDataManager({self.relation!r})"
+        return f"MasterDataManager({self.store!r})"

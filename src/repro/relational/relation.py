@@ -106,6 +106,12 @@ class Relation:
         """The raw value tuples (a shallow copy; mutation-safe)."""
         return list(self._tuples)
 
+    def raw_tuples(self) -> Sequence[tuple]:
+        """The raw value tuples *without* a copy — a read-only borrow for
+        hot probe paths (an O(|relation|) copy per probe would dominate).
+        Callers must not mutate the returned list."""
+        return self._tuples
+
     def column(self, name: str) -> list[Any]:
         """All values of one attribute, in row order."""
         pos = self.schema.position(name)
@@ -170,13 +176,13 @@ class Relation:
 
     # -- dunder ----------------------------------------------------------
 
-    def __getstate__(self) -> dict:
-        """Pickle without the indexes: they are derived caches, rebuilt
-        lazily on first probe, and shipping them (e.g. to batch worker
-        processes) would dwarf the data itself."""
-        state = self.__dict__.copy()
-        state["_indexes"] = {}
-        return state
+    def __reduce__(self):
+        """Pickle as (schema, raw tuples) only: indexes are derived
+        caches, rebuilt lazily on first probe, and shipping them (e.g.
+        to batch worker processes or sharded sub-relations) would dwarf
+        the data itself. Rebuilding through :func:`_rebuild_relation`
+        also skips per-row coercion — the tuples are known-good."""
+        return (_rebuild_relation, (self.schema, self._tuples))
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -186,3 +192,13 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation({self.schema.name!r}, {len(self)} rows)"
+
+
+def _rebuild_relation(schema: Schema, tuples: Sequence[tuple]) -> Relation:
+    """Unpickle target: reattach known-good tuples without coercion;
+    indexes start empty and rebuild lazily on first probe."""
+    relation = Relation.__new__(Relation)
+    relation.schema = schema
+    relation._tuples = list(tuples)
+    relation._indexes = {}
+    return relation

@@ -129,3 +129,34 @@ class Schema:
 
     def __repr__(self) -> str:
         return f"Schema({self.name!r}, {list(self.names)!r})"
+
+
+# -- JSON round-trip ------------------------------------------------------
+
+def schema_to_json(schema: Schema) -> dict:
+    """The canonical JSON document form of a schema — shared by instance
+    documents (:mod:`repro.config`) and sqlite master snapshots
+    (:mod:`repro.master.store`), so the two can never drift."""
+    return {
+        "name": schema.name,
+        "attributes": [
+            {"name": a.name, "dtype": a.dtype, "description": a.description}
+            for a in schema.attributes
+        ],
+    }
+
+
+def schema_from_json(obj: dict) -> Schema:
+    """Inverse of :func:`schema_to_json`.
+
+    Raises ``KeyError`` on missing keys — call sites wrap it in their
+    own error type (``ValidationError`` for instance documents,
+    ``MasterDataError`` for snapshots).
+    """
+    return Schema(
+        obj["name"],
+        [
+            Attribute(a["name"], a.get("dtype", "str"), a.get("description", ""))
+            for a in obj["attributes"]
+        ],
+    )

@@ -1,0 +1,272 @@
+"""Differential test harness: prove master-store backends byte-equivalent.
+
+The store refactor's acceptance gate (ISSUE 3) is *parity*: given the
+same master content, every :mod:`repro.master.store` backend must
+produce bit-identical fixes, certain regions and audit events through
+every cleaning path — the interactive monitor/stream path and the batch
+pipeline (serial, threaded, multi-process). This module is the
+machinery behind ``tests/test_store_parity.py``:
+
+* :func:`generate_case` builds randomized workloads — master relation,
+  rule set (randomly thinned), dirty tuples and ground truth — through
+  :mod:`repro.datagen`'s error injector (via the scenario generators),
+  so every seed is a different mix of typos, case mangling, blanks and
+  digit noise;
+* :func:`store_factories` instantiates every backend over identical
+  master content (fresh relation copies, so no probe structure is
+  accidentally shared);
+* :func:`run_monitor_path` / :func:`run_batch_path` drive one backend
+  through one cleaning path and capture a :class:`PathOutcome` — the
+  repaired rows, the *full* serialized audit trail, the rendered
+  certain regions, and the scheduling-independent report scalars;
+* :func:`assert_parity` compares outcomes field by field with readable
+  failure diffs.
+
+Timing and cache-locality numbers are deliberately excluded from the
+comparison (:func:`normalize_report`): scheduling may move cache hits
+between shards, but it must never move a value in a repaired cell.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro import CerFix, CertaintyMode
+from repro.core.ruleset import RuleSet
+from repro.master.store import (
+    MasterStore,
+    ShardedMasterStore,
+    SingleRelationStore,
+    SqliteMasterStore,
+)
+from repro.relational.relation import Relation
+from repro.scenarios import hospital, uk_customers as uk
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One randomized workload every backend is driven through."""
+
+    name: str
+    ruleset: RuleSet
+    master: Relation
+    dirty: Relation
+    truth: Relation | None
+    validated: tuple[str, ...] = ()
+
+
+def generate_case(
+    seed: int,
+    *,
+    scenario: str = "uk",
+    master_size: int = 20,
+    n: int = 40,
+    rate: float = 0.25,
+    with_truth: bool = True,
+    max_dropped_rules: int = 2,
+) -> DifferentialCase:
+    """A randomized differential case.
+
+    ``seed`` drives everything: the master population, the injected
+    errors (datagen's noise operators) and which rules are randomly
+    dropped from the scenario rule set — so two backends disagreeing on
+    a seed is a reproducible counterexample.
+    """
+    rng = random.Random(seed)
+    mod = uk if scenario == "uk" else hospital
+    master = mod.generate_master(master_size, seed=seed)
+    wl = mod.generate_workload(master, n, rate=rate, seed=seed + 1)
+    if scenario == "uk":
+        ruleset = uk.paper_ruleset(extended=rng.random() < 0.5)
+    else:
+        ruleset = hospital.hospital_ruleset()
+    drop = rng.sample(
+        [r.rule_id for r in ruleset], k=rng.randint(0, max_dropped_rules)
+    )
+    if drop and len(drop) < len(ruleset):
+        ruleset = ruleset.remove(*drop)
+    validated: tuple[str, ...] = ()
+    if not with_truth:
+        # rule-only repair: trust the attributes most rules read
+        candidates = sorted({a for r in ruleset for a in r.lhs_attrs})
+        if candidates:
+            validated = (rng.choice(candidates),)
+    return DifferentialCase(
+        name=f"{scenario}-s{seed}{'' if with_truth else '-ruleonly'}",
+        ruleset=ruleset,
+        master=master,
+        dirty=wl.dirty,
+        truth=wl.clean if with_truth else None,
+        validated=validated,
+    )
+
+
+def store_factories(
+    case: DifferentialCase, tmp_path: Path, *, shards: int = 3
+) -> dict[str, Callable[[], MasterStore]]:
+    """One factory per backend, each over a fresh copy of the master.
+
+    Fresh :class:`Relation` copies guarantee no index or partition is
+    shared between backends — each backend builds its own probe
+    structures from the same content.
+    """
+
+    def copy() -> Relation:
+        return Relation(case.master.schema, case.master.tuples())
+
+    return {
+        "single": lambda: SingleRelationStore(copy()),
+        "sharded": lambda: ShardedMasterStore(copy(), shards=shards),
+        "sqlite": lambda: SqliteMasterStore(tmp_path / f"{case.name}.db", copy()),
+    }
+
+
+@dataclass
+class PathOutcome:
+    """Everything parity is asserted over, for one (backend, path) run."""
+
+    fixed_rows: list[tuple]
+    audit_events: list[dict]
+    regions: list[tuple[str, float]]
+    report: dict[str, Any]
+
+
+#: Report keys that scheduling/backends/resume may legitimately change:
+#: wall-clock, throughput, cache locality, executor backend label, and
+#: how many shards came back from a journal rather than being executed.
+_UNSTABLE_REPORT_KEYS = frozenset(
+    {
+        "elapsed_seconds",
+        "throughput",
+        "cache",
+        "shards",
+        "workers",
+        "backend",
+        "notes",
+        "resumed_shards",
+    }
+)
+
+
+def normalize_report(report_json: Mapping[str, Any]) -> dict[str, Any]:
+    """The scheduling-independent slice of a report's JSON form.
+
+    Work accounting (cells fixed by user vs rule, completions,
+    conflicts, dedup) must be identical across backends; timings and
+    cache-locality counters need not be.
+    """
+    out = {k: v for k, v in report_json.items() if k not in _UNSTABLE_REPORT_KEYS}
+    shards = report_json.get("shards")
+    if shards is not None:
+        out["shard_workload"] = [
+            {"shard_id": s["shard_id"], "groups": s["groups"], "tuples": s["tuples"]}
+            for s in shards
+        ]
+    return out
+
+
+def _audit_fixed_rows(engine: CerFix, dirty: Relation) -> list[tuple]:
+    """Replay the audit trail onto the dirty rows (the stream path has
+    no assembled output relation; this mirrors ``cerfix fix --out``)."""
+    names = dirty.schema.names
+    rows = []
+    for i, row in enumerate(dirty.rows()):
+        values = row.to_dict()
+        for e in engine.audit.by_tuple(f"t{i}"):
+            values[e.attr] = e.new
+        rows.append(tuple(values[n] for n in names))
+    return rows
+
+
+def run_monitor_path(
+    case: DifferentialCase,
+    store: MasterStore,
+    *,
+    regions_k: int = 2,
+    max_combos: int = 50_000,
+) -> PathOutcome:
+    """Drive the interactive path: region precompute, then one
+    oracle-driven monitor session per tuple (the stream processor).
+
+    ANCHORED certainty keeps region enumeration bounded on generated
+    masters (STRICT's full domain product can blow the combo budget).
+    """
+    engine = CerFix(
+        case.ruleset, store, mode=CertaintyMode.ANCHORED, max_combos=max_combos
+    )
+    ranked = engine.precompute_regions(k=regions_k)
+    report = engine.stream(case.dirty, case.truth)
+    return PathOutcome(
+        fixed_rows=_audit_fixed_rows(engine, case.dirty),
+        audit_events=[e.to_json() for e in engine.audit],
+        regions=[(r.region.render(), round(r.coverage, 9)) for r in ranked],
+        report={
+            "tuples": report.tuples,
+            "completed": report.completed,
+            "user_cells": report.user_cells,
+            "rule_cells": report.rule_cells,
+        },
+    )
+
+
+def run_batch_path(
+    case: DifferentialCase,
+    store: MasterStore,
+    *,
+    workers: int = 1,
+    backend: str = "thread",
+    shards: int | None = None,
+    journal_path: Path | None = None,
+    cache_size: int = 4096,
+) -> PathOutcome:
+    """Drive the batch pipeline under one executor configuration."""
+    engine = CerFix(case.ruleset, store)
+    result = engine.clean_relation(
+        case.dirty,
+        case.truth,
+        workers=workers,
+        backend=backend,
+        shards=shards,
+        validated=case.validated,
+        journal_path=journal_path,
+    )
+    return PathOutcome(
+        fixed_rows=result.relation.tuples(),
+        audit_events=[e.to_json() for e in engine.audit],
+        regions=[],
+        report=normalize_report(result.report.to_json()),
+    )
+
+
+def assert_parity(outcomes: Mapping[str, PathOutcome]) -> None:
+    """Assert every outcome is bit-identical to the first (reference)
+    backend; failures name the backend, the field and the first diff."""
+    items = list(outcomes.items())
+    ref_name, ref = items[0]
+    for name, got in items[1:]:
+        assert got.fixed_rows == ref.fixed_rows, _first_diff(
+            ref_name, name, "fixed row", ref.fixed_rows, got.fixed_rows
+        )
+        assert got.audit_events == ref.audit_events, _first_diff(
+            ref_name, name, "audit event", ref.audit_events, got.audit_events
+        )
+        assert got.regions == ref.regions, (
+            f"{name} regions diverge from {ref_name}: {got.regions!r} != {ref.regions!r}"
+        )
+        assert got.report == ref.report, (
+            f"{name} report diverges from {ref_name}: {got.report!r} != {ref.report!r}"
+        )
+
+
+def _first_diff(ref_name: str, name: str, what: str, ref: list, got: list) -> str:
+    if len(ref) != len(got):
+        return (
+            f"{name} produced {len(got)} {what}s, {ref_name} produced {len(ref)}"
+        )
+    for i, (a, b) in enumerate(zip(ref, got)):
+        if a != b:
+            return f"{name} {what} {i} diverges from {ref_name}: {b!r} != {a!r}"
+    return f"{name} diverges from {ref_name} (unlocated)"

@@ -12,12 +12,17 @@ The load-bearing properties, per ISSUE 2's acceptance criteria:
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
 from repro import CerFix
 from repro.batch import BatchCleaner, ProbeCache, build_plan
 from repro.batch.cache import CachingMasterDataManager
+from repro.batch.executor import BatchContext
 from repro.errors import CerFixError
+from repro.master.manager import MasterDataManager
+from repro.master.store import ShardedMasterStore
 from repro.relational.relation import Relation
 from repro.scenarios import hospital, uk_customers as uk
 
@@ -222,6 +227,68 @@ def test_duplicate_signatures_mean_cache_hits_and_dedup(uk_batch):
     assert result.report.duplicates_collapsed >= len(wl.dirty)
     assert result.report.cache.hit_rate > 0
     assert result.report.dedup_ratio >= 2.0
+
+
+# ---------------------------------------------------------------------------
+# Pickling (what the process backend ships to its workers)
+# ---------------------------------------------------------------------------
+
+
+def test_relation_pickles_without_indexes(paper_ruleset, paper_master):
+    """``Relation.__reduce__`` ships schema + raw tuples only; indexes
+    are derived caches that rebuild lazily on the other side."""
+    relation = Relation(paper_master.schema, paper_master.tuples())
+    index = relation.index_on(("zip",))
+    assert len(index) == len(relation)
+    clone = pickle.loads(pickle.dumps(relation))
+    assert clone._indexes == {}  # nothing shipped
+    assert clone.tuples() == relation.tuples()
+    assert clone.schema.names == relation.schema.names
+    # lazy rebuild yields the same lookups as the original
+    key = (paper_master.tuples()[0][relation.schema.position("zip")],)
+    assert [r.values for r in clone.lookup(("zip",), key)] == [
+        r.values for r in relation.lookup(("zip",), key)
+    ]
+
+
+def test_relation_pickle_roundtrip_preserves_mutability(paper_master):
+    clone = pickle.loads(pickle.dumps(paper_master))
+    pos = clone.append(clone.tuples()[0])
+    assert pos == len(paper_master)  # the original is untouched
+    clone.update_cell(0, clone.schema.names[0], "patched")
+    assert clone.tuples()[0][0] == "patched"
+
+
+def test_sharded_sub_relations_rebuild_lazily_on_workers(paper_ruleset, paper_master):
+    """The batch context of a sharded-store run ships raw tuples only:
+    unpickling (what every process-pool worker does) must carry zero
+    prebuilt shard indexes, and the first probe materialises exactly
+    the routed shard."""
+    store = ShardedMasterStore(
+        Relation(paper_master.schema, paper_master.tuples()), shards=4
+    )
+    manager = MasterDataManager(store)
+    manager.prebuild(paper_ruleset)  # parent side: fully built
+    ctx = BatchContext(ruleset=paper_ruleset, master=manager)
+    shipped = pickle.loads(pickle.dumps(ctx))
+    worker_store = shipped.master.store
+    assert worker_store.stats()["specs_partitioned"] == 0
+    assert worker_store.stats()["shard_indexes_built"] == 0
+    rule = next(r for r in paper_ruleset if not r.is_constant)
+    match = worker_store.probe(rule, uk.fig3_truth())
+    assert match == store.probe(rule, uk.fig3_truth())
+    assert shipped.master.store.stats()["shard_indexes_built"] == 1
+
+
+def test_process_backend_with_sharded_store_identical(uk_batch):
+    master, wl = uk_batch
+    store = ShardedMasterStore(Relation(master.schema, master.tuples()), shards=3)
+    serial = _clean(master, wl, uk.paper_ruleset(), workers=1, shards=6)
+    sharded = CerFix(uk.paper_ruleset(), store).clean_relation(
+        wl.dirty, wl.clean, workers=2, backend="process", shards=6
+    )
+    assert sharded.relation.tuples() == serial.relation.tuples()
+    assert sharded.report.completed == serial.report.completed
 
 
 # ---------------------------------------------------------------------------

@@ -53,3 +53,14 @@ class TestServeParser:
     def test_parser_accepts_instance_flag(self, tmp_path):
         args = build_parser().parse_args(["serve", "--instance", str(tmp_path)])
         assert args.instance == str(tmp_path)
+
+    @pytest.mark.parametrize(
+        "flags",
+        [["--store", "sharded"], ["--store-shards", "16"], ["--store-path", "m.db"]],
+    )
+    def test_store_flags_conflict_with_instance(self, tmp_path, capsys, flags):
+        """--instance configures the backend in the document; any explicit
+        --store flag must be rejected, not silently ignored."""
+        rc = main(["serve", "--instance", str(tmp_path), *flags])
+        assert rc == 2
+        assert "--store flags conflict with --instance" in capsys.readouterr().err

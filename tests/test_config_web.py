@@ -58,6 +58,75 @@ class TestInstanceConfig:
         with pytest.raises(ValidationError, match="no instance document"):
             load_instance(tmp_path)
 
+    @pytest.mark.parametrize(
+        "store,backend",
+        [
+            ({"backend": "sharded", "shards": 3}, "sharded"),
+            ({"backend": "sqlite", "path": "master.db"}, "sqlite"),
+            ({}, "single"),
+        ],
+    )
+    def test_store_section_selects_backend(
+        self, tmp_path, paper_master, paper_ruleset, store, backend
+    ):
+        config = InstanceConfig(
+            name="uk-customers",
+            input_schema=uk.INPUT_SCHEMA,
+            master_schema=uk.MASTER_SCHEMA,
+            mode=CertaintyMode.ANCHORED,
+            store=store,
+        )
+        save_instance(tmp_path, config, paper_master, paper_ruleset)
+        engine, loaded = load_instance(tmp_path)
+        assert loaded.store == store
+        assert engine.master.store.backend == backend
+        assert engine.master.relation.tuples() == paper_master.tuples()
+        if backend == "sqlite":
+            # the snapshot landed next to the other instance artefacts
+            assert (tmp_path / "master.db").exists()
+        # the loaded engine still fixes (the store is transparent)
+        session = engine.session(uk.fig3_tuple(), "t")
+        truth = uk.fig3_truth()
+        session.validate({a: truth[a] for a in ("AC", "phn", "type", "item")})
+        session.validate({"zip": truth["zip"]})
+        assert session.fixed_values() == truth
+
+    def test_unknown_store_backend_rejected(self):
+        with pytest.raises(ValidationError, match="store backend"):
+            InstanceConfig.from_json(
+                {
+                    "name": "x",
+                    "input_schema": {"name": "i", "attributes": [{"name": "a"}]},
+                    "master_schema": {"name": "m", "attributes": [{"name": "b"}]},
+                    "store": {"backend": "mongodb"},
+                }
+            )
+
+    def test_sqlite_store_without_path_rejected(self):
+        with pytest.raises(ValidationError, match="needs a 'path'"):
+            InstanceConfig.from_json(
+                {
+                    "name": "x",
+                    "input_schema": {"name": "i", "attributes": [{"name": "a"}]},
+                    "master_schema": {"name": "m", "attributes": [{"name": "b"}]},
+                    "store": {"backend": "sqlite"},
+                }
+            )
+
+    @pytest.mark.parametrize("shards", ["eight", None, 0, -3])
+    def test_bad_store_shards_rejected(self, shards):
+        """A malformed 'shards' value must fail document validation with
+        the prettified error, not escape as a bare ValueError later."""
+        with pytest.raises(ValidationError, match="shards"):
+            InstanceConfig.from_json(
+                {
+                    "name": "x",
+                    "input_schema": {"name": "i", "attributes": [{"name": "a"}]},
+                    "master_schema": {"name": "m", "attributes": [{"name": "b"}]},
+                    "store": {"backend": "sharded", "shards": shards},
+                }
+            )
+
     def test_bad_json(self, tmp_path):
         (tmp_path / "instance.json").write_text("{nope", encoding="utf-8")
         with pytest.raises(ValidationError, match="bad JSON"):
