@@ -68,6 +68,14 @@ from repro.batch import (
     CheckpointJournal,
     ProbeCache,
 )
+from repro.service import (
+    AsyncCerFixServer,
+    AsyncCerFixService,
+    LoadReport,
+    ServiceMetrics,
+    SharedProbeCache,
+    run_load,
+)
 from repro.audit import AuditLog, attribute_stats, overall_stats
 from repro.monitor import (
     CautiousUser,
@@ -91,7 +99,7 @@ from repro.rules import (
 from repro.discovery import discover_constant_cfds, discover_fds, discover_mds
 from repro.config import InstanceConfig, load_instance, save_instance
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CerFix",
@@ -133,6 +141,12 @@ __all__ = [
     "SqliteMasterStore",
     "STORE_BACKENDS",
     "make_store",
+    "AsyncCerFixServer",
+    "AsyncCerFixService",
+    "LoadReport",
+    "ServiceMetrics",
+    "SharedProbeCache",
+    "run_load",
     "BatchCleaner",
     "BatchReport",
     "BatchResult",

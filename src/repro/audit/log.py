@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
@@ -15,10 +16,25 @@ class AuditLog:
     One log typically serves a whole monitoring stream; events carry the
     tuple id, so per-tuple traces and per-attribute statistics are just
     filters over it.
+
+    Thread-safe: the async entry service records events from many
+    concurrent sessions into one log, so appends (and the sequence
+    numbers they assign) happen under a lock, and every read works over
+    an atomic snapshot. Global sequence order then reflects the actual
+    interleaving; *per-tuple* order is what the certain-fix semantics
+    guarantee (a session is only ever touched by one thread at a time).
     """
 
     def __init__(self):
         self._events: list[ChangeEvent] = []
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        return {"events": list(self._events)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._events = list(state["events"])
+        self._lock = threading.Lock()
 
     def record(
         self,
@@ -33,26 +49,28 @@ class AuditLog:
         round_no: int = 0,
     ) -> ChangeEvent:
         """Append one event; the sequence number is assigned here."""
-        event = ChangeEvent(
-            seq=len(self._events),
-            tuple_id=tuple_id,
-            attr=attr,
-            old=old,
-            new=new,
-            source=source,
-            rule_id=rule_id,
-            master_positions=tuple(master_positions),
-            round_no=round_no,
-        )
-        self._events.append(event)
+        with self._lock:
+            event = ChangeEvent(
+                seq=len(self._events),
+                tuple_id=tuple_id,
+                attr=attr,
+                old=old,
+                new=new,
+                source=source,
+                rule_id=rule_id,
+                master_positions=tuple(master_positions),
+                round_no=round_no,
+            )
+            self._events.append(event)
         return event
 
     @property
     def events(self) -> tuple[ChangeEvent, ...]:
-        return tuple(self._events)
+        with self._lock:
+            return tuple(self._events)
 
     def filter(self, predicate: Callable[[ChangeEvent], bool]) -> list[ChangeEvent]:
-        return [e for e in self._events if predicate(e)]
+        return [e for e in self.events if predicate(e)]
 
     def by_tuple(self, tuple_id: str) -> list[ChangeEvent]:
         """All events for one tuple, in order — the demo's per-tuple trace."""
@@ -65,7 +83,7 @@ class AuditLog:
     def tuple_ids(self) -> list[str]:
         """Distinct tuple ids, in first-seen order."""
         seen: dict[str, None] = {}
-        for e in self._events:
+        for e in self.events:
             seen.setdefault(e.tuple_id)
         return list(seen)
 
@@ -74,7 +92,7 @@ class AuditLog:
     def to_jsonl(self, path: str | Path) -> None:
         path = Path(path)
         with path.open("w", encoding="utf-8") as f:
-            for event in self._events:
+            for event in self.events:
                 f.write(json.dumps(event.to_json(), default=str))
                 f.write("\n")
 
@@ -90,7 +108,8 @@ class AuditLog:
         return log
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def __iter__(self) -> Iterator[ChangeEvent]:
-        return iter(self._events)
+        return iter(self.events)

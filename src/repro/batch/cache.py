@@ -65,10 +65,26 @@ class CacheStats:
 class ProbeCache:
     """A bounded, thread-safe LRU store of probe results.
 
-    The store is shared between shard workers (one per thread under the
-    thread backend, one per process under the process backend); hit/miss
-    counters live on the per-shard :class:`CachingMasterDataManager`, so
-    per-shard statistics stay exact even when the store is shared.
+    Threading model (enforced by construction, documented here so it
+    stays that way):
+
+    * the **store** (entries + eviction counter) is guarded by one
+      lock — ``get``/``put`` are safe from any number of threads;
+    * **hit/miss counters** are *not* kept here. In the batch layer
+      they live on the per-shard :class:`CachingMasterDataManager`,
+      each of which is owned by exactly one worker thread for its
+      lifetime (see :func:`repro.batch.executor._run_shard`) and
+      guards its increments anyway, so per-shard statistics stay exact
+      even when the store is shared. The entry service, which has no
+      single-owner managers, uses
+      :class:`repro.service.cache.SharedProbeCache` — the wrapper that
+      accumulates :class:`CacheStats` under the same lock as the store
+      and is safe to call from executor threads and an asyncio event
+      loop alike.
+
+    Cached values are frozen and probing is deterministic, so sharing
+    a cache can reorder *when* work happens but never what any caller
+    observes.
     """
 
     def __init__(self, maxsize: int = 4096):
@@ -119,6 +135,11 @@ class CachingMasterDataManager(MasterDataManager):
     never touch master data. Intended to live for one batch run: the
     cache is never invalidated, so do not mutate the master data
     underneath it.
+
+    Each instance is built for (and owned by) one shard worker, but the
+    hit/miss counters are guarded anyway: accumulation must stay exact
+    even if a future caller shares an instance between threads, and the
+    uncontended lock costs nanoseconds next to a probe.
     """
 
     def __init__(self, source: Relation | MasterStore, cache: ProbeCache):
@@ -126,6 +147,7 @@ class CachingMasterDataManager(MasterDataManager):
         self.cache = cache
         self.hits = 0
         self.misses = 0
+        self._stats_lock = threading.Lock()
         self._probes: dict[str, HashIndex] = {}  # rule_id -> key normaliser
 
     def _cache_key(self, rule: EditingRule, values: Mapping[str, Any]) -> tuple:
@@ -148,9 +170,11 @@ class CachingMasterDataManager(MasterDataManager):
         key = self._cache_key(rule, values)
         cached = self.cache.get(key)
         if cached is not None:
-            self.hits += 1
+            with self._stats_lock:
+                self.hits += 1
             return cached
-        self.misses += 1
+        with self._stats_lock:
+            self.misses += 1
         match = super().match(rule, values, use_index=use_index)
         self.cache.put(key, match)
         return match

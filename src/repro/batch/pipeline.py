@@ -26,7 +26,7 @@ from repro.errors import CerFixError
 from repro.audit.log import AuditLog
 from repro.batch.executor import BatchContext, ShardExecutor, ShardResult
 from repro.batch.journal import CheckpointJournal
-from repro.batch.planner import build_plan
+from repro.batch.planner import build_plan, transcript_projection
 from repro.batch.report import BatchReport, build_report
 from repro.core.certainty import CertaintyMode, Scenario
 from repro.core.region import RankedRegion
@@ -129,6 +129,15 @@ class BatchCleaner:
         notes: list[str] = []
 
         n_shards = shards if shards is not None else max(1, workers) * 4
+        # Dedup on transcript-relevant attributes only: payload columns
+        # no rule or region ever looks at cannot change a repair, so
+        # rows differing only there share one group. Assembly and audit
+        # replay restore each member's own payload values below.
+        projection = transcript_projection(
+            self.ruleset, regions=self.regions, validated=validated
+        )
+        if projection >= frozenset(self.ruleset.input_schema.names):
+            projection = None
         plan = build_plan(
             dirty,
             truth,
@@ -139,6 +148,7 @@ class BatchCleaner:
             context=self._context_key(
                 validated, max_rounds, include_master=journal_path is not None
             ),
+            projection=projection,
         )
 
         # The scenario generator is only ever consulted under SCENARIO
@@ -186,8 +196,8 @@ class BatchCleaner:
             list(done.values()) + list(fresh), key=lambda r: r.shard_id
         )
 
-        relation = self._assemble(dirty, results)
-        self._replay_audit(results, tuple_ids)
+        relation = self._assemble(dirty, results, projection)
+        changed_cells = self._replay_audit(results, tuple_ids, dirty, projection)
         # The serial/thread paths share the executor's cache (its counter
         # is exact there); process workers each hold a private cache, so
         # their evictions only exist as per-shard deltas.
@@ -205,6 +215,10 @@ class BatchCleaner:
             evictions=evictions,
             notes=notes,
         )
+        # The replay count is per-member exact (projected groups patch
+        # the old values member by member); the per-group aggregate
+        # would over- or under-count payload-column changes.
+        report.changed_cells = changed_cells
         return BatchResult(relation=relation, report=report)
 
     # -- internals -----------------------------------------------------------
@@ -238,42 +252,94 @@ class BatchCleaner:
             f"regions={len(self.regions)}",
         )
 
-    def _assemble(self, dirty: Relation, results: Sequence[ShardResult]) -> Relation:
+    def _assemble(
+        self,
+        dirty: Relation,
+        results: Sequence[ShardResult],
+        projection: frozenset[str] | None = None,
+    ) -> Relation:
+        """Assemble the repaired relation from group outcomes.
+
+        Under a projection, a payload attribute (outside the projection)
+        that the transcript never touched kept its *input* value — which
+        differs per member — so those cells are restored from each
+        member's own dirty row rather than the representative's."""
         schema = self.ruleset.input_schema
+        names = schema.names
         rows: list[tuple | None] = [None] * len(dirty)
+        raw = dirty.raw_tuples() if projection is not None else None
         for result in results:
             for outcome in result.outcomes:
-                values = tuple(outcome.values[n] for n in schema.names)
+                values = tuple(outcome.values[n] for n in names)
+                untouched = self._untouched_payload(outcome, projection)
+                if not untouched:
+                    for member in outcome.members:
+                        rows[member] = values
+                    continue
                 for member in outcome.members:
-                    rows[member] = values
+                    member_row = raw[member]
+                    patched = list(values)
+                    for i in untouched:
+                        patched[i] = member_row[i]
+                    rows[member] = tuple(patched)
         missing = [i for i, r in enumerate(rows) if r is None]
         if missing:
             raise CerFixError(f"batch results left rows {missing[:5]}... unassembled")
         return Relation(schema, rows)
 
+    def _untouched_payload(self, outcome, projection: frozenset[str] | None) -> list[int]:
+        """Column positions outside the projection with no audit event —
+        cells the repair provably never read or wrote."""
+        if projection is None:
+            return []
+        touched = {e["attr"] for e in outcome.audit_events}
+        return [
+            i
+            for i, n in enumerate(self.ruleset.input_schema.names)
+            if n not in projection and n not in touched
+        ]
+
     def _replay_audit(
-        self, results: Sequence[ShardResult], tuple_ids: Sequence[str] | None
-    ) -> None:
-        """Replay per-cell provenance onto every member tuple.
+        self,
+        results: Sequence[ShardResult],
+        tuple_ids: Sequence[str] | None,
+        dirty: Relation,
+        projection: frozenset[str] | None = None,
+    ) -> int:
+        """Replay per-cell provenance onto every member tuple; returns
+        the exact changed-cell count across all members.
 
         Each duplicate member genuinely received the group's repair, so
         each gets its own audit trail (ids follow the stream convention:
-        ``t<row>`` unless ``tuple_ids`` overrides)."""
+        ``t<row>`` unless ``tuple_ids`` overrides). Under a projection,
+        a user validation of a payload attribute replays with *this
+        member's* input value as ``old`` — that is what a serial monitor
+        session on the member would have recorded."""
+        changed = 0
+        names = self.ruleset.input_schema.names
+        position = {n: i for i, n in enumerate(names)}
+        raw = dirty.raw_tuples() if projection is not None else None
         for result in results:
             for outcome in result.outcomes:
                 for member in outcome.members:
                     tid = tuple_ids[member] if tuple_ids is not None else f"t{member}"
                     for e in outcome.audit_events:
+                        old = e["old"]
+                        if projection is not None and e["attr"] not in projection:
+                            old = raw[member][position[e["attr"]]]
+                        if old != e["new"]:
+                            changed += 1
                         self.audit.record(
                             tid,
                             e["attr"],
-                            e["old"],
+                            old,
                             e["new"],
                             e["source"],
                             rule_id=e["rule_id"],
                             master_positions=tuple(e["master_positions"]),
                             round_no=e["round_no"],
                         )
+        return changed
 
 
 def _picklable(obj: object) -> bool:

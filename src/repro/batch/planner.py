@@ -7,11 +7,19 @@ signature* — the value vector that determines the repair transcript —
 and grouping rows that share one. Each group is resolved once by a
 shard worker and the outcome is replayed onto every member row.
 
-The signature covers the dirty values of **all** attributes plus (when
-ground truth drives an oracle user) the truth values: a monitor session
-may ask the user about any attribute, so any cell can influence the
-transcript. Two rows collapse into one group exactly when their repair
-is guaranteed identical.
+The signature covers the dirty values of the *transcript-relevant*
+attributes plus (when ground truth drives an oracle user) the truth
+values of **all** attributes. Relevant means: read by some rule (its
+LHS or pattern), written by some rule (its target — the chase compares
+the prescribed value against the current one when checking conflicts),
+mentioned by a precomputed region's attributes or tableau, or seeded
+as trusted. A dirty value *outside* that set can influence exactly two
+things — the ``old`` field of the user-validation audit event and the
+final value when the cell is never validated — and the pipeline
+restores both per member row at assembly/replay time
+(:meth:`repro.batch.pipeline.BatchCleaner`), so two rows collapse into
+one group exactly when their repair is guaranteed identical. Pass
+``projection=None`` to fall back to whole-row signatures.
 
 Groups are dealt round-robin into :class:`Shard` s (deterministically,
 by first-seen order), so shard workloads stay balanced without
@@ -25,18 +33,60 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro.core.ruleset import RuleSet
 from repro.errors import CerFixError
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+
+#: Sentinel replacing projected-out dirty values in a repair signature.
+_ELIDED = "\x00<elided>"
+
+
+def transcript_projection(
+    ruleset: RuleSet,
+    *,
+    regions: Sequence[Any] = (),
+    validated: Sequence[str] = (),
+) -> frozenset[str]:
+    """The attributes whose *dirty* values can influence a repair
+    transcript.
+
+    Everything a session's machinery reads from unvalidated state:
+    rule reads (LHS + pattern — gate rule firing), rule targets (the
+    chase's conflict check compares the prescribed value against the
+    current cell), region attributes and tableau patterns (region
+    compatibility checks), and the trusted seed columns. Suggestions
+    read only *validated* values (every strategy treats unvalidated
+    cells as unknown), so they add nothing beyond the above.
+    """
+    attrs: set[str] = set(validated)
+    for rule in ruleset:
+        attrs |= set(rule.reads)
+        attrs.add(rule.target)
+    for ranked in regions:
+        region = getattr(ranked, "region", ranked)
+        attrs |= set(region.attrs)
+        for pattern in region.tableau:
+            attrs |= set(pattern.attrs)
+    return frozenset(attrs)
 
 
 def repair_signature(
     values: Mapping[str, Any],
     truth: Mapping[str, Any] | None,
     schema: Schema,
+    projection: frozenset[str] | None = None,
 ) -> tuple:
-    """The value vector that determines a tuple's repair transcript."""
-    sig = tuple(values[n] for n in schema.names)
+    """The value vector that determines a tuple's repair transcript.
+
+    With a ``projection``, dirty values outside it are elided (see
+    :func:`transcript_projection`); truth values always cover the whole
+    schema — every validated cell ends at its truth value.
+    """
+    if projection is None:
+        sig = tuple(values[n] for n in schema.names)
+    else:
+        sig = tuple(values[n] if n in projection else _ELIDED for n in schema.names)
     if truth is not None:
         sig += tuple(truth[n] for n in schema.names)
     return sig
@@ -102,13 +152,19 @@ def build_plan(
     shards: int = 1,
     dedupe: bool = True,
     context: Sequence[str] = (),
+    projection: frozenset[str] | None = None,
 ) -> RepairPlan:
     """Plan the batch repair of ``dirty`` (optionally oracle-backed by
     ``truth``).
 
     ``context`` is extra identity (rule ids, mode, …) folded into the
     plan fingerprint so a checkpoint journal written under one engine
-    configuration is never resumed under another.
+    configuration is never resumed under another. ``projection``
+    restricts the dirty half of the repair signature to the
+    transcript-relevant attributes (:func:`transcript_projection`),
+    collapsing rows that differ only in payload columns; the caller
+    (the pipeline) is responsible for restoring per-member payload
+    values at assembly/replay time.
     """
     if shards < 1:
         raise CerFixError(f"shards must be >= 1, got {shards}")
@@ -119,9 +175,11 @@ def build_plan(
     schema = dirty.schema
     by_signature: dict[tuple, list[int]] = {}
     signatures: list[tuple] = []
+    if projection is not None and projection >= frozenset(schema.names):
+        projection = None  # everything is relevant — whole-row semantics
     for i, row in enumerate(dirty.rows()):
         truth_row = truth.row(i).to_dict() if truth is not None else None
-        sig = repair_signature(row.to_dict(), truth_row, schema)
+        sig = repair_signature(row.to_dict(), truth_row, schema, projection)
         if not dedupe:
             sig = sig + (i,)  # unique per row: every row is its own group
         signatures.append(sig)
@@ -149,6 +207,8 @@ def build_plan(
     digest.update(repr(tuple(schema.names)).encode("utf-8"))
     digest.update(repr(tuple(context)).encode("utf-8"))
     digest.update(f"shards={n_shards};dedupe={dedupe}".encode("utf-8"))
+    projected = "*" if projection is None else ",".join(sorted(projection))
+    digest.update(f"projection={projected}".encode("utf-8"))
     for sig in signatures:
         digest.update(repr(sig).encode("utf-8"))
 

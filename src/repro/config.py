@@ -23,7 +23,8 @@ Example document::
       "mode": "strict",
       "strategy": "core_first",
       "precompute_regions": 5,
-      "store": {"backend": "sharded", "shards": 8}
+      "store": {"backend": "sharded", "shards": 8},
+      "service": {"max_sessions": 64, "cache_size": 8192}
     }
 
 The optional ``store`` section selects the master store backend (see
@@ -40,6 +41,11 @@ The optional ``store`` section selects the master store backend (see
 
 Every backend produces bit-identical fixes — the choice only affects
 scale and durability.
+
+The optional ``service`` section configures the async entry service
+(``cerfix serve --async`` — see :mod:`repro.service`); its keys mirror
+:class:`~repro.service.app.AsyncCerFixService`'s constructor and only
+affect capacity and backpressure, never fixes.
 """
 
 from __future__ import annotations
@@ -60,6 +66,53 @@ from repro.relational.schema import Schema, schema_from_json, schema_to_json
 from repro.rules.parser import parse_rules
 
 _schema_to_json = schema_to_json
+
+#: Allowed keys of the instance document's "service" section, with the
+#: type each coerces to. Mirrors AsyncCerFixService's constructor.
+_SERVICE_KEYS: dict[str, type] = {
+    "max_sessions": int,
+    "max_inflight": int,
+    "max_session_pending": int,
+    "cache_size": int,
+    "memo_size": int,
+    "max_batch": int,
+    "workers": int,
+    "batch_window_ms": float,
+    "dispatch": str,
+    "completed_retention": int,
+}
+
+_DISPATCH_MODES = ("auto", "executor", "inline")
+
+
+def _validate_service(section: dict) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, raw in section.items():
+        kind = _SERVICE_KEYS.get(key)
+        if key == "dispatch":
+            if raw not in _DISPATCH_MODES:
+                raise ValidationError(
+                    f"service option 'dispatch' must be one of {_DISPATCH_MODES}, got {raw!r}"
+                )
+            out[key] = raw
+            continue
+        if kind is None:
+            raise ValidationError(
+                f"unknown service option {key!r} "
+                f"(expected one of {sorted(_SERVICE_KEYS)})"
+            )
+        try:
+            value = kind(raw)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"service option {key!r} must be {kind.__name__}, got {raw!r}"
+            ) from None
+        if kind is int and value < 1:
+            raise ValidationError(f"service option {key!r} must be >= 1, got {value}")
+        if kind is float and value < 0:
+            raise ValidationError(f"service option {key!r} must be >= 0, got {value}")
+        out[key] = value
+    return out
 
 
 def _schema_from_json(obj: dict) -> Schema:
@@ -83,6 +136,9 @@ class InstanceConfig:
     precompute_regions: int = 0
     #: Master store selection: {"backend": ..., "shards": ..., "path": ...}.
     store: dict[str, Any] = field(default_factory=dict)
+    #: Async entry service options (``cerfix serve --async``); keys mirror
+    #: :class:`~repro.service.app.AsyncCerFixService` (see _SERVICE_KEYS).
+    service: dict[str, Any] = field(default_factory=dict)
     options: dict[str, Any] = field(default_factory=dict)
 
     # -- (de)serialisation ---------------------------------------------------
@@ -98,6 +154,7 @@ class InstanceConfig:
             "strategy": self.strategy.value,
             "precompute_regions": self.precompute_regions,
             "store": self.store,
+            "service": self.service,
             "options": self.options,
         }
 
@@ -146,6 +203,7 @@ class InstanceConfig:
             strategy=strategy,
             precompute_regions=int(obj.get("precompute_regions", 0)),
             store=store,
+            service=_validate_service(dict(obj.get("service", {}))),
             options=dict(obj.get("options", {})),
         )
 

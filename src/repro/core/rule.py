@@ -16,6 +16,7 @@ and ``t`` matches the pattern ``tp``, then ``t[B] := s[Bm]`` — *provided*
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any
 
 from repro.errors import RuleError
@@ -91,19 +92,24 @@ class EditingRule:
                 raise RuleError(f"rule {self.rule_id}: duplicate match attribute {pair.t_attr!r}")
             seen.add(pair.t_attr)
 
-    # -- derived views ----------------------------------------------------
+    # -- derived views -----------------------------------------------------
+    # cached_property, not property: the chase consults these for every
+    # rule on every sweep, and rebuilding the tuples/frozensets there
+    # dominated the profile. Caching is safe on a frozen dataclass (the
+    # cache writes to __dict__ directly) because every source field is
+    # immutable.
 
-    @property
+    @cached_property
     def lhs_attrs(self) -> tuple[str, ...]:
         """X — the input attributes matched against master data."""
         return tuple(p.t_attr for p in self.match)
 
-    @property
+    @cached_property
     def m_attrs(self) -> tuple[str, ...]:
         """Xm — the master attributes matched against."""
         return tuple(p.m_attr for p in self.match)
 
-    @property
+    @cached_property
     def ops(self) -> tuple[str, ...]:
         """The match operator of each correspondence pair."""
         return tuple(p.op for p in self.match)
@@ -113,7 +119,7 @@ class EditingRule:
         """Xp — the attributes constrained by the pattern."""
         return self.pattern.attrs
 
-    @property
+    @cached_property
     def reads(self) -> frozenset[str]:
         """X ∪ Xp — every input attribute the rule looks at.
 

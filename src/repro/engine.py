@@ -125,8 +125,22 @@ class CerFix:
 
     # -- data monitor ----------------------------------------------------------
 
-    def session(self, values: Mapping[str, Any], tuple_id: str = "t", **kwargs) -> MonitorSession:
-        """Open an interactive monitoring session for one input tuple."""
+    def session(
+        self,
+        values: Mapping[str, Any],
+        tuple_id: str = "t",
+        *,
+        master: MasterDataManager | None = None,
+        **kwargs,
+    ) -> MonitorSession:
+        """Open an interactive monitoring session for one input tuple.
+
+        ``master`` overrides the manager the session probes through —
+        the async entry service injects its shared cache/batcher
+        manager here (see :meth:`serve_async`); by default the engine's
+        own manager is used. Caching managers are probe-transparent, so
+        the override can only change speed, never the fix.
+        """
         kwargs.setdefault("regions", self.regions)
         kwargs.setdefault("strategy", self.strategy)
         kwargs.setdefault("mode", self.mode)
@@ -134,7 +148,8 @@ class CerFix:
         kwargs.setdefault("audit", self.audit)
         kwargs.setdefault("use_index", self.use_index)
         kwargs.setdefault("max_combos", self.max_combos)
-        return MonitorSession(self.ruleset, self.master, values, tuple_id, **kwargs)
+        manager = master if master is not None else self.master
+        return MonitorSession(self.ruleset, manager, values, tuple_id, **kwargs)
 
     def fix(
         self,
@@ -226,6 +241,30 @@ class CerFix:
             tuple_ids=tuple_ids,
             max_rounds=max_rounds,
         )
+
+    def serve_async(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_options,
+    ):
+        """Start the asyncio entry service on a background event-loop
+        thread; returns the running
+        :class:`~repro.service.http.AsyncCerFixServer` (``.url`` carries
+        the bound address, ``.close()`` stops it).
+
+        The service multiplexes concurrent monitor sessions over this
+        engine behind a shared probe cache, a probe micro-batcher and
+        bounded queues with 429 backpressure — see :mod:`repro.service`.
+        ``service_options`` forward to
+        :class:`~repro.service.app.AsyncCerFixService` (``max_sessions``,
+        ``cache_size``, ``batch_window_ms``, …).
+        """
+        from repro.service.app import AsyncCerFixService
+        from repro.service.http import AsyncCerFixServer
+
+        service = AsyncCerFixService(self, **service_options)
+        return AsyncCerFixServer(service, host=host, port=port).start()
 
     # -- master data maintenance ---------------------------------------------
 

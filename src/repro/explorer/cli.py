@@ -11,6 +11,8 @@ Subcommands::
     cerfix clean    [--scenario ...] --input CSV [--truth CSV] [--workers N]
                     [--store single|sharded|sqlite [--store-shards N] [--store-path DB]]
     cerfix monitor  [--scenario ...]              # interactive, stdin-driven
+    cerfix serve    [--scenario ...|--instance DIR] [--port N]
+                    [--async [--max-sessions N] [--cache-size N]]
     cerfix audit    --log FILE [--attr NAME] [--tuple ID]
     cerfix generate [--scenario ...] --master-out CSV --out CSV --truth-out CSV
     cerfix demo                                   # the Fig. 3 walkthrough
@@ -311,8 +313,7 @@ def cmd_init(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.explorer.web import serve
-
+    service_cfg: dict[str, Any] = {}
     if args.instance:
         if args.store or args.store_path or args.store_shards is not None:
             raise CerFixError(
@@ -322,9 +323,14 @@ def cmd_serve(args) -> int:
         from repro.config import load_instance
 
         engine, config = load_instance(args.instance)
+        service_cfg = dict(config.service)
         print(f"serving instance {config.name!r}")
     else:
         engine = _engine(args)
+    if args.use_async:
+        return _serve_async(engine, args, service_cfg)
+    from repro.explorer.web import serve
+
     server = serve(engine, port=args.port)
     print(f"cerfix web explorer listening on {server.url} (Ctrl-C to stop)")
     try:
@@ -335,6 +341,38 @@ def cmd_serve(args) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _serve_async(engine: CerFix, args, service_cfg: dict[str, Any]) -> int:
+    """Run the asyncio entry service in the foreground (Ctrl-C stops)."""
+    import asyncio
+
+    from repro.service.app import AsyncCerFixService
+    from repro.service.http import AsyncCerFixServer
+
+    if args.max_sessions is not None:
+        service_cfg["max_sessions"] = args.max_sessions
+    if args.cache_size is not None:
+        service_cfg["cache_size"] = args.cache_size
+    service = AsyncCerFixService(engine, **service_cfg)
+    server = AsyncCerFixServer(service, port=args.port)
+
+    async def _main() -> None:
+        await server.bind()
+        print(
+            f"cerfix async entry service listening on {server.url} "
+            f"(max_sessions={service.admission.max_sessions}, "
+            f"cache={service.cache.maxsize}; Ctrl-C to stop)"
+        )
+        await server.serve()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
     return 0
 
 
@@ -441,6 +479,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_flags(p)
     p.add_argument("--instance", help="serve a saved instance directory instead")
     p.add_argument("--port", type=int, default=8384)
+    p.add_argument("--async", action="store_true", dest="use_async",
+                   help="run the concurrent asyncio entry service instead of "
+                        "the serial explorer (shared probe cache, micro-batched "
+                        "master lookups, 429 backpressure, /api/metrics)")
+    p.add_argument("--max-sessions", type=int, default=None, dest="max_sessions",
+                   help="async: max concurrently active sessions before 429 (default 256)")
+    p.add_argument("--cache-size", type=int, default=None, dest="cache_size",
+                   help="async: shared probe cache entries (default 8192)")
     p.set_defaults(func=cmd_serve)
 
     return parser

@@ -20,8 +20,10 @@ POST  /api/sessions                  {"tuple_id": ..., "values": {...}} — open
 GET   /api/sessions/<id>             session state
 POST  /api/sessions/<id>/validate    {"assignments": {...}} — user validation;
                                      chases and returns the new state
+DELETE /api/sessions/<id>            drop a session
 GET   /api/audit/<tuple_id>          per-tuple change trace (Fig. 4)
 GET   /api/audit                     per-attribute statistics (Fig. 4)
+GET   /api/metrics                   service metrics (async service only)
 ====  =============================  ===========================================
 
 Run it programmatically (`serve(engine, port=0)` returns the bound
@@ -36,175 +38,40 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import parse_qs, urlparse
 
-from repro.audit.stats import attribute_stats, overall_stats
 from repro.engine import CerFix
-from repro.errors import CerFixError, MonitorError
 from repro.monitor.session import MonitorSession
+from repro.service.app import RoutingCore, session_state
 
-
-def _session_state(session: MonitorSession) -> dict[str, Any]:
-    suggestion = None if session.is_complete else session.suggestion()
-    return {
-        "tuple_id": session.tuple_id,
-        "values": {k: str(v) for k, v in session.current_values().items()},
-        "validated": sorted(session.validated),
-        "complete": session.is_complete,
-        "round": session.round_no,
-        "conflicts": [c.describe() for c in session.conflicts],
-        "suggestion": None
-        if suggestion is None
-        else {
-            "attrs": list(suggestion.attrs),
-            "strategy": suggestion.strategy.value,
-            "rationale": suggestion.rationale,
-        },
-    }
+# Backwards-compatible alias: the session JSON view now lives with the
+# shared routing table in repro.service.app.
+_session_state = session_state
 
 
 class CerFixWebApp:
-    """Routes HTTP requests onto one engine. Thread-safe via one lock —
-    sessions are interactive, not high-throughput. Note that the lock
-    also serializes ``POST /api/clean``: a large batch clean blocks the
-    other routes for its duration (the engine's audit log and master
-    indexes are not safe under concurrent mutation). Front a dedicated
-    :class:`~repro.batch.pipeline.BatchCleaner` for heavy batch traffic."""
+    """Routes HTTP requests onto one engine, serially.
+
+    The routing table itself is the shared
+    :class:`~repro.service.app.RoutingCore` — the same one the async
+    entry service multiplexes concurrent sessions through — so the two
+    surfaces cannot drift. This app is the *serial* deployment: one
+    lock, one request at a time; sessions here are interactive, not
+    high-throughput. Note that the lock also serializes ``POST
+    /api/clean``: a large batch clean blocks the other routes for its
+    duration. For concurrent entry traffic run ``cerfix serve --async``
+    (see :mod:`repro.service`)."""
 
     def __init__(self, engine: CerFix):
         self.engine = engine
-        self.sessions: dict[str, MonitorSession] = {}
+        self.core = RoutingCore(engine)
         self._lock = threading.Lock()
 
-    # -- route handlers; each returns (status, payload) ----------------------
+    @property
+    def sessions(self) -> dict[str, MonitorSession]:
+        return self.core.sessions
 
     def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict | list]:
-        parsed = urlparse(path)
-        parts = [p for p in parsed.path.split("/") if p]
-        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
-        try:
-            return self._route(method, parts, query, body or {})
-        except MonitorError as exc:
-            return 409, {"error": str(exc)}
-        except CerFixError as exc:
-            return 400, {"error": str(exc)}
-
-    def _route(self, method, parts, query, body) -> tuple[int, dict | list]:
-        if parts == ["api", "instance"] and method == "GET":
-            engine = self.engine
-            return 200, {
-                "input_schema": list(engine.ruleset.input_schema.names),
-                "master_schema": list(engine.ruleset.master_schema.names),
-                "rules": len(engine.ruleset),
-                "master_tuples": len(engine.master),
-                "mode": engine.mode.value,
-                "strategy": engine.strategy.value,
-                "store": engine.master.store.stats(),
-            }
-        if parts == ["api", "rules"] and method == "GET":
-            return 200, [
-                {"id": r.rule_id, "rule": r.render(), "description": r.description}
-                for r in self.engine.ruleset
-            ]
-        if parts == ["api", "rules", "check"] and method == "GET":
-            report = self.engine.check_consistency(samples=int(query.get("samples", 20)))
-            return 200, {
-                "consistent": report.is_consistent,
-                "conflicts": [c.describe() for c in report.conflicts],
-                "cross_entity": [c.describe() for c in report.cross_entity_conflicts],
-                "ambiguities": [a.describe() for a in report.ambiguities],
-            }
-        if parts == ["api", "regions"] and method == "GET":
-            k = int(query.get("k", 5))
-            regions = self.engine.precompute_regions(k=k)
-            return 200, [
-                {
-                    "rank": i + 1,
-                    "attrs": list(r.region.attrs),
-                    "tableau": [p.render() for p in r.region.tableau],
-                    "coverage": r.coverage,
-                }
-                for i, r in enumerate(regions)
-            ]
-        if parts == ["api", "clean"] and method == "POST":
-            from repro.relational.relation import Relation
-
-            rows = body.get("rows")
-            if not isinstance(rows, list) or not rows:
-                return 400, {"error": "body must carry a non-empty 'rows' array"}
-            schema = self.engine.ruleset.input_schema
-            dirty = Relation(schema, rows)
-            truth_rows = body.get("truth")
-            truth = Relation(schema, truth_rows) if truth_rows else None
-            try:
-                workers = int(body.get("workers", 1))
-            except (TypeError, ValueError):
-                return 400, {"error": f"'workers' must be an integer, got {body.get('workers')!r}"}
-            result = self.engine.clean_relation(
-                dirty,
-                truth,
-                workers=workers,
-                backend=str(body.get("backend", "thread")),
-                dedupe=bool(body.get("dedupe", True)),
-                validated=tuple(body.get("validated", ())),
-            )
-            return 200, {
-                "rows": [r.to_dict() for r in result.relation.rows()],
-                "report": result.report.to_json(),
-            }
-        if parts == ["api", "sessions"] and method == "POST":
-            tuple_id = str(body.get("tuple_id", f"web{len(self.sessions)}"))
-            values = body.get("values")
-            if not isinstance(values, dict):
-                return 400, {"error": "body must carry a 'values' object"}
-            if tuple_id in self.sessions:
-                return 409, {"error": f"session {tuple_id!r} already exists"}
-            session = self.engine.session(values, tuple_id)
-            self.sessions[tuple_id] = session
-            return 201, _session_state(session)
-        if len(parts) == 3 and parts[:2] == ["api", "sessions"] and method == "GET":
-            session = self.sessions.get(parts[2])
-            if session is None:
-                return 404, {"error": f"no session {parts[2]!r}"}
-            return 200, _session_state(session)
-        if (
-            len(parts) == 4
-            and parts[:2] == ["api", "sessions"]
-            and parts[3] == "validate"
-            and method == "POST"
-        ):
-            session = self.sessions.get(parts[2])
-            if session is None:
-                return 404, {"error": f"no session {parts[2]!r}"}
-            assignments = body.get("assignments")
-            if not isinstance(assignments, dict):
-                return 400, {"error": "body must carry an 'assignments' object"}
-            session.validate(assignments)
-            return 200, _session_state(session)
-        if parts == ["api", "audit"] and method == "GET":
-            stats = attribute_stats(self.engine.audit)
-            overall = overall_stats(self.engine.audit)
-            return 200, {
-                "attributes": [
-                    {
-                        "attr": s.attr,
-                        "by_user": s.user_validations,
-                        "by_cerfix": s.rule_fixes,
-                        "pct_user": s.pct_user,
-                        "pct_auto": s.pct_auto,
-                    }
-                    for s in stats
-                ],
-                "overall": {
-                    "tuples": overall.tuples,
-                    "user_share": overall.user_share,
-                    "auto_share": overall.auto_share,
-                },
-            }
-        if len(parts) == 3 and parts[:2] == ["api", "audit"] and method == "GET":
-            events = self.engine.audit.by_tuple(parts[2])
-            return 200, [e.to_json() for e in events]
-        return 404, {"error": f"no route {method} /{'/'.join(parts)}"}
+        return self.core.handle(method, path, body)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -236,6 +103,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self):  # noqa: N802
         self._dispatch("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._dispatch("DELETE")
 
     def log_message(self, fmt, *args):  # silence request logging
         pass

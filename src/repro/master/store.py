@@ -158,6 +158,23 @@ class MasterStore:
     ) -> MasterMatch:
         raise NotImplementedError
 
+    def probe_many(
+        self,
+        requests: Sequence[tuple[EditingRule, Mapping[str, Any]]],
+        *,
+        use_index: bool = True,
+    ) -> list[MasterMatch]:
+        """Answer a batch of probes in one call (request order preserved).
+
+        The entry service's micro-batcher funnels concurrent cache
+        misses through this method so a store crosses the manager/store
+        boundary once per batch instead of once per probe. The default
+        implementation loops over :meth:`probe`; backends with cheaper
+        grouped access (e.g. per-shard routing, one SQL round trip) can
+        override it — results must stay bit-identical to per-probe calls.
+        """
+        return [self.probe(rule, values, use_index=use_index) for rule, values in requests]
+
     def _match_at(self, rule: EditingRule, positions: tuple[int, ...]) -> MasterMatch:
         """Assemble the :class:`MasterMatch` for already-found positions —
         the one place the distinct-value ordering is defined, so backends

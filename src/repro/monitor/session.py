@@ -64,6 +64,7 @@ class MonitorSession:
         use_index: bool = True,
         max_combos: int = 50_000,
         costs: Mapping[str, float] | None = None,
+        suggestion_memo: Any = None,
     ):
         schema = ruleset.input_schema
         missing = [n for n in schema.names if n not in values]
@@ -81,6 +82,15 @@ class MonitorSession:
         self.use_index = use_index
         self.max_combos = max_combos
         self.costs = dict(costs) if costs else None
+        #: Optional cross-session suggestion memo (``get``/``put``). A
+        #: suggestion is a deterministic function of the validated
+        #: (attr, value) pairs plus the engine configuration, so
+        #: sessions over duplicate-heavy traffic can share inference
+        #: work. The caller owns key-space hygiene for everything not
+        #: in the key (regions, scenario, master content) — see
+        #: :class:`repro.service.cache.MemoView`. Disabled when
+        #: per-attribute ``costs`` are in play.
+        self._suggestion_memo = suggestion_memo if costs is None else None
 
         self._state: dict[str, Any] = {n: values[n] for n in schema.names}
         self._validated: frozenset[str] = frozenset()
@@ -141,6 +151,12 @@ class MonitorSession:
             return None
         if self._suggestion_cache is not None and self._suggestion_cache[0] == self._validated:
             return self._suggestion_cache[1]
+        memo_key = self._memo_key()
+        if memo_key is not None:
+            memoised = self._suggestion_memo.get(memo_key)
+            if memoised is not None:
+                self._suggestion_cache = (self._validated, memoised)
+                return memoised
         suggestion = compute_suggestion(
             self._state,
             self._validated,
@@ -154,7 +170,26 @@ class MonitorSession:
             costs=self.costs,
         )
         self._suggestion_cache = (self._validated, suggestion)
+        if memo_key is not None and suggestion is not None:
+            self._suggestion_memo.put(memo_key, suggestion)
         return suggestion
+
+    def _memo_key(self) -> tuple | None:
+        """The cross-session memo key, or None when memoisation is off.
+
+        Suggestions read only *validated* values (unvalidated cells are
+        treated as unknown by every strategy), so the key is the sorted
+        validated (attr, value) pairs plus strategy and mode. Unhashable
+        values opt the session out rather than raising.
+        """
+        if self._suggestion_memo is None:
+            return None
+        try:
+            items = tuple(sorted((a, self._state[a]) for a in self._validated))
+            hash(items)
+        except TypeError:
+            return None
+        return (items, self.strategy.value, self.mode.value)
 
     def validate(self, assignments: Mapping[str, Any]) -> RoundRecord:
         """The user validates attributes, supplying their correct values.

@@ -1,0 +1,252 @@
+"""Async load generator for the entry service.
+
+Drives many concurrent monitor sessions against a running
+:class:`~repro.service.http.AsyncCerFixServer` the way real entry
+traffic would: each tuple becomes one session (open → validate the
+suggested attributes with the ground truth → repeat until a certain
+fix), with ``concurrency`` sessions in flight at once over keep-alive
+connections. 429 responses are retried with the server's
+``Retry-After`` hint (compressed by ``retry_scale`` so saturated test
+runs finish in seconds while still exercising the backpressure path).
+
+Used by ``benchmarks/bench_service_load.py`` (the concurrency sweep
+behind ``BENCH_service.json``), the CI ``service-load`` smoke leg, and
+the differential service-parity suite — one driver, three consumers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+from urllib.parse import urlparse
+
+
+class LoadError(Exception):
+    """A session driver hit a non-retryable error."""
+
+
+@dataclass
+class SessionOutcome:
+    """One driven session, as the client observed it."""
+
+    tuple_id: str
+    complete: bool
+    rounds: int
+    values: dict[str, str]
+    latency_seconds: float  # open → final response, retries included
+    retries_429: int
+
+
+@dataclass
+class LoadReport:
+    """What one load run produced."""
+
+    outcomes: list[SessionOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    requests: int = 0
+    retries_429: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def sessions(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.complete)
+
+    @property
+    def dropped(self) -> int:
+        """Sessions that never reached a certain fix — must be 0 for a
+        healthy run (backpressure retries, it does not drop)."""
+        return self.sessions - self.completed
+
+    @property
+    def throughput(self) -> float:
+        """Completed sessions per second."""
+        return self.completed / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        ordered = sorted(o.latency_seconds for o in self.outcomes)
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))]
+
+    def values_in_order(self, names: Sequence[str]) -> list[tuple]:
+        """Final fixed rows as value tuples, in driven order — the shape
+        the differential harness compares against the serial monitor."""
+        return [tuple(o.values[n] for n in names) for o in self.outcomes]
+
+
+class _Connection:
+    """One keep-alive HTTP/1.1 connection (a worker owns exactly one)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _ensure(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+
+    async def request(
+        self, method: str, path: str, body: Any = None
+    ) -> tuple[int, Any, dict[str, str]]:
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Content-Type: application/json\r\n\r\n"
+        ).encode("latin-1")
+        for attempt in (0, 1):  # one transparent reconnect on a dead socket
+            await self._ensure()
+            try:
+                self._writer.write(head + payload)
+                await self._writer.drain()
+                return await self._read_response()
+            except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+                await self.close()
+                if attempt:
+                    raise
+        raise LoadError("unreachable")  # pragma: no cover
+
+    async def _read_response(self) -> tuple[int, Any, dict[str, str]]:
+        line = await self._reader.readuntil(b"\r\n")
+        status = int(line.split(b" ", 2)[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readuntil(b"\r\n")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        raw = await self._reader.readexactly(length) if length else b""
+        body = json.loads(raw) if raw else None
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, body, headers
+
+
+async def drive_load(
+    url: str,
+    rows: Sequence[Mapping[str, Any]],
+    truth: Sequence[Mapping[str, Any]] | None = None,
+    *,
+    concurrency: int = 16,
+    tuple_ids: Sequence[str] | None = None,
+    max_rounds: int | None = None,
+    max_retries: int = 200,
+    retry_scale: float = 0.02,
+) -> LoadReport:
+    """Drive one session per row with ``concurrency`` workers.
+
+    With ``truth``, suggestions are answered from the matching truth
+    row (the oracle user of the serial paths); without it, suggested
+    attributes are assured at their current values. ``retry_scale``
+    multiplies the server's Retry-After hint so saturation tests finish
+    quickly; real clients would honour the hint as-is.
+    """
+    if truth is not None and len(truth) != len(rows):
+        raise LoadError(f"truth has {len(truth)} rows but the load has {len(rows)}")
+    parsed = urlparse(url)
+    host, port = parsed.hostname, parsed.port
+    report = LoadReport()
+    outcomes: list[SessionOutcome | None] = [None] * len(rows)
+    queue: asyncio.Queue[int] = asyncio.Queue()
+    for i in range(len(rows)):
+        queue.put_nowait(i)
+
+    async def _request_with_retry(conn: _Connection, method, path, body, counters):
+        for _ in range(max_retries + 1):
+            status, payload, headers = await conn.request(method, path, body)
+            report.requests += 1
+            if status != 429:
+                return status, payload
+            counters["retries"] += 1
+            report.retries_429 += 1
+            hint = float(headers.get("retry-after") or payload.get("retry_after") or 1)
+            await asyncio.sleep(max(0.001, hint * retry_scale))
+        raise LoadError(f"{method} {path}: still 429 after {max_retries} retries")
+
+    async def _drive_one(conn: _Connection, index: int) -> SessionOutcome:
+        tid = tuple_ids[index] if tuple_ids is not None else f"t{index}"
+        values = {k: str(v) for k, v in dict(rows[index]).items()}
+        truth_row = (
+            {k: str(v) for k, v in dict(truth[index]).items()} if truth is not None else None
+        )
+        counters = {"retries": 0}
+        start = time.perf_counter()
+        status, state = await _request_with_retry(
+            conn, "POST", "/api/sessions", {"tuple_id": tid, "values": values}, counters
+        )
+        if status != 201:
+            raise LoadError(f"open {tid!r} failed: {status} {state!r}")
+        rounds = 0
+        while not state["complete"]:
+            suggestion = state.get("suggestion")
+            if suggestion is None or (max_rounds is not None and rounds >= max_rounds):
+                break
+            attrs = suggestion["attrs"]
+            if truth_row is not None:
+                assignments = {a: truth_row[a] for a in attrs if a in truth_row}
+            else:
+                assignments = {a: state["values"][a] for a in attrs}
+            if not assignments:
+                break
+            status, state = await _request_with_retry(
+                conn, "POST", f"/api/sessions/{tid}/validate",
+                {"assignments": assignments}, counters,
+            )
+            if status != 200:
+                raise LoadError(f"validate {tid!r} failed: {status} {state!r}")
+            rounds += 1
+        return SessionOutcome(
+            tuple_id=tid,
+            complete=bool(state["complete"]),
+            rounds=rounds,
+            values=dict(state["values"]),
+            latency_seconds=time.perf_counter() - start,
+            retries_429=counters["retries"],
+        )
+
+    async def _worker() -> None:
+        conn = _Connection(host, port)
+        try:
+            while True:
+                try:
+                    index = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                try:
+                    outcomes[index] = await _drive_one(conn, index)
+                except LoadError as exc:
+                    report.errors.append(str(exc))
+        finally:
+            await conn.close()
+
+    start = time.perf_counter()
+    await asyncio.gather(*(_worker() for _ in range(max(1, concurrency))))
+    report.elapsed_seconds = time.perf_counter() - start
+    report.outcomes = [o for o in outcomes if o is not None]
+    return report
+
+
+def run_load(url: str, rows, truth=None, **kwargs) -> LoadReport:
+    """Synchronous wrapper around :func:`drive_load` (fresh event loop)."""
+    return asyncio.run(drive_load(url, rows, truth, **kwargs))

@@ -42,6 +42,7 @@ from repro.master.store import (
     SingleRelationStore,
     SqliteMasterStore,
 )
+from repro.monitor.user import CautiousUser, OracleUser, SelectiveUser
 from repro.relational.relation import Relation
 from repro.scenarios import hospital, uk_customers as uk
 
@@ -238,6 +239,159 @@ def run_batch_path(
         audit_events=[e.to_json() for e in engine.audit],
         regions=[],
         report=normalize_report(result.report.to_json()),
+    )
+
+
+def normalize_audit(events: list[dict]) -> list[tuple[str, list[dict]]]:
+    """Per-tuple audit views, interleaving-independent.
+
+    Concurrent (or randomly interleaved) sessions share one log, so
+    *global* sequence order legitimately varies run to run; what the
+    certain-fix semantics guarantee is each tuple's own event sequence.
+    Returns ``[(tuple_id, [event sans seq, ...]), ...]`` sorted by id.
+    """
+    by_tuple: dict[str, list[dict]] = {}
+    for event in events:
+        event = {k: v for k, v in event.items() if k != "seq"}
+        by_tuple.setdefault(event["tuple_id"], []).append(event)
+    return sorted(by_tuple.items())
+
+
+def normalize_outcome(outcome: PathOutcome) -> PathOutcome:
+    """An interleaving-comparable view of a serial-path outcome:
+    stringified rows (what a JSON surface returns) and per-tuple audit."""
+    return PathOutcome(
+        fixed_rows=[tuple(str(v) for v in row) for row in outcome.fixed_rows],
+        audit_events=normalize_audit(outcome.audit_events),
+        regions=outcome.regions,
+        report=outcome.report,
+    )
+
+
+def _interleaving_user(kind: str, truth: Mapping[str, Any], names, rng: random.Random):
+    if kind == "cautious":
+        return CautiousUser(truth, max_per_round=1)
+    if kind == "selective":
+        known = set(rng.sample(list(names), k=max(2, (2 * len(names)) // 3)))
+        return SelectiveUser(truth, known)
+    return OracleUser(truth)
+
+
+def run_interleaved_monitor_path(
+    case: DifferentialCase,
+    store: MasterStore,
+    *,
+    order_seed: int,
+    user_seed: int = 0,
+    regions_k: int = 2,
+    region_max_size: int | None = None,
+    max_combos: int = 50_000,
+) -> PathOutcome:
+    """Drive every tuple's monitor session with its rounds *interleaved*
+    across sessions in a seeded random order, with non-oracle users.
+
+    ``user_seed`` fixes each tuple's user model (oracle / cautious /
+    selective mix) independently of ``order_seed``, so two runs with
+    different interleavings but the same user seed must produce
+    bit-identical per-tuple outcomes — sessions are independent, and
+    the parity suite asserts the same across every store backend.
+    Selective users may stall their session; the stall point is part of
+    the compared outcome.
+    """
+    if case.truth is None:
+        raise ValueError("interleaving fuzz needs ground truth")
+    from repro.service.cache import LRUMemo
+
+    engine = CerFix(
+        case.ruleset, store, mode=CertaintyMode.ANCHORED, max_combos=max_combos
+    )
+    ranked = engine.precompute_regions(k=regions_k, max_size=region_max_size)
+    names = case.dirty.schema.names
+    user_rng = random.Random(user_seed)
+    # One memo per run (never shared across runs, so runs stay fully
+    # independent): duplicate-heavy cases re-derive identical
+    # suggestions constantly, and memoisation is deterministic.
+    memo = LRUMemo(4096)
+    sessions, users = [], []
+    for i, row in enumerate(case.dirty.rows()):
+        truth = case.truth.row(i).to_dict()
+        kind = user_rng.choice(("oracle", "oracle", "cautious", "selective"))
+        users.append(_interleaving_user(kind, truth, names, user_rng))
+        sessions.append(engine.session(row.to_dict(), f"t{i}", suggestion_memo=memo))
+
+    order_rng = random.Random(order_seed)
+    active = list(range(len(sessions)))
+    guard = (len(names) + 2) * max(1, len(sessions)) * 4
+    while active and guard > 0:
+        guard -= 1
+        i = order_rng.choice(active)
+        session = sessions[i]
+        if session.is_complete:
+            active.remove(i)
+            continue
+        suggestion = session.suggestion()
+        if suggestion is None:
+            active.remove(i)
+            continue
+        assignments = users[i].respond(suggestion, session)
+        if not assignments:
+            active.remove(i)
+            continue
+        session.validate(assignments)
+    assert guard > 0, "interleaving fuzz failed to converge"
+
+    return PathOutcome(
+        fixed_rows=[
+            tuple(str(v) for v in (s.current_values()[n] for n in names)) for s in sessions
+        ],
+        audit_events=normalize_audit([e.to_json() for e in engine.audit]),
+        regions=[(r.region.render(), round(r.coverage, 9)) for r in ranked],
+        report={
+            "tuples": len(sessions),
+            "completed": sum(1 for s in sessions if s.is_complete),
+            "rounds": [s.round_no for s in sessions],
+        },
+    )
+
+
+def run_service_path(
+    case: DifferentialCase,
+    store: MasterStore,
+    *,
+    concurrency: int = 8,
+    regions_k: int = 2,
+    max_combos: int = 50_000,
+    **service_options,
+) -> PathOutcome:
+    """Drive the async entry service over real HTTP with ``concurrency``
+    sessions in flight, and capture the serial-comparable outcome.
+
+    The acceptance gate of ISSUE 4: for any interleaving of sessions,
+    the per-tuple (fix, region, audit-event) outputs are bit-identical
+    to the serial monitor path — compare against
+    ``normalize_outcome(run_monitor_path(...))`` on the same backend.
+    """
+    if case.truth is None:
+        raise ValueError("the service load driver needs ground truth")
+    from repro.service.loadgen import run_load
+
+    engine = CerFix(
+        case.ruleset, store, mode=CertaintyMode.ANCHORED, max_combos=max_combos
+    )
+    ranked = engine.precompute_regions(k=regions_k)
+    server = engine.serve_async(port=0, **service_options)
+    try:
+        rows = [r.to_dict() for r in case.dirty.rows()]
+        truth = [r.to_dict() for r in case.truth.rows()]
+        load = run_load(server.url, rows, truth, concurrency=concurrency)
+    finally:
+        server.close()
+    assert not load.errors, f"load errors: {load.errors[:3]}"
+    return PathOutcome(
+        fixed_rows=load.values_in_order(case.dirty.schema.names),
+        audit_events=normalize_audit([e.to_json() for e in engine.audit]),
+        regions=[(r.region.render(), round(r.coverage, 9)) for r in ranked],
+        report={"tuples": load.sessions, "completed": load.completed},
     )
 
 

@@ -346,3 +346,109 @@ def test_schema_mismatch_rejected(uk_batch):
     wrong = Relation(uk.MASTER_SCHEMA, master.tuples())
     with pytest.raises(CerFixError):
         engine.clean_relation(wrong)
+
+
+# ---------------------------------------------------------------------------
+# Projection dedup: rule-relevant signatures (ISSUE 4 satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_transcript_projection_covers_rule_and_region_attrs():
+    from repro.batch.planner import transcript_projection
+    from repro.core.region import RankedRegion, Region
+    from repro.core.certainty import CertaintyMode
+
+    ruleset = hospital.hospital_ruleset()
+    projection = transcript_projection(ruleset)
+    for rule in ruleset:
+        assert set(rule.reads) <= projection
+        assert rule.target in projection
+    # the hospital payload columns are exactly what no rule mentions
+    assert set(hospital.INPUT_SCHEMA.names) - projection == {"score", "sample"}
+    region = RankedRegion(Region(("score", "zip")), CertaintyMode.ANCHORED, coverage=1.0)
+    assert "score" in transcript_projection(ruleset, regions=(region,))
+    assert "sample" in transcript_projection(ruleset, validated=("sample",))
+    # uk: only 'item' (a mandatory payload column — user-validated, never
+    # read or written by a rule) falls outside the projection
+    uk_proj = transcript_projection(uk.paper_ruleset())
+    assert set(uk.INPUT_SCHEMA.names) - uk_proj == {"item"}
+
+
+def _payload_duplicated_workload(hospital_batch):
+    """Every row duplicated with only the payload columns corrupted —
+    collapsible under projection, never under whole-row signatures."""
+    master, wl = hospital_batch
+    dirty_rows, truth_rows = [], []
+    for i, (d, t) in enumerate(zip(wl.dirty.rows(), wl.clean.rows())):
+        dirty_rows.append(d.to_dict())
+        truth_rows.append(t.to_dict())
+        dup = d.to_dict()
+        dup["score"] = f"garbled-{i}"
+        dup["sample"] = "???"
+        dirty_rows.append(dup)
+        truth_rows.append(t.to_dict())
+    return (
+        master,
+        Relation(hospital.INPUT_SCHEMA, dirty_rows),
+        Relation(hospital.INPUT_SCHEMA, truth_rows),
+    )
+
+
+def test_projected_dedup_strictly_beats_whole_row_on_hospital(hospital_batch):
+    from repro.batch.planner import transcript_projection
+
+    _, dirty, truth = _payload_duplicated_workload(hospital_batch)
+    projection = transcript_projection(hospital.hospital_ruleset())
+    whole = build_plan(dirty, truth)
+    projected = build_plan(dirty, truth, projection=projection)
+    assert projected.n_groups < whole.n_groups  # strictly more dedup
+    assert projected.n_groups <= len(dirty) // 2
+    assert projected.fingerprint != whole.fingerprint  # journals cannot mix
+    # every row still belongs to exactly one group
+    members = sorted(m for g in projected.groups for m in g.members)
+    assert members == list(range(len(dirty)))
+
+
+def test_projected_dedup_output_is_bit_identical_to_no_dedupe(hospital_batch):
+    master, dirty, truth = _payload_duplicated_workload(hospital_batch)
+    ruleset = hospital.hospital_ruleset()
+
+    plain_engine = CerFix(ruleset, master)
+    plain = plain_engine.clean_relation(dirty, truth, dedupe=False)
+    deduped_engine = CerFix(ruleset, master)
+    deduped = deduped_engine.clean_relation(dirty, truth, dedupe=True)
+
+    # the dedup actually collapsed payload-only duplicates...
+    assert deduped.report.groups <= len(dirty) // 2
+    # ...yet rows, per-tuple audit trails (member-specific old values
+    # included) and the changed-cell accounting are identical
+    assert deduped.relation.tuples() == plain.relation.tuples()
+
+    def per_tuple(audit):
+        out = {}
+        for e in audit:
+            j = e.to_json()
+            j.pop("seq")
+            out.setdefault(j["tuple_id"], []).append(j)
+        return out
+
+    assert per_tuple(deduped_engine.audit) == per_tuple(plain_engine.audit)
+    assert deduped.report.changed_cells == plain.report.changed_cells
+    assert deduped.report.completed == plain.report.completed
+    assert deduped.report.user_cells == plain.report.user_cells
+
+
+def test_projected_dedup_rule_only_keeps_member_payload(hospital_batch):
+    """Without ground truth, an untouched payload cell keeps *its own*
+    dirty value — not the group representative's."""
+    master, dirty, _ = _payload_duplicated_workload(hospital_batch)
+    ruleset = hospital.hospital_ruleset()
+    engine = CerFix(ruleset, master)
+    result = engine.clean_relation(dirty, None, validated=("provider_id",), dedupe=True)
+    assert result.report.groups < len(dirty)
+    names = hospital.INPUT_SCHEMA.names
+    score_at = names.index("score")
+    sample_at = names.index("sample")
+    for i, row in enumerate(result.relation.tuples()):
+        assert row[score_at] == dirty.raw_tuples()[i][score_at]
+        assert row[sample_at] == dirty.raw_tuples()[i][sample_at]
