@@ -23,6 +23,8 @@ sharded vs sqlite — see :mod:`repro.master.store`), recorded in
 ``pytest benchmarks/bench_batch_throughput.py --store sharded``.
 """
 
+import os
+
 import pytest
 
 from repro import CerFix
@@ -30,16 +32,25 @@ from repro.bench.harness import BenchResult, save_json, save_table, time_call
 from repro.master import make_store
 from repro.scenarios import uk_customers as uk
 
-SIZES = (1_000, 5_000)
-WORKER_SWEEP = ((1, "thread"), (2, "thread"), (4, "thread"), (4, "process"))
+#: The CI bench-smoke leg sets CERFIX_BENCH_QUICK=1: a shrunken sweep
+#: that still produces (and schema-validates) every BENCH_*.json dump
+#: in seconds instead of minutes. Full sweeps are the default.
+QUICK = os.environ.get("CERFIX_BENCH_QUICK", "") == "1"
+
+SIZES = (300,) if QUICK else (1_000, 5_000)
+WORKER_SWEEP = (
+    ((1, "thread"), (2, "thread"))
+    if QUICK
+    else ((1, "thread"), (2, "thread"), (4, "thread"), (4, "process"))
+)
 MASTER_SIZE = 40  # small population -> realistic signature duplication
 RATE = 0.15
 
 # -- B2: the --store axis (single vs sharded vs sqlite master stores) --------
 STORE_SWEEP = ("single", "sharded", "sqlite")
-STORE_MASTER_SIZE = 2_000  # large enough that probe routing matters
-STORE_PROBE_ROUNDS = 10    # probe workload repetitions over the clean inputs
-STORE_BATCH_ROWS = 2_000
+STORE_MASTER_SIZE = 300 if QUICK else 2_000  # probe routing must matter
+STORE_PROBE_ROUNDS = 2 if QUICK else 10  # probe repetitions over clean inputs
+STORE_BATCH_ROWS = 200 if QUICK else 2_000
 STORE_SHARDS = 8
 
 
@@ -139,7 +150,9 @@ def store_table(store_axis):
 @pytest.fixture(scope="module")
 def store_workload():
     master = uk.generate_master(STORE_MASTER_SIZE, seed=9)
-    probe_inputs = uk.generate_workload(master, 500, rate=0.0, seed=10).clean
+    probe_inputs = uk.generate_workload(
+        master, 100 if QUICK else 500, rate=0.0, seed=10
+    ).clean
     batch_wl = uk.generate_workload(master, STORE_BATCH_ROWS, rate=RATE, seed=11)
     return master, probe_inputs, batch_wl
 

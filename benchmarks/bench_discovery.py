@@ -11,7 +11,7 @@ hand-written scenario rules.
 
 import pytest
 
-from repro import CerFix, CertaintyMode, RuleSet
+from repro import RuleSet
 from repro.bench.harness import BenchResult, save_table, time_call
 from repro.core.chase import chase
 from repro.discovery.cfd import discover_constant_cfds

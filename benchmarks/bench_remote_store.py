@@ -1,0 +1,161 @@
+"""B5 — remote master store: round-trip amortisation over real sockets.
+
+The remote backend's whole performance story is *fewer, fatter round
+trips*: a naive client pays one HTTP round trip per probe, while
+``probe_many`` routes a batch by shard and crosses the network once
+per (shard, chunk) — the seam the entry service's micro-batcher and
+the batch pipeline's cache feed. This bench boots a 3-shard cluster
+(real TCP on loopback), replays an identical probe workload through
+the naive per-probe path and through batched ``probe_many`` at several
+chunk sizes, and records wall-clock, probes/s and the *measured*
+round-trip counts from the client's per-shard stats. A final point
+runs the whole batch pipeline against the cluster for an end-to-end
+tuples/s number.
+
+Acceptance (asserted): at 3 shards, batched probing crosses the
+network at least 5x fewer times than naive probing, and is faster.
+
+Quick mode (the CI ``bench-smoke`` leg): ``CERFIX_BENCH_QUICK=1``
+shrinks the workload so the leg finishes in seconds while still
+validating the JSON dump's shape.
+
+Results land in ``benchmarks/out/b5_remote_store.txt`` and
+``BENCH_remote.json`` at the repo root.
+"""
+
+import os
+
+import pytest
+
+from repro import CerFix
+from repro.bench.harness import BenchResult, save_json, save_table, time_call
+from repro.master.remote import RemoteMasterStore
+from repro.master.shardserver import ShardCluster
+from repro.scenarios import uk_customers as uk
+
+QUICK = os.environ.get("CERFIX_BENCH_QUICK", "") == "1"
+
+SHARDS = 3
+MASTER_SIZE = 300 if QUICK else 2_000
+PROBE_INPUTS = 80 if QUICK else 400
+PROBE_ROUNDS = 1 if QUICK else 5
+BATCH_ROWS = 100 if QUICK else 1_000
+CHUNK_SIZES = (64, 512)
+#: naive must cross the network at least this many times more often
+MIN_TRIP_REDUCTION = 5.0
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = BenchResult(
+        f"B5 — remote master store: naive vs batched probing over "
+        f"{SHARDS} shard servers",
+        ("mode", "probes", "round trips", "trips saved", "seconds", "probes/s"),
+    )
+    yield result
+    result.note(
+        f"{SHARDS} in-process shard servers over loopback TCP (HTTP/1.1 "
+        f"keep-alive); master {MASTER_SIZE} rows"
+    )
+    result.note(
+        "round trips are measured client-side (per-shard stats), handshake "
+        "excluded; 'trips saved' is vs the naive per-probe client"
+    )
+    result.note(
+        f"acceptance: batched probe_many >= {MIN_TRIP_REDUCTION:.0f}x fewer "
+        f"round trips than naive at {SHARDS} shards"
+    )
+    save_table(result, "b5_remote_store.txt")
+    save_json(result, "BENCH_remote.json")
+
+
+@pytest.fixture(scope="module")
+def world():
+    master = uk.generate_master(MASTER_SIZE, seed=31)
+    ruleset = uk.paper_ruleset()
+    inputs = uk.generate_workload(master, PROBE_INPUTS, rate=0.0, seed=32).clean
+    batch_wl = uk.generate_workload(master, BATCH_ROWS, rate=0.15, seed=33)
+    cluster = ShardCluster.in_process(ruleset, master, SHARDS)
+    yield master, ruleset, inputs, batch_wl, cluster
+    cluster.close()
+
+
+def _round_trips(store: RemoteMasterStore, baseline: int = 1) -> int:
+    """Total probe round trips, ``baseline`` handshake GETs per shard off."""
+    return sum(s["round_trips"] - baseline for s in store.stats()["per_shard"])
+
+
+def test_remote_probe_round_trips(table, world):
+    master, ruleset, inputs, _, cluster = world
+    rules = [r for r in ruleset if not r.is_constant]
+    rows = [r.to_dict() for r in inputs.rows()]
+    requests = [
+        (rule, values) for _ in range(PROBE_ROUNDS) for values in rows for rule in rules
+    ]
+
+    # naive: one round trip per probe (what a store without probe_many
+    # batching — or a client ignoring it — pays)
+    naive = RemoteMasterStore(cluster.urls)
+
+    def probe_naive():
+        for rule, values in requests:
+            naive.probe(rule, values)
+        return len(requests)
+
+    t_naive, n = time_call(probe_naive, repeat=1)
+    naive_trips = _round_trips(naive)
+    naive.close()
+    assert naive_trips == len(requests)
+    table.add("naive per-probe", n, naive_trips, "1.0x", f"{t_naive:.2f}", f"{n / t_naive:.0f}")
+
+    reference = None
+    for chunk in CHUNK_SIZES:
+        batched = RemoteMasterStore(cluster.urls, max_batch=chunk)
+
+        def probe_batched():
+            return batched.probe_many(requests)
+
+        t_batched, matches = time_call(probe_batched, repeat=1)
+        if reference is None:
+            reference = matches
+        else:
+            assert matches == reference, "chunk size changed probe results"
+        trips = _round_trips(batched)
+        batched.close()
+        table.add(
+            f"probe_many (chunk {chunk})",
+            len(requests),
+            trips,
+            f"{naive_trips / trips:.1f}x",
+            f"{t_batched:.2f}",
+            f"{len(requests) / t_batched:.0f}",
+        )
+        assert trips <= -(-len(requests) // chunk) + SHARDS
+        assert naive_trips / trips >= MIN_TRIP_REDUCTION, (
+            f"batched probing only saved {naive_trips / trips:.1f}x round trips"
+        )
+        assert t_batched < t_naive, "batched probing slower than naive"
+
+
+def test_remote_batch_pipeline_end_to_end(table, world):
+    """The whole batch pipeline against the cluster: dedup + probe cache
+    + probe_many batching stacked on real round trips."""
+    master, ruleset, _, batch_wl, cluster = world
+
+    def clean_once():
+        engine = CerFix(ruleset, master, store="remote", store_urls=list(cluster.urls))
+        result = engine.clean_relation(batch_wl.dirty, batch_wl.clean, workers=2)
+        trips = _round_trips(engine.master.store, baseline=2)  # handshake+prebuild
+        engine.master.store.close()
+        return result, trips
+
+    t_batch, (result, trips) = time_call(clean_once, repeat=1)
+    assert result.report.completed == BATCH_ROWS
+    table.add(
+        "batch pipeline (2 workers)",
+        result.report.cache.misses,
+        trips,
+        "-",
+        f"{t_batch:.2f}",
+        f"{BATCH_ROWS / t_batch:.0f} tuples",
+    )

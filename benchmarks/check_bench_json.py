@@ -1,0 +1,104 @@
+"""Validate ``BENCH_*.json`` dumps against the harness schema.
+
+The bench-smoke CI leg runs every benchmark in quick mode and then
+checks each JSON snapshot it produced: a bench that silently wrote an
+empty table (fixture skipped, sweep filtered to nothing, exception
+swallowed by a plugin) must fail the leg, not land as a hollow
+"performance trail" commit.
+
+Usage::
+
+    python benchmarks/check_bench_json.py BENCH_batch.json BENCH_remote.json
+    python benchmarks/check_bench_json.py --all   # every BENCH_*.json in cwd
+
+Checks per file: valid JSON; ``experiment``/``headers``/``rows``/
+``machine`` present; headers non-empty strings; at least one row; every
+row carries exactly the header keys with non-empty values; machine
+records python/platform/cpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def check_file(path: Path) -> list[str]:
+    """All schema violations found in one dump (empty = good)."""
+    problems: list[str] = []
+    try:
+        obj = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    if not isinstance(obj, dict):
+        return [f"top level is {type(obj).__name__}, expected object"]
+
+    experiment = obj.get("experiment")
+    if not isinstance(experiment, str) or not experiment.strip():
+        problems.append("'experiment' missing or empty")
+
+    headers = obj.get("headers")
+    if (
+        not isinstance(headers, list)
+        or not headers
+        or not all(isinstance(h, str) and h.strip() for h in headers)
+    ):
+        problems.append("'headers' must be a non-empty list of non-empty strings")
+        headers = None
+
+    rows = obj.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("'rows' missing or empty — a silently-empty bench dump")
+    elif headers is not None:
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                problems.append(f"row {i} is {type(row).__name__}, expected object")
+                continue
+            if set(row) != set(headers):
+                problems.append(f"row {i} keys {sorted(row)} != headers {sorted(headers)}")
+            empty = [k for k, v in row.items() if v is None or v == ""]
+            if empty:
+                problems.append(f"row {i} has empty cells: {empty}")
+
+    machine = obj.get("machine")
+    if not isinstance(machine, dict) or not all(
+        machine.get(k) for k in ("python", "platform", "cpus")
+    ):
+        problems.append("'machine' must record python/platform/cpus")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path, help="BENCH_*.json dumps")
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="check every BENCH_*.json in the current directory",
+    )
+    args = parser.parse_args(argv)
+    files = list(args.files)
+    if args.all:
+        files.extend(sorted(Path.cwd().glob("BENCH_*.json")))
+    if not files:
+        parser.error("no files given (pass dumps or --all)")
+
+    failed = 0
+    for path in files:
+        problems = check_file(path)
+        if problems:
+            failed += 1
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            rows = len(json.loads(path.read_text(encoding='utf-8'))["rows"])
+            print(f"ok   {path} ({rows} rows)")
+    if failed:
+        print(f"{failed} of {len(files)} bench dumps failed schema validation")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

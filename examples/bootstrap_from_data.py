@@ -19,7 +19,6 @@ Run with::
 """
 
 import tempfile
-from pathlib import Path
 
 from repro import (
     CerFix,

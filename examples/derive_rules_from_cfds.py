@@ -59,7 +59,7 @@ def main() -> None:
 
     t = uk.fig3_tuple()
     result = engine.chase_once(t, ["AC", "phn", "type"])
-    print(f"\nchasing the Fig. 3 tuple with derived rules only:")
+    print("\nchasing the Fig. 3 tuple with derived rules only:")
     for step in result.steps:
         print("  " + step.describe())
     assert result.values["FN"] == "Mark"

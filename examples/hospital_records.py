@@ -13,7 +13,7 @@ Run with::
     python examples/hospital_records.py
 """
 
-from repro import CerFix, OracleUser
+from repro import CerFix
 from repro.audit.stats import attribute_stats, overall_stats
 from repro.explorer.render import format_table
 from repro.scenarios import hospital

@@ -55,6 +55,7 @@ from repro.master import (
     STORE_BACKENDS,
     MasterDataManager,
     MasterStore,
+    RemoteMasterStore,
     ShardedMasterStore,
     SingleRelationStore,
     SqliteMasterStore,
@@ -99,7 +100,7 @@ from repro.rules import (
 from repro.discovery import discover_constant_cfds, discover_fds, discover_mds
 from repro.config import InstanceConfig, load_instance, save_instance
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CerFix",
@@ -139,6 +140,7 @@ __all__ = [
     "SingleRelationStore",
     "ShardedMasterStore",
     "SqliteMasterStore",
+    "RemoteMasterStore",
     "STORE_BACKENDS",
     "make_store",
     "AsyncCerFixServer",

@@ -28,7 +28,7 @@ recorded ground truth, which certain fixes avoid by construction.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.pattern import Eq

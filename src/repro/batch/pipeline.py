@@ -71,14 +71,23 @@ class BatchCleaner:
         store: str | None = None,
         store_shards: int = 4,
         store_path: str | Path | None = None,
+        store_urls: Sequence[str] | None = None,
     ):
         """``master`` may be a bare relation, a manager, or a
         :class:`~repro.master.store.MasterStore`. ``store`` selects a
         backend by name for the bare-relation form (``"single"``,
-        ``"sharded"``, ``"sqlite"``); ``store_shards`` / ``store_path``
-        parameterise the sharded and sqlite backends."""
+        ``"sharded"``, ``"sqlite"``, ``"remote"``); ``store_shards`` /
+        ``store_path`` / ``store_urls`` parameterise the sharded,
+        sqlite and remote backends."""
         self.ruleset = ruleset
-        master = resolve_master(master, store, shards=store_shards, path=store_path)
+        master = resolve_master(
+            master, store, shards=store_shards, path=store_path, urls=store_urls
+        )
+        if master is None:
+            raise CerFixError(
+                "master data is required (master=None is only valid with "
+                "store='remote')"
+            )
         self.master = master if isinstance(master, MasterDataManager) else MasterDataManager(master)
         self.mode = mode
         self.scenario = scenario

@@ -37,7 +37,13 @@ The optional ``store`` section selects the master store backend (see
 ``{"backend": "sqlite", "path": "master.db"}``
     in-memory probing over a SQLite-persisted snapshot (``path``
     resolves against the instance directory; the snapshot is written or
-    refreshed from ``master_csv`` on load).
+    refreshed from ``master_csv`` on load);
+``{"backend": "remote", "urls": ["http://shard0:8401", ...]}``
+    probes answered by shard-server processes over HTTP (one url per
+    shard, in shard-id order — see :mod:`repro.master.remote`). The
+    instance's ``master_csv`` stays the authority on *content*: its
+    digest is verified against what the cluster serves, so an instance
+    can never silently clean against the wrong master version.
 
 Every backend produces bit-identical fixes — the choice only affects
 scale and durability.
@@ -183,6 +189,17 @@ class InstanceConfig:
                 )
             if backend == "sqlite" and not store.get("path"):
                 raise ValidationError("store backend 'sqlite' needs a 'path'")
+            if backend == "remote":
+                urls = store.get("urls")
+                if (
+                    not isinstance(urls, list)
+                    or not urls
+                    or not all(isinstance(u, str) and u for u in urls)
+                ):
+                    raise ValidationError(
+                        "store backend 'remote' needs a non-empty 'urls' list "
+                        "(one shard-server url per shard, in shard-id order)"
+                    )
             if "shards" in store:
                 try:
                     shards = int(store["shards"])
@@ -228,17 +245,28 @@ def save_instance(
     return path
 
 
-def load_instance(path: str | Path) -> tuple[CerFix, InstanceConfig]:
-    """Load an instance document and build the engine it describes.
-
-    ``path`` may be the ``instance.json`` file or its directory. Relative
-    artefact paths resolve against the document's directory.
-    """
+def _resolve_instance_document(path: str | Path) -> Path:
+    """``path`` may be the ``instance.json`` file or its directory —
+    one place encodes that rule, so every loader resolves relative
+    artefact paths against the same base."""
     path = Path(path)
     if path.is_dir():
         path = path / "instance.json"
     if not path.exists():
         raise ValidationError(f"no instance document at {path}")
+    return path
+
+
+def load_instance_parts(path: str | Path) -> tuple[InstanceConfig, Relation, RuleSet]:
+    """Load an instance document's raw parts without building an engine.
+
+    ``path`` may be the ``instance.json`` file or its directory. Relative
+    artefact paths resolve against the document's directory. This is the
+    loader shard servers share with :func:`load_instance`: a
+    ``cerfix shard-server --instance`` needs the master relation and the
+    rule set, but must not pay for (or depend on) engine construction.
+    """
+    path = _resolve_instance_document(path)
     try:
         obj = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
@@ -254,6 +282,14 @@ def load_instance(path: str | Path) -> tuple[CerFix, InstanceConfig]:
     master = read_csv(base / config.master_csv, schema=config.master_schema)
     rules_text = (base / config.rules_file).read_text(encoding="utf-8")
     ruleset = RuleSet(parse_rules(rules_text), config.input_schema, config.master_schema)
+    return config, master, ruleset
+
+
+def load_instance(path: str | Path) -> tuple[CerFix, InstanceConfig]:
+    """Load an instance document and build the engine it describes."""
+    document = _resolve_instance_document(path)
+    config, master, ruleset = load_instance_parts(document)
+    base = document.parent
     store_cfg = config.store
     if store_cfg:
         from repro.master.store import make_store
@@ -266,6 +302,7 @@ def load_instance(path: str | Path) -> tuple[CerFix, InstanceConfig]:
             shards=int(store_cfg.get("shards", 4)),
             # relative snapshot paths live next to the other artefacts
             path=(base / store_path) if store_path else None,
+            urls=store_cfg.get("urls"),
         )
     engine = CerFix(
         ruleset,

@@ -22,7 +22,7 @@ data are inconsistent, or a validation was wrong).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import ConflictError

@@ -29,17 +29,15 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
-from repro.errors import BudgetExceededError
 from repro.core.certainty import fresh, value_partition
 from repro.core.chase import AppStatus, applicable, chase
 from repro.core.pattern import Eq, PatternTuple
-from repro.core.rule import Constant, EditingRule, MasterColumn
+from repro.core.rule import Constant, EditingRule
 from repro.core.ruleset import RuleSet
 from repro.master.manager import MasterDataManager
-from repro.relational.normalize import normalize_value
 
 
 @dataclass(frozen=True)

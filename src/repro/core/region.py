@@ -8,7 +8,7 @@ warrants a certain fix for the whole tuple.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.errors import PatternError

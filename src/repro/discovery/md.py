@@ -24,7 +24,6 @@ from typing import Any, Mapping, Sequence
 
 from repro.errors import ValidationError
 from repro.relational.normalize import normalize_value
-from repro.relational.relation import Relation
 from repro.relational.row import Row
 from repro.rules.md import MatchingDependency, MDMatch
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.errors import MasterDataError
 from repro.audit.log import AuditLog
 from repro.batch.pipeline import BatchCleaner, BatchResult
 from repro.core.certainty import CertaintyMode, Scenario, is_certain_region
@@ -65,15 +66,19 @@ class CerFix:
     :class:`~repro.master.store.MasterStore`, or a ready
     :class:`MasterDataManager`. ``store`` selects a backend by name for
     the bare-relation form — ``"single"``, ``"sharded"`` (with
-    ``store_shards``) or ``"sqlite"`` (with ``store_path``); every
-    backend produces bit-identical fixes (the differential parity suite
-    enforces this), so the choice is purely about scale and durability.
+    ``store_shards``), ``"sqlite"`` (with ``store_path``) or
+    ``"remote"`` (with ``store_urls``, one shard-server url per shard;
+    the master content then lives on the servers, so ``master`` may be
+    ``None`` — when a relation *is* given its content digest is
+    verified against the cluster). Every backend produces bit-identical
+    fixes (the conformance suite enforces this), so the choice is
+    purely about scale, durability and topology.
     """
 
     def __init__(
         self,
         ruleset: RuleSet,
-        master: Relation | MasterDataManager | MasterStore,
+        master: Relation | MasterDataManager | MasterStore | None,
         *,
         mode: CertaintyMode = CertaintyMode.STRICT,
         scenario: Scenario | None = None,
@@ -84,9 +89,17 @@ class CerFix:
         store: str | None = None,
         store_shards: int = 4,
         store_path: Any = None,
+        store_urls: Any = None,
     ):
         self.ruleset = ruleset
-        master = resolve_master(master, store, shards=store_shards, path=store_path)
+        master = resolve_master(
+            master, store, shards=store_shards, path=store_path, urls=store_urls
+        )
+        if master is None:
+            raise MasterDataError(
+                "master data is required (master=None is only valid with "
+                "store='remote', where the shard servers hold the content)"
+            )
         self.master = master if isinstance(master, MasterDataManager) else MasterDataManager(master)
         self.mode = mode
         self.scenario = scenario

@@ -9,10 +9,13 @@ Subcommands::
     cerfix regions  [--scenario ...] [-k N] [--mode strict|anchored|scenario]
     cerfix fix      [--scenario ...] --input CSV --truth CSV [--out CSV]
     cerfix clean    [--scenario ...] --input CSV [--truth CSV] [--workers N]
-                    [--store single|sharded|sqlite [--store-shards N] [--store-path DB]]
+                    [--store single|sharded|sqlite|remote [--store-shards N]
+                     [--store-path DB] [--shard-urls URL,URL,...]]
     cerfix monitor  [--scenario ...]              # interactive, stdin-driven
     cerfix serve    [--scenario ...|--instance DIR] [--port N]
                     [--async [--max-sessions N] [--cache-size N]]
+    cerfix shard-server  (--instance DIR | --scenario ... [--master CSV])
+                    --shard-id I --shards N [--host H] [--port P]
     cerfix audit    --log FILE [--attr NAME] [--tuple ID]
     cerfix generate [--scenario ...] --master-out CSV --out CSV --truth-out CSV
     cerfix demo                                   # the Fig. 3 walkthrough
@@ -77,6 +80,12 @@ def _engine(args) -> CerFix:
     store = getattr(args, "store", None)
     if store == "sqlite" and not getattr(args, "store_path", None):
         raise CerFixError("--store sqlite requires --store-path for the snapshot file")
+    shard_urls = _parse_shard_urls(args)
+    if store == "remote" and not shard_urls:
+        raise CerFixError(
+            "--store remote requires --shard-urls (comma-separated shard "
+            "server urls, one per shard, in shard-id order)"
+        )
     store_shards = getattr(args, "store_shards", None)
     return CerFix(
         ruleset,
@@ -87,7 +96,16 @@ def _engine(args) -> CerFix:
         store=store,
         store_shards=store_shards if store_shards is not None else 4,
         store_path=getattr(args, "store_path", None),
+        store_urls=shard_urls,
     )
+
+
+def _parse_shard_urls(args) -> list[str] | None:
+    raw = getattr(args, "shard_urls", None)
+    if not raw:
+        return None
+    urls = [u.strip() for u in raw.split(",") if u.strip()]
+    return urls or None
 
 
 # -- subcommands -------------------------------------------------------------
@@ -183,6 +201,13 @@ def cmd_clean(args) -> int:
         engine.audit.to_jsonl(args.log)
         print(f"audit log written to {args.log}")
     return 0
+
+
+def cmd_shard_server(args) -> int:
+    """Run one master-data shard server in the foreground."""
+    from repro.master import shardserver
+
+    return shardserver.run_from_args(args)
 
 
 def cmd_monitor(args) -> int:
@@ -315,7 +340,12 @@ def cmd_init(args) -> int:
 def cmd_serve(args) -> int:
     service_cfg: dict[str, Any] = {}
     if args.instance:
-        if args.store or args.store_path or args.store_shards is not None:
+        if (
+            args.store
+            or args.store_path
+            or args.store_shards is not None
+            or getattr(args, "shard_urls", None)
+        ):
             raise CerFixError(
                 "--store flags conflict with --instance: configure the "
                 "backend in the instance document's 'store' section"
@@ -397,6 +427,9 @@ def _add_store_flags(p: argparse.ArgumentParser) -> None:
                    help="shard count for --store sharded (default 4)")
     p.add_argument("--store-path", dest="store_path",
                    help="snapshot file for --store sqlite")
+    p.add_argument("--shard-urls", dest="shard_urls",
+                   help="comma-separated shard-server urls for --store remote "
+                        "(one per shard, in shard-id order)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -441,6 +474,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", help="write the batch report (JSON) here")
     p.add_argument("--log", help="write the audit log (JSON lines) here")
     p.set_defaults(func=cmd_clean)
+
+    p = sub.add_parser(
+        "shard-server",
+        help="serve one master-data shard over HTTP (the remote store's "
+             "server side; run one per shard)",
+    )
+    from repro.master import shardserver
+
+    shardserver.add_arguments(p)
+    p.set_defaults(func=cmd_shard_server)
 
     p = sub.add_parser("monitor", help="interactively fix one tuple")
     _add_scenario_flags(p)

@@ -37,7 +37,6 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
 
 from repro.engine import CerFix
 from repro.monitor.session import MonitorSession

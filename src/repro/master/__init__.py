@@ -1,6 +1,7 @@
 """Master data management (paper Fig. 1, "master data manager")."""
 
 from repro.master.manager import MasterDataManager, MasterMatch
+from repro.master.remote import RemoteMasterStore
 from repro.master.store import (
     STORE_BACKENDS,
     MasterStore,
@@ -8,6 +9,7 @@ from repro.master.store import (
     SingleRelationStore,
     SqliteMasterStore,
     make_store,
+    require_scalar_cells,
     shard_of,
 )
 
@@ -18,7 +20,9 @@ __all__ = [
     "SingleRelationStore",
     "ShardedMasterStore",
     "SqliteMasterStore",
+    "RemoteMasterStore",
     "STORE_BACKENDS",
     "make_store",
+    "require_scalar_cells",
     "shard_of",
 ]

@@ -1,11 +1,15 @@
-"""Differential test harness: prove master-store backends byte-equivalent.
+"""The store-conformance kit: prove master-store backends byte-equivalent.
 
-The store refactor's acceptance gate (ISSUE 3) is *parity*: given the
-same master content, every :mod:`repro.master.store` backend must
-produce bit-identical fixes, certain regions and audit events through
-every cleaning path — the interactive monitor/stream path and the batch
-pipeline (serial, threaded, multi-process). This module is the
-machinery behind ``tests/test_store_parity.py``:
+Every :mod:`repro.master.store` backend must produce bit-identical
+fixes, certain regions and audit events through every cleaning path —
+the interactive monitor/stream path, the batch pipeline (serial,
+threaded, multi-process), randomly interleaved monitor sessions, and
+the async entry service. This module is that contract as *reusable
+machinery*: a new backend (the remote shard cluster was the first
+customer) registers a factory and runs the same suite the built-in
+backends pass, instead of growing its own ad-hoc parity tests.
+
+The pieces:
 
 * :func:`generate_case` builds randomized workloads — master relation,
   rule set (randomly thinned), dirty tuples and ground truth — through
@@ -14,13 +18,23 @@ machinery behind ``tests/test_store_parity.py``:
   digit noise;
 * :func:`store_factories` instantiates every backend over identical
   master content (fresh relation copies, so no probe structure is
-  accidentally shared);
-* :func:`run_monitor_path` / :func:`run_batch_path` drive one backend
-  through one cleaning path and capture a :class:`PathOutcome` — the
-  repaired rows, the *full* serialized audit trail, the rendered
-  certain regions, and the scheduling-independent report scalars;
+  accidentally shared); pass ``remote_urls`` to register the ``remote``
+  backend against a running shard cluster;
+* :func:`write_case_instance` / :func:`case_cluster` turn a case into
+  an instance directory and a running shard-server cluster (in-process
+  threads, or real subprocesses — what the CI ``remote-store`` leg
+  boots);
+* :func:`run_monitor_path` / :func:`run_batch_path` /
+  :func:`run_interleaved_monitor_path` / :func:`run_service_path` drive
+  one backend through one cleaning path and capture a
+  :class:`PathOutcome` — the repaired rows, the *full* serialized audit
+  trail, the rendered certain regions, and the scheduling-independent
+  report scalars;
 * :func:`assert_parity` compares outcomes field by field with readable
-  failure diffs.
+  failure diffs;
+* :func:`run_conformance` is the whole kit in one call: every
+  registered backend through every requested path, asserted against
+  the reference backend.
 
 Timing and cache-locality numbers are deliberately excluded from the
 comparison (:func:`normalize_report`): scheduling may move cache hits
@@ -29,10 +43,11 @@ between shards, but it must never move a value in a repaired cell.
 
 from __future__ import annotations
 
+import contextlib
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro import CerFix, CertaintyMode
 from repro.core.ruleset import RuleSet
@@ -106,23 +121,88 @@ def generate_case(
 
 
 def store_factories(
-    case: DifferentialCase, tmp_path: Path, *, shards: int = 3
+    case: DifferentialCase,
+    tmp_path: Path,
+    *,
+    shards: int = 3,
+    remote_urls: Sequence[str] | None = None,
 ) -> dict[str, Callable[[], MasterStore]]:
     """One factory per backend, each over a fresh copy of the master.
 
     Fresh :class:`Relation` copies guarantee no index or partition is
     shared between backends — each backend builds its own probe
-    structures from the same content.
+    structures from the same content. ``remote_urls`` (a running shard
+    cluster over the *same* master content — see :func:`case_cluster`)
+    additionally registers the ``remote`` backend; its factory verifies
+    the cluster's content digest against the case's master, so a kit
+    run can never silently compare against the wrong remote data.
     """
 
     def copy() -> Relation:
         return Relation(case.master.schema, case.master.tuples())
 
-    return {
+    factories: dict[str, Callable[[], MasterStore]] = {
         "single": lambda: SingleRelationStore(copy()),
         "sharded": lambda: ShardedMasterStore(copy(), shards=shards),
         "sqlite": lambda: SqliteMasterStore(tmp_path / f"{case.name}.db", copy()),
     }
+    if remote_urls is not None:
+        from repro.master.store import make_store
+
+        urls = list(remote_urls)
+        factories["remote"] = lambda: make_store(copy(), "remote", urls=urls)
+    return factories
+
+
+def write_case_instance(case: DifferentialCase, directory: Path) -> Path:
+    """Materialise a case as an instance directory shard servers can load.
+
+    Returns the ``instance.json`` path. The round trip (CSV master +
+    rendered rules) is lossless for scenario-generated cases — the
+    parity assertions would catch any drift.
+    """
+    from repro.config import InstanceConfig, save_instance
+
+    config = InstanceConfig(
+        case.name,
+        case.ruleset.input_schema,
+        case.ruleset.master_schema,
+        mode=CertaintyMode.ANCHORED,
+    )
+    return save_instance(directory, config, case.master, case.ruleset)
+
+
+@contextlib.contextmanager
+def case_cluster(
+    case: DifferentialCase,
+    tmp_path: Path,
+    *,
+    shards: int = 3,
+    processes: bool = False,
+) -> Iterator[Any]:
+    """A running shard cluster serving ``case``'s master content.
+
+    ``processes=False`` boots in-process thread servers (fast — the
+    default for unit tests); ``processes=True`` writes the case to an
+    instance directory and spawns real ``cerfix shard-server``
+    subprocesses (what the CI ``remote-store`` leg runs). Either way
+    the cluster is torn down on exit, so no server outlives the test
+    that booted it.
+    """
+    from repro.master.shardserver import ShardCluster
+
+    if processes:
+        instance_dir = Path(tmp_path) / f"{case.name}-instance"
+        write_case_instance(case, instance_dir)
+        cluster = ShardCluster.spawn(instance_dir, shards)
+    else:
+        cluster = ShardCluster.in_process(
+            case.ruleset, case.master, shards, name=case.name
+        )
+    try:
+        yield cluster
+    finally:
+        cluster.close()
 
 
 @dataclass
@@ -424,3 +504,115 @@ def _first_diff(ref_name: str, name: str, what: str, ref: list, got: list) -> st
         if a != b:
             return f"{name} {what} {i} diverges from {ref_name}: {b!r} != {a!r}"
     return f"{name} diverges from {ref_name} (unlocated)"
+
+
+# ---------------------------------------------------------------------------
+# The kit: every backend, every path, one call
+# ---------------------------------------------------------------------------
+
+#: Paths :func:`run_conformance` knows how to drive. ``service`` needs
+#: ground truth (the load generator plays the oracle), ``interleaved``
+#: too; cases without truth are limited to ``monitor`` and ``batch``.
+CONFORMANCE_PATHS = ("monitor", "batch", "interleaved", "service")
+
+
+def run_conformance(
+    case: DifferentialCase,
+    factories: Mapping[str, Callable[[], MasterStore]],
+    *,
+    paths: Sequence[str] = ("monitor", "batch", "service"),
+    reference: str = "single",
+    batch_workers: int = 2,
+    batch_backend: str = "thread",
+    order_seeds: Sequence[int] = (1, 7),
+    concurrency: int = 8,
+) -> dict[str, dict[str, PathOutcome]]:
+    """Drive every registered backend through every requested path and
+    assert bit-identical outcomes against the ``reference`` backend.
+
+    * ``monitor`` — region precompute + one oracle session per tuple;
+    * ``batch`` — the batch pipeline (serial when ``batch_workers=1``);
+    * ``interleaved`` — seeded random interleavings of non-oracle user
+      sessions, parity across backends *and* orders;
+    * ``service`` — the async entry service over real HTTP, compared
+      against the reference backend's *serial monitor* outcome (the
+      strongest cross-path guarantee the system makes).
+
+    Returns ``{path: {backend: PathOutcome}}`` so callers can bolt on
+    extra assertions (round-trip counts, stats shape, ...).
+    """
+    unknown = [p for p in paths if p not in CONFORMANCE_PATHS]
+    if unknown:
+        raise ValueError(f"unknown conformance paths {unknown} (know {CONFORMANCE_PATHS})")
+    if reference not in factories:
+        raise ValueError(f"reference backend {reference!r} is not registered")
+    ordered = [reference] + [name for name in factories if name != reference]
+    results: dict[str, dict[str, PathOutcome]] = {}
+
+    def drive(name: str, runner: Callable[[MasterStore], PathOutcome]) -> PathOutcome:
+        """One backend through one path, with the store released after —
+        remote stores hold sockets and a thread pool per instance, and a
+        kit sweep builds one store per (backend, path)."""
+        store = factories[name]()
+        try:
+            return runner(store)
+        finally:
+            close = getattr(store, "close", None)
+            if close is not None:
+                close()
+
+    if "monitor" in paths or "service" in paths:
+        outcomes = {
+            name: drive(name, lambda store: run_monitor_path(case, store))
+            for name in ordered
+        }
+        assert_parity(outcomes)
+        results["monitor"] = outcomes
+
+    if "batch" in paths:
+        outcomes = {
+            name: drive(
+                name,
+                lambda store: run_batch_path(
+                    case, store, workers=batch_workers, backend=batch_backend
+                ),
+            )
+            for name in ordered
+        }
+        assert_parity(outcomes)
+        results["batch"] = outcomes
+
+    if "interleaved" in paths:
+        interleaved: dict[str, PathOutcome] = {}
+        for name in ordered:
+            for order_seed in order_seeds:
+                seed = order_seed
+                interleaved[f"{name}/order{order_seed}"] = drive(
+                    name,
+                    lambda store: run_interleaved_monitor_path(
+                        case, store, order_seed=seed, user_seed=7
+                    ),
+                )
+        assert_parity(interleaved)
+        results["interleaved"] = interleaved
+
+    if "service" in paths:
+        serial = normalize_outcome(results["monitor"][reference])
+        outcomes = {}
+        for name in ordered:
+            got = drive(
+                name, lambda store: run_service_path(case, store, concurrency=concurrency)
+            )
+            assert got.fixed_rows == serial.fixed_rows, _first_diff(
+                f"{reference} (serial monitor)", name, "service fixed row",
+                serial.fixed_rows, got.fixed_rows,
+            )
+            assert got.audit_events == serial.audit_events, _first_diff(
+                f"{reference} (serial monitor)", name, "service audit event",
+                serial.audit_events, got.audit_events,
+            )
+            assert got.regions == serial.regions
+            outcomes[name] = got
+        results["service"] = outcomes
+
+    return results

@@ -29,6 +29,13 @@ that seam down as an interface with three backends:
     run can reload the exact snapshot the journal fingerprint was
     computed against.
 
+``remote``  :class:`~repro.master.remote.RemoteMasterStore`
+    The sharded store's routing pointed at N shard-server *processes*
+    (possibly on other hosts) speaking HTTP/JSON — see
+    :mod:`repro.master.remote` and :mod:`repro.master.shardserver`.
+    Probes cross the network; coalescing/batching through
+    :meth:`MasterStore.probe_many` amortises real round trips.
+
 The contract every backend obeys (the differential parity suite in
 ``tests/test_store_parity.py`` enforces it): given the same master
 content, :meth:`MasterStore.probe` returns **bit-identical**
@@ -56,7 +63,7 @@ from repro.relational.schema import Schema, schema_from_json, schema_to_json
 
 #: Backend names accepted wherever a store is selected by string
 #: (CerFix, BatchCleaner, ``cerfix clean --store``, instance documents).
-STORE_BACKENDS = ("single", "sharded", "sqlite")
+STORE_BACKENDS = ("single", "sharded", "sqlite", "remote")
 
 
 @dataclass(frozen=True)
@@ -87,6 +94,22 @@ class MasterMatch:
         if not self.is_unique:
             raise MasterDataError(f"no unique correction value: {self.values!r}")
         return self.values[0]
+
+
+def require_scalar_cells(values: Iterable[Any], context: str) -> None:
+    """Reject cell values that do not round-trip JSON losslessly.
+
+    Shared by every store that serialises master content (the sqlite
+    snapshot, the shard-server wire protocol): anything but a JSON
+    scalar must fail loudly at the boundary rather than come back
+    silently altered.
+    """
+    for v in values:
+        if v is not None and not isinstance(v, (str, int, float, bool)):
+            raise MasterDataError(
+                f"cannot serialise cell value {v!r} ({context}): "
+                f"only JSON scalar values round-trip losslessly"
+            )
 
 
 def _relation_digest(relation: Relation) -> str:
@@ -136,6 +159,11 @@ class MasterStore:
     """
 
     backend = "abstract"
+
+    #: True for backends whose probes perform blocking I/O (network
+    #: round trips). The service's probe micro-batcher moves such
+    #: :meth:`probe_many` calls off the event loop onto an executor.
+    io_bound = False
 
     #: The canonical master relation, in global position order.
     relation: Relation
@@ -421,23 +449,87 @@ class ShardedMasterStore(MasterStore):
         *,
         use_index: bool = True,
     ) -> MasterMatch:
+        if not use_index:
+            return self._scan_probe(rule, tuple(values[a] for a in rule.lhs_attrs))
+        match = self.probe_routed(rule, values)[1]
+        assert match is not None  # no expect_shard -> always probed
+        return match
+
+    def route(self, rule: EditingRule, values: Mapping[str, Any]) -> int:
+        """The shard id ``rule``'s probe against ``values`` routes to.
+
+        The client side of the remote store and the shard server both
+        compute routing through this method (or :meth:`probe_routed`),
+        so a request can never be *served* by a shard the client would
+        not have *sent* it to — disagreement surfaces as a loud
+        misroute, never a wrong answer.
+        """
+        part = self._partition(rule.m_attrs, rule.ops)
+        key = tuple(values[a] for a in rule.lhs_attrs)
+        return shard_of(part.key_of(key), self.shards)
+
+    def probe_routed(
+        self,
+        rule: EditingRule,
+        values: Mapping[str, Any],
+        *,
+        use_index: bool = True,
+        expect_shard: int | None = None,
+    ) -> tuple[int, MasterMatch | None]:
+        """Route and probe with one key normalisation: ``(shard, match)``.
+
+        The shard server's hot path — it must both verify the routing
+        and answer the probe, and normalising the key twice (once in
+        :meth:`route`, again in :meth:`probe`) would double the
+        per-probe normaliser work. With ``expect_shard`` set, a key
+        routing elsewhere returns ``(shard, None)`` *without* probing:
+        a misrouted request must not lazily build (and retain) another
+        shard's index on this server, nor touch index structures from
+        handler threads that are only ever supposed to read them.
+        """
         key = tuple(values[a] for a in rule.lhs_attrs)
         if not use_index:
-            return self._scan_probe(rule, key)
+            # The scan ablation must not build the spec partition (an
+            # O(|master|) sweep whose buckets it would never read) just
+            # to learn the shard id — a throwaway normaliser is enough.
+            normalised = HashIndex(rule.m_attrs, rule.ops).key_of(key)
+            shard_id = shard_of(normalised, self.shards)
+            if expect_shard is not None and shard_id != expect_shard:
+                return shard_id, None
+            return shard_id, self._scan_probe(rule, key)
         part = self._partition(rule.m_attrs, rule.ops)
         normalised = part.key_of(key)
         shard_id = shard_of(normalised, self.shards)
+        if expect_shard is not None and shard_id != expect_shard:
+            return shard_id, None
         # Unlocked bump: the counter is a diagnostic, and a GIL-atomic
         # list-element increment is accurate enough — taking the store
         # lock here would serialise every probe of every thread worker.
         self._probes_by_shard[shard_id] += 1
-        return self._match_at(rule, tuple(part.index_for(shard_id).get(normalised, ())))
+        return shard_id, self._match_at(
+            rule, tuple(part.index_for(shard_id).get(normalised, ()))
+        )
 
     def prebuild(self, ruleset: RuleSet) -> None:
         """Partition and build every shard of every spec — required
         before multi-threaded probing (the thread executor backend)."""
         for attrs, ops in ruleset.index_specs():
             self._partition(attrs, ops).build_all()
+
+    def build_shard(self, ruleset: RuleSet, shard_id: int) -> int:
+        """Partition every spec but build only ``shard_id``'s lookup
+        dicts (what a shard server warms at startup: it will only ever
+        be asked for keys routing to its own shard). Returns the number
+        of per-spec shard indexes built."""
+        if not 0 <= shard_id < self.shards:
+            raise MasterDataError(
+                f"shard id {shard_id} out of range for {self.shards} shards"
+            )
+        built = 0
+        for attrs, ops in ruleset.index_specs():
+            self._partition(attrs, ops).index_for(shard_id)
+            built += 1
+        return built
 
     def prepare_worker(self, ruleset: RuleSet) -> None:
         """Stay lazy: a worker probes single-threaded, and building
@@ -518,18 +610,8 @@ class SqliteMasterStore(MasterStore):
 
     # -- persistence -------------------------------------------------------
 
-    @staticmethod
-    def _require_scalar_cells(values: Iterable[Any], context: str) -> None:
-        for v in values:
-            if v is not None and not isinstance(v, (str, int, float, bool)):
-                raise MasterDataError(
-                    f"sqlite snapshot cannot store cell value {v!r} "
-                    f"({context}): only JSON scalar values "
-                    f"round-trip the snapshot losslessly"
-                )
-
     def _encode_row(self, pos: int, row: tuple) -> str:
-        self._require_scalar_cells(row, f"master row {pos}")
+        require_scalar_cells(row, f"master row {pos}")
         return json.dumps(list(row))
 
     def save(self) -> None:
@@ -630,7 +712,7 @@ class SqliteMasterStore(MasterStore):
         # (save() would raise after the relation already grew).
         added = [dict(r) for r in add]
         for r in added:
-            self._require_scalar_cells(r.values(), "master update")
+            require_scalar_cells(r.values(), "master update")
         counts = super().apply_update(added, remove)
         self.save()  # write-through: the snapshot tracks the live relation
         return counts
@@ -661,18 +743,45 @@ def _rebuild_sqlite(path: str, schema: Schema, tuples: list[tuple]) -> "SqliteMa
 
 
 def make_store(
-    relation: Relation,
+    relation: Relation | None,
     backend: str = "single",
     *,
     shards: int = 4,
     path: str | Path | None = None,
+    urls: Sequence[str] | None = None,
 ) -> MasterStore:
     """Build a master store over ``relation`` for a backend name.
 
     The string form is what configuration surfaces speak (``CerFix``'s
     ``store=`` argument, ``cerfix clean --store``, the instance
-    document's ``store`` section).
+    document's ``store`` section). The ``remote`` backend takes shard
+    server ``urls`` instead of a relation — the master content lives on
+    the servers; when a ``relation`` is also given, its content digest
+    is verified against what the cluster serves (a cluster serving
+    *different* master data must fail loudly, never probe wrongly).
     """
+    if backend == "remote":
+        from repro.master.remote import RemoteMasterStore
+
+        if not urls:
+            raise MasterDataError(
+                "the remote master store needs shard server urls "
+                "(store_urls=[...] / --shard-urls)"
+            )
+        store = RemoteMasterStore(urls)
+        if relation is not None:
+            local = _relation_digest(relation)
+            if local != store.content_digest():
+                store.close()
+                raise MasterDataError(
+                    f"remote shard cluster serves different master content "
+                    f"(local digest {local[:12]}…, remote "
+                    f"{store.content_digest()[:12]}…); repoint the urls or "
+                    f"restart the shard servers on the right master data"
+                )
+        return store
+    if relation is None:
+        raise MasterDataError(f"master store backend {backend!r} needs a master relation")
     if backend == "single":
         return SingleRelationStore(relation)
     if backend == "sharded":
@@ -692,6 +801,7 @@ def resolve_master(
     *,
     shards: int = 4,
     path: str | Path | None = None,
+    urls: Sequence[str] | None = None,
 ) -> Any:
     """Apply a ``store=`` backend selection to a ``master`` argument.
 
@@ -699,12 +809,14 @@ def resolve_master(
     master (relation / store / manager) and a ``store`` backend name
     (:class:`repro.engine.CerFix`, ``repro.batch.pipeline.BatchCleaner``)
     — one place defines when the selection applies and how it fails.
+    ``store="remote"`` additionally accepts ``master=None`` (the master
+    content lives on the shard servers).
     """
     if store is None:
         return master
-    if not isinstance(master, Relation):
+    if master is not None and not isinstance(master, Relation):
         raise MasterDataError(
             "store= selects a backend for a bare master relation; "
             "got an already-wrapped master"
         )
-    return make_store(master, store, shards=shards, path=path)
+    return make_store(master, store, shards=shards, path=path, urls=urls)

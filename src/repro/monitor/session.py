@@ -10,10 +10,10 @@ the validated set; repeat until a certain fix is reached.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.errors import ConflictError, MonitorError
+from repro.errors import MonitorError
 from repro.audit.log import AuditLog
 from repro.core.certainty import CertaintyMode, Scenario
 from repro.core.chase import ChaseResult, ConflictWitness, FixStep, chase

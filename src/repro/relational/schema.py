@@ -8,7 +8,7 @@ built with :meth:`Schema.project` / :meth:`Schema.extend`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import SchemaError

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import RuleError
-from repro.core.pattern import Condition, Eq, PatternTuple, WILDCARD, Wildcard
+from repro.core.pattern import Condition, Eq, PatternTuple
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 

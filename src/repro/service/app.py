@@ -291,7 +291,24 @@ class AsyncCerFixService:
             # are cores to overlap on; on a single-core host the two
             # thread handoffs per request are pure overhead (~130µs,
             # measured) and inline dispatch on the loop wins outright.
-            dispatch = "executor" if (os.cpu_count() or 1) > 1 else "inline"
+            # Exception: an io_bound store (the remote shard cluster)
+            # must never probe inline — a blocking network round trip
+            # (worse, a retry cycle against a down shard) on the event
+            # loop would stall accepts and backpressure for its whole
+            # duration, core count notwithstanding.
+            if engine.master.store.io_bound:
+                dispatch = "executor"
+            else:
+                dispatch = "executor" if (os.cpu_count() or 1) > 1 else "inline"
+        elif dispatch == "inline" and engine.master.store.io_bound:
+            # Not a coercion: an operator who pinned inline for a remote
+            # store has configured a service that freezes for
+            # timeout x retries whenever a shard hiccups — refuse loudly.
+            raise ValueError(
+                "dispatch='inline' cannot be used with an io_bound master "
+                "store (remote shard cluster): a blocking network probe on "
+                "the event loop stalls every session; use 'executor' or 'auto'"
+            )
         self.dispatch_mode = dispatch
         self.engine = engine
         self.metrics = ServiceMetrics()

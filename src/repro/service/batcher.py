@@ -20,12 +20,15 @@ Threading model: sessions run on executor threads and enter through
 :class:`CoalescingMasterDataManager` — a synchronous
 :meth:`~repro.master.manager.MasterDataManager.match` that checks the
 (thread-safe) shared cache first and bridges only *misses* into the
-event loop with ``run_coroutine_threadsafe``. The drain itself runs on
-the loop and performs the store lookup inline: probes are in-memory
-index reads (every backend, including sqlite, probes RAM), so they
-never block the loop meaningfully, and keeping them off the session
-executor makes the bridge deadlock-free by construction — the loop
-never waits on an executor thread.
+event loop with ``run_coroutine_threadsafe``. The drain runs on the
+loop; for in-memory backends (every store probing RAM, including
+sqlite) the lookup happens inline — index reads never block the loop
+meaningfully, and keeping them off the session executor makes the
+bridge deadlock-free by construction. An ``io_bound`` store (the
+remote shard cluster) instead has its ``probe_many`` dispatched to the
+loop's default executor: a real network round trip must not stall
+request accept, and the micro-batch is exactly the unit that amortises
+it.
 
 Determinism: probing is a pure function of (rule, key) over fixed
 master data, so collapsing and batching can only change *speed*, never
@@ -135,8 +138,21 @@ class ProbeBatcher:
             batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch:]
             if not batch:
                 continue
+            requests = [(rule, values) for _, rule, values in batch]
             try:
-                matches = self.store.probe_many([(rule, values) for _, rule, values in batch])
+                if self.store.io_bound:
+                    # Network-backed stores (the remote shard cluster)
+                    # block on real round trips; run them on the default
+                    # executor so the loop keeps accepting sessions.
+                    # In-memory stores stay inline — their probes are
+                    # index reads, and a thread hop would cost more
+                    # than it hides.
+                    assert self._loop is not None
+                    matches = await self._loop.run_in_executor(
+                        None, lambda: self.store.probe_many(requests)
+                    )
+                else:
+                    matches = self.store.probe_many(requests)
             except Exception as exc:  # propagate to every waiter, keep draining
                 for key, _, _ in batch:
                     future = self._pending.pop(key, None)

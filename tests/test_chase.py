@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.chase import AppStatus, applicable, chase
-from repro.core.pattern import Eq, Neq, PatternTuple
+from repro.core.pattern import Eq, PatternTuple
 from repro.core.rule import Constant, EditingRule, MasterColumn, MatchPair
 from repro.core.ruleset import RuleSet
 from repro.errors import ConflictError, SchemaError

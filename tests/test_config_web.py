@@ -5,7 +5,7 @@ import urllib.request
 
 import pytest
 
-from repro import CerFix, CertaintyMode
+from repro import CertaintyMode
 from repro.config import InstanceConfig, load_instance, save_instance
 from repro.errors import ValidationError
 from repro.explorer.web import serve

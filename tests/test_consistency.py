@@ -1,6 +1,5 @@
 """Unit tests for the rule-engine static analysis (consistency)."""
 
-import pytest
 
 from repro.core.consistency import (
     check_consistency,

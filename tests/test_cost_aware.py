@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.chase import chase
-from repro.core.pattern import Eq, PatternTuple
 from repro.core.rule import EditingRule, MasterColumn, MatchPair
 from repro.core.ruleset import RuleSet
 from repro.discovery.fd import FD, discover_fds, fds_to_cfds

@@ -1,11 +1,9 @@
 """Tests for the CerFix engine facade, the explorer CLI and rendering."""
 
-import pytest
 
-from repro import CerFix, CertaintyMode, OracleUser, Region
+from repro import CerFix, OracleUser, Region
 from repro.explorer.cli import build_parser, main
 from repro.explorer.render import format_kv, format_table, highlight
-from repro.relational.csvio import write_csv
 from repro.scenarios import uk_customers as uk
 
 
@@ -134,7 +132,6 @@ class TestCLI:
         assert fixed.tuples() == expect.tuples()
 
     def test_audit_command(self, tmp_path, capsys):
-        from repro import CertaintyMode
 
         engine = CerFix(uk.paper_ruleset(), uk.paper_master())
         engine.fix(uk.fig3_tuple(), OracleUser(uk.fig3_truth()), "t1")

@@ -11,10 +11,9 @@ import random
 
 import pytest
 
-from repro import CerFix, CertaintyMode
+from repro import CerFix
 from repro.core.chase import chase
-from repro.core.rule import EditingRule, MasterColumn, MatchPair
-from repro.core.ruleset import RuleSet
+from repro.core.rule import EditingRule
 from repro.errors import ConflictError
 from repro.master.manager import MasterDataManager
 from repro.monitor.user import NoisyOracleUser, OracleUser

@@ -1,7 +1,5 @@
 """Unit tests for the inference system (syntactic closures)."""
 
-import networkx as nx
-import pytest
 
 from repro.core.inference import (
     chase_depth_bound,

@@ -1,20 +1,10 @@
 """Integration tests: full pipelines across modules, mirroring the demo."""
 
-import pytest
 
-from repro import (
-    CerFix,
-    CertaintyMode,
-    OracleUser,
-    Relation,
-    RuleSet,
-    SuggestionStrategy,
-    parse_rules,
-)
-from repro.audit.stats import attribute_stats, overall_stats, tuple_trace
+from repro import CerFix, OracleUser, Relation, RuleSet, SuggestionStrategy, parse_rules
+from repro.audit.stats import attribute_stats, overall_stats
 from repro.baselines.cfd_repair import GreedyCFDRepair
 from repro.baselines.quality import evaluate_repair
-from repro.master.manager import MasterDataManager
 from repro.monitor.user import CautiousUser, SelectiveUser
 from repro.relational.csvio import read_csv, write_csv
 from repro.scenarios import hospital, uk_customers as uk

@@ -14,7 +14,6 @@ These encode the theory the system rests on:
 from __future__ import annotations
 
 import itertools
-import random
 
 from hypothesis import given, settings, strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.certainty import CertaintyMode, fresh, is_certain_region
-from repro.core.pattern import EMPTY_PATTERN, Eq, NotIn, PatternTuple, WILDCARD
+from repro.core.pattern import EMPTY_PATTERN, Eq, NotIn, PatternTuple
 from repro.core.region import RankedRegion, Region
 from repro.core.region_finder import (
     condense_tableau,

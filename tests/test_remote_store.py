@@ -1,0 +1,492 @@
+"""Remote master store: routing, failure handling, lifecycle, resume.
+
+The conformance kit (``tests/test_conformance.py``) proves the remote
+backend bit-identical to the in-process backends; this module pins the
+*remote-specific* machinery: the handshake guards, misroute rejection,
+retry-with-backoff, shard-down degradation, round-trip amortisation of
+``probe_many``, fork/pickle safety, journal resume across a shard
+restart, and the subprocess cluster lifecycle the CI leg relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+import repro.batch.executor as executor_mod
+from repro import CerFix
+from repro.errors import MasterDataError
+from repro.master.conformance import (
+    case_cluster,
+    generate_case,
+    normalize_report,
+    store_factories,
+    write_case_instance,
+)
+from repro.master.remote import RemoteMasterStore, fetch_health
+from repro.master.shardserver import ShardCluster, ShardServerApp
+from repro.master.store import SingleRelationStore, make_store
+from repro.relational.relation import Relation
+from repro.scenarios import uk_customers as uk
+
+SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def world():
+    master = uk.generate_master(40, seed=41)
+    ruleset = uk.paper_ruleset()
+    workload = uk.generate_workload(master, 50, rate=0.25, seed=42)
+    return master, ruleset, workload
+
+
+@pytest.fixture(scope="module")
+def cluster(world):
+    master, ruleset, _ = world
+    cluster = ShardCluster.in_process(ruleset, master, SHARDS)
+    yield cluster
+    cluster.close()
+
+
+def _probe_requests(world, n=10):
+    master, ruleset, workload = world
+    rules = [r for r in ruleset if not r.is_constant]
+    rows = list(workload.clean.rows())[:n]
+    return [(rule, row.to_dict()) for row in rows for rule in rules]
+
+
+# ---------------------------------------------------------------------------
+# Handshake and construction guards
+# ---------------------------------------------------------------------------
+
+
+def test_handshake_rejects_misordered_urls(world, cluster):
+    urls = list(cluster.urls)
+    urls[0], urls[1] = urls[1], urls[0]
+    with pytest.raises(MasterDataError, match="shard-url order mismatch"):
+        RemoteMasterStore(urls)
+
+
+def test_handshake_rejects_wrong_shard_count(world, cluster):
+    with pytest.raises(MasterDataError, match="shard-url order mismatch"):
+        RemoteMasterStore(cluster.urls[:2])  # servers say shards=3
+
+
+def test_handshake_rejects_divergent_content(world, cluster, tmp_path):
+    master, ruleset, _ = world
+    other = uk.generate_master(40, seed=99)
+    other_cluster = ShardCluster.in_process(ruleset, other, SHARDS)
+    try:
+        mixed = [cluster.urls[0], other_cluster.urls[1], cluster.urls[2]]
+        with pytest.raises(MasterDataError, match="disagree on master content"):
+            RemoteMasterStore(mixed)
+        # make_store with a local relation digest-checks the cluster
+        with pytest.raises(MasterDataError, match="different master content"):
+            make_store(master, "remote", urls=other_cluster.urls)
+    finally:
+        other_cluster.close()
+
+
+def test_construction_needs_urls(world):
+    master, _, _ = world
+    with pytest.raises(MasterDataError, match="needs shard server urls"):
+        make_store(master, "remote")
+    with pytest.raises(MasterDataError, match="at least one shard url"):
+        RemoteMasterStore([])
+    with pytest.raises(MasterDataError, match="host and port"):
+        RemoteMasterStore(["http://nowhere"])
+
+
+def test_shard_server_rejects_non_scalar_master(world):
+    from repro.relational.schema import Schema
+
+    _, ruleset, _ = world
+    bad = Relation(Schema("m", ["a", "b"]), [(("t", "uple"), "x")])
+    with pytest.raises(MasterDataError, match="JSON scalar"):
+        ShardServerApp(ruleset, bad, 0, 1)
+
+
+# ---------------------------------------------------------------------------
+# Routing and misroutes
+# ---------------------------------------------------------------------------
+
+
+def test_probes_spread_across_shards(world, cluster):
+    store = RemoteMasterStore(cluster.urls)
+    try:
+        requests = _probe_requests(world, n=20)
+        got = store.probe_many(requests)
+        single = SingleRelationStore(world[0])
+        assert got == [single.probe(r, v) for r, v in requests]
+        per_shard = store.stats()["per_shard"]
+        assert sum(s["probes"] for s in per_shard) == len(requests)
+        assert sum(1 for s in per_shard if s["probes"]) > 1, "routing never spread"
+    finally:
+        store.close()
+
+
+def test_server_rejects_misrouted_probe(world):
+    master, ruleset, workload = world
+    rules = [r for r in ruleset if not r.is_constant]
+    app = ShardServerApp(ruleset, master, 0, SHARDS)
+    values = list(workload.clean.rows())[0].to_dict()
+    # find a probe that routes elsewhere, send it to shard 0 anyway
+    for row in workload.clean.rows():
+        values = row.to_dict()
+        rule = rules[0]
+        if app.store.route(rule, values) != 0:
+            break
+    status, payload = app.handle(
+        "POST",
+        "/probe_many",
+        {"probes": [{"rule_id": rule.rule_id, "values": values}]},
+    )
+    assert status == 409
+    assert "routes to shard" in payload["error"]
+    assert app.misroutes == 1
+
+
+def test_client_misroute_is_loud_not_wrong(world, cluster, monkeypatch):
+    store = RemoteMasterStore(cluster.urls)
+    try:
+        (rule, values) = _probe_requests(world, n=1)[0]
+        right = store.route(rule, values)
+        monkeypatch.setattr(
+            RemoteMasterStore, "route", lambda self, r, v: (right + 1) % SHARDS
+        )
+        with pytest.raises(MasterDataError, match="routes to shard"):
+            store.probe(rule, values)
+    finally:
+        store.close()
+
+
+def test_unknown_rule_is_a_clear_400(world, cluster):
+    store = RemoteMasterStore(cluster.urls)
+    try:
+        status_error = None
+        try:
+            store.endpoints[0].request(
+                "POST", "/probe_many",
+                {"probes": [{"rule_id": "phantom", "values": {}}]},
+            )
+        except MasterDataError as exc:
+            status_error = str(exc)
+        assert status_error and "unknown or constant rule" in status_error
+    finally:
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Failure handling: retries, restarts, dead shards
+# ---------------------------------------------------------------------------
+
+
+def test_transient_5xx_retries_then_succeeds(world):
+    master, ruleset, _ = world
+    solo = ShardCluster.in_process(ruleset, master, 1)
+    try:
+        app = solo._members[0]["server"].app
+        real = app.handle
+        failures = {"left": 2}
+
+        def flaky(method, path, body):
+            if path == "/probe_many" and failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("injected shard hiccup")  # -> 500
+            return real(method, path, body)
+
+        app.handle = flaky
+        store = RemoteMasterStore(solo.urls, retries=3, backoff=0.01)
+        (rule, values) = _probe_requests(world, n=1)[0]
+        expected = SingleRelationStore(master).probe(rule, values)
+        assert store.probe(rule, values) == expected
+        stats = store.stats()["per_shard"][0]
+        assert stats["retries"] >= 2 and stats["errors"] == 0
+        store.close()
+    finally:
+        solo.close()
+
+
+def test_shard_restart_mid_probing_heals_via_retry(world, cluster):
+    store = RemoteMasterStore(cluster.urls, retries=3, backoff=0.02)
+    try:
+        (rule, values) = _probe_requests(world, n=1)[0]
+        shard_id = store.route(rule, values)
+        before = store.probe(rule, values)  # opens the pooled connection
+        cluster.restart(shard_id)
+        assert store.probe(rule, values) == before
+        assert store.stats()["per_shard"][shard_id]["retries"] >= 1
+    finally:
+        store.close()
+
+
+def test_dead_shard_is_a_loud_error_not_a_wrong_answer(world):
+    master, ruleset, _ = world
+    mortal = ShardCluster.in_process(ruleset, master, SHARDS)
+    store = RemoteMasterStore(mortal.urls, retries=1, backoff=0.01)
+    try:
+        requests = _probe_requests(world, n=12)
+        by_shard = {}
+        for rule, values in requests:
+            by_shard.setdefault(store.route(rule, values), (rule, values))
+        assert len(by_shard) > 1, "need probes on several shards"
+        dead = sorted(by_shard)[0]
+        alive = sorted(by_shard)[1]
+        mortal.stop(dead)
+        # probes routed to the dead shard: loud, naming shard and url
+        with pytest.raises(MasterDataError, match=f"shard {dead} .* unreachable"):
+            store.probe(*by_shard[dead])
+        # probes routed elsewhere keep working
+        rule, values = by_shard[alive]
+        assert store.probe(rule, values) == SingleRelationStore(master).probe(rule, values)
+        assert store.stats()["per_shard"][dead]["errors"] >= 1
+    finally:
+        store.close()
+        mortal.close()
+
+
+def test_remote_updates_are_refused(world, cluster):
+    store = RemoteMasterStore(cluster.urls)
+    try:
+        with pytest.raises(MasterDataError, match="read-only"):
+            store.apply_update(add=[{}])
+    finally:
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Round-trip amortisation and the wire lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_probe_many_amortises_round_trips(world, cluster):
+    requests = _probe_requests(world, n=30)
+    naive = RemoteMasterStore(cluster.urls)
+    batched = RemoteMasterStore(cluster.urls)
+    try:
+        for rule, values in requests:
+            naive.probe(rule, values)
+        batched.probe_many(requests)
+
+        def trips(store):
+            # subtract the handshake GET per shard
+            return sum(s["round_trips"] - 1 for s in store.stats()["per_shard"])
+
+        assert trips(naive) == len(requests)
+        assert trips(batched) <= SHARDS  # one POST per shard
+        assert trips(batched) < trips(naive) / 5
+    finally:
+        naive.close()
+        batched.close()
+
+
+def test_relation_fetch_is_lazy_and_digest_checked(world, cluster):
+    master, _, _ = world
+    store = RemoteMasterStore(cluster.urls)
+    try:
+        assert store._relation is None  # probing never fetched it
+        assert len(store) == len(master)
+        assert store.content_digest() == SingleRelationStore(master).content_digest()
+        assert store.relation.tuples() == master.tuples()  # lazy fetch
+        rule = next(r for r in world[1] if not r.is_constant)
+        assert store.ambiguous_keys(rule) == SingleRelationStore(master).ambiguous_keys(rule)
+    finally:
+        store.close()
+
+
+def test_pickled_store_reconnects_and_agrees(world, cluster):
+    store = RemoteMasterStore(cluster.urls)
+    try:
+        (rule, values) = _probe_requests(world, n=1)[0]
+        expected = store.probe(rule, values)
+        clone = pickle.loads(pickle.dumps(store))
+        try:
+            assert clone.probe(rule, values) == expected
+            assert clone.content_digest() == store.content_digest()
+        finally:
+            clone.close()
+    finally:
+        store.close()
+
+
+def test_fetch_health_reports_dead_server():
+    with pytest.raises(MasterDataError, match="no healthy shard server"):
+        fetch_health("http://127.0.0.1:1")
+
+
+# ---------------------------------------------------------------------------
+# Journal resume across a shard restart (the acceptance scenario)
+# ---------------------------------------------------------------------------
+
+
+def test_remote_batch_crash_resume_with_shard_restart(tmp_path, monkeypatch):
+    """Kill a remote-backed batch run mid-shard, restart one shard
+    server, then resume from the journal: same repaired relation, same
+    scheduling-independent report as an uninterrupted run."""
+    case = generate_case(2101, scenario="uk")
+    journal = tmp_path / "journal.jsonl"
+    with case_cluster(case, tmp_path, shards=SHARDS) as cluster:
+        def engine():
+            return CerFix(
+                case.ruleset,
+                make_store(
+                    Relation(case.master.schema, case.master.tuples()),
+                    "remote",
+                    urls=cluster.urls,
+                ),
+            )
+
+        expected = engine().clean_relation(
+            case.dirty, case.truth, workers=1, shards=4
+        )
+
+        real = executor_mod._run_shard
+        calls = {"n": 0}
+
+        def crashing(shard, ctx, base, cache):
+            if calls["n"] >= 2:
+                raise RuntimeError("simulated mid-shard kill")
+            calls["n"] += 1
+            return real(shard, ctx, base, cache)
+
+        monkeypatch.setattr(executor_mod, "_run_shard", crashing)
+        with pytest.raises(RuntimeError, match="simulated mid-shard kill"):
+            engine().clean_relation(
+                case.dirty, case.truth, workers=1, shards=4, journal_path=journal
+            )
+        monkeypatch.setattr(executor_mod, "_run_shard", real)
+        assert sum(
+            1 for line in journal.read_text().splitlines()
+            if json.loads(line)["kind"] == "shard"
+        ) == 2
+
+        # the "restart": one shard server bounces before the resume
+        cluster.restart(1)
+        resumed = engine().clean_relation(
+            case.dirty, case.truth, workers=1, shards=4, journal_path=journal
+        )
+        assert resumed.relation.tuples() == expected.relation.tuples()
+        assert resumed.report.resumed_shards == 2
+        assert normalize_report(resumed.report.to_json()) == normalize_report(
+            expected.report.to_json()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Subprocess cluster lifecycle (what the CI remote-store leg boots)
+# ---------------------------------------------------------------------------
+
+
+def test_subprocess_cluster_boots_serves_and_dies(world, tmp_path):
+    master, ruleset, workload = world
+    case = generate_case(2202, scenario="uk", n=8)
+    instance = tmp_path / "inst"
+    write_case_instance(case, instance)
+    cluster = ShardCluster.spawn(instance, SHARDS)
+    processes = [m["process"] for m in cluster._members]
+    try:
+        for i, url in enumerate(cluster.urls):
+            health = fetch_health(url)
+            assert (health["shard_id"], health["shards"]) == (i, SHARDS)
+        factories = store_factories(case, tmp_path, remote_urls=cluster.urls)
+        remote, single = factories["remote"](), factories["single"]()
+        rules = [r for r in case.ruleset if not r.is_constant]
+        requests = [
+            (rule, row.to_dict())
+            for row in list(case.dirty.rows())[:6]
+            for rule in rules
+        ]
+        assert remote.probe_many(requests) == [
+            single.probe(r, v) for r, v in requests
+        ]
+        # rolling restart of a real process, same port
+        cluster.restart(0)
+        assert remote.probe_many(requests) == [
+            single.probe(r, v) for r, v in requests
+        ]
+        remote.close()
+    finally:
+        cluster.close()
+    for process in processes:
+        assert process.poll() is not None, "cluster.close() left an orphan"
+
+
+# ---------------------------------------------------------------------------
+# Configuration surfaces
+# ---------------------------------------------------------------------------
+
+
+def test_spawn_failure_reports_child_output(tmp_path):
+    """A server dying at startup must surface its own error text, not
+    just an exit code and a timeout."""
+    with pytest.raises(MasterDataError, match="child output") as excinfo:
+        ShardCluster.spawn(tmp_path / "no-such-instance", 1, timeout=10)
+    assert "no instance document" in str(excinfo.value)
+
+
+def test_auto_dispatch_never_inlines_remote_probes(world, cluster, monkeypatch):
+    """dispatch='auto' must pick the executor for an io_bound store even
+    on one core: a blocking network probe (or its retry cycle) on the
+    event loop would stall accepts and backpressure."""
+    import os as os_mod
+
+    from repro.service.app import AsyncCerFixService
+
+    master, ruleset, _ = world
+    monkeypatch.setattr(os_mod, "cpu_count", lambda: 1)
+    engine = CerFix(ruleset, master, store="remote", store_urls=list(cluster.urls))
+    service = AsyncCerFixService(engine)
+    assert service.dispatch_mode == "executor"
+    service.close()
+    with pytest.raises(ValueError, match="io_bound"):
+        AsyncCerFixService(engine, dispatch="inline")  # pinned inline: refuse loudly
+    engine.master.store.close()
+    local = CerFix(ruleset, master)
+    service = AsyncCerFixService(local)
+    assert service.dispatch_mode == "inline"  # in-memory stores keep the fast path
+    service.close()
+
+
+def test_instance_document_remote_store_section(world, cluster, tmp_path):
+    master, ruleset, _ = world
+    from repro.config import InstanceConfig, load_instance, save_instance
+    from repro.core.certainty import CertaintyMode
+
+    config = InstanceConfig(
+        "uk-remote",
+        ruleset.input_schema,
+        ruleset.master_schema,
+        mode=CertaintyMode.ANCHORED,
+        store={"backend": "remote", "urls": list(cluster.urls)},
+    )
+    save_instance(tmp_path / "inst", config, master, ruleset)
+    engine, loaded = load_instance(tmp_path / "inst")
+    assert engine.master.store.backend == "remote"
+    assert loaded.store["urls"] == list(cluster.urls)
+    engine.master.store.close()
+
+
+def test_instance_document_rejects_bad_remote_section():
+    from repro.config import InstanceConfig
+    from repro.errors import ValidationError
+
+    base = {
+        "name": "x",
+        "input_schema": {"name": "i", "attributes": [{"name": "a"}]},
+        "master_schema": {"name": "m", "attributes": [{"name": "a"}]},
+    }
+    for urls in (None, [], ["", "http://ok:1"], "http://not-a-list:1"):
+        doc = dict(base, store={"backend": "remote", "urls": urls})
+        with pytest.raises(ValidationError, match="'urls'"):
+            InstanceConfig.from_json(doc)
+
+
+def test_cli_remote_flag_validation():
+    from repro.explorer.cli import main
+
+    rc = main(
+        ["clean", "--scenario", "uk", "--store", "remote", "--input", "/dev/null"]
+    )
+    assert rc == 2  # "--store remote requires --shard-urls", prettified

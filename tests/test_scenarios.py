@@ -1,6 +1,5 @@
 """Tests for the UK-customers and hospital scenarios (paper artefacts)."""
 
-import pytest
 
 from repro.core.chase import chase
 from repro.core.inference import mandatory_attributes

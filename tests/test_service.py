@@ -18,7 +18,7 @@ import urllib.request
 
 import pytest
 
-from differential import (
+from repro.master.conformance import (
     generate_case,
     normalize_audit,
     normalize_outcome,
@@ -32,10 +32,9 @@ from repro.errors import ValidationError
 from repro.explorer.cli import build_parser
 from repro.explorer.web import CerFixWebApp
 from repro.master.store import SingleRelationStore
-from repro.monitor.session import MonitorSession
 from repro.relational.relation import Relation
 from repro.scenarios import uk_customers as uk
-from repro.service.app import AsyncCerFixService, classify_route
+from repro.service.app import classify_route
 from repro.service.batcher import CoalescingMasterDataManager, ProbeBatcher, ProbeKeyer
 from repro.service.cache import LRUMemo, MemoView, SharedProbeCache
 from repro.service.limits import AdmissionController

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from differential import normalize_audit
+from repro.master.conformance import normalize_audit
 from repro import CerFix
 from repro.scenarios import uk_customers as uk
 from repro.service.loadgen import run_load

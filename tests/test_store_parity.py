@@ -4,8 +4,10 @@ The acceptance gate for the store refactor (ISSUE 3): the single,
 sharded and sqlite backends must produce **bit-identical** fixes,
 certain regions and audit events through the monitor/stream path and
 the batch pipeline (serial, threaded and multi-process executors).
-``tests/differential.py`` holds the harness; this module pins the
-properties:
+The harness lives in :mod:`repro.master.conformance` (lifted out of
+``tests/`` so any backend — including the remote shard cluster — runs
+the same suite; ``tests/test_conformance.py`` drives the full kit).
+This module pins:
 
 - randomized differential cases (datagen-backed) agree across backends
   on both paths, with and without ground truth;
@@ -33,7 +35,7 @@ from hypothesis import given, settings, strategies as st
 
 import repro.batch.executor as executor_mod
 from conftest import probe_cases
-from differential import (
+from repro.master.conformance import (
     assert_parity,
     generate_case,
     normalize_report,
