@@ -6,10 +6,32 @@ empty table (fixture skipped, sweep filtered to nothing, exception
 swallowed by a plugin) must fail the leg, not land as a hollow
 "performance trail" commit.
 
+With ``--baseline`` the checker also guards against throughput
+regressions, over the (rows, mode, workers) configurations the fresh
+dump shares with the committed snapshot (the full B1 sweep keeps the
+quick sweep's 300-row point precisely so this intersection is never
+empty — batch throughput is size-dependent, so only same-size rows are
+comparable):
+
+* **stream** rows are compared absolutely — fresh tuples/s must stay
+  within ``--max-regression`` (default 30%) of the baseline;
+* **batch** rows are compared relative to the stream anchor at the
+  same relation size: the baseline expectation is scaled by
+  ``fresh_stream / base_stream`` (capped at 1.0) before applying the
+  tolerance, so a slower machine lowers the bar proportionally while
+  a batch-layer regression (disabled cache, broken planner dedup)
+  still fails — batch fell against the stream measured in the *same*
+  run, and no amount of machine noise explains that away.
+
+The wide tolerance absorbs scheduling noise; a real perf bug blows
+straight through it.
+
 Usage::
 
     python benchmarks/check_bench_json.py BENCH_batch.json BENCH_remote.json
     python benchmarks/check_bench_json.py --all   # every BENCH_*.json in cwd
+    python benchmarks/check_bench_json.py BENCH_batch.json \
+        --baseline committed_BENCH_batch.json --max-regression 0.30
 
 Checks per file: valid JSON; ``experiment``/``headers``/``rows``/
 ``machine`` present; headers non-empty strings; at least one row; every
@@ -69,6 +91,71 @@ def check_file(path: Path) -> list[str]:
     return problems
 
 
+def _throughputs(obj: dict) -> dict[tuple[int, str, int], float]:
+    """tuples/s per (rows, mode, workers) configuration.
+
+    Tolerates rows the schema checker would flag (it runs first); rows
+    without a parseable throughput are skipped.
+    """
+    out: dict[tuple[int, str, int], float] = {}
+    for row in obj.get("rows", ()):
+        if not isinstance(row, dict):
+            continue
+        try:
+            key = (int(row["rows"]), str(row["mode"]), int(row["workers"]))
+            out[key] = float(str(row["tuples/s"]).replace(",", ""))
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+def check_regression(
+    fresh_path: Path, baseline_path: Path, max_regression: float
+) -> list[str]:
+    """Throughput drops beyond tolerance, per configuration (empty = good)."""
+    try:
+        fresh = _throughputs(json.loads(fresh_path.read_text(encoding="utf-8")))
+    except (OSError, ValueError) as exc:
+        return [f"fresh dump unreadable: {exc}"]
+    try:
+        base = _throughputs(json.loads(baseline_path.read_text(encoding="utf-8")))
+    except (OSError, ValueError) as exc:
+        return [f"baseline unreadable: {exc}"]
+
+    shared = sorted(set(fresh) & set(base))
+    if not shared:
+        return [
+            f"no comparable (rows, mode, workers) configurations between "
+            f"{fresh_path} and {baseline_path} — refresh the committed "
+            f"baseline with a sweep that includes the quick sizes"
+        ]
+    # Per-size stream anchors: batch expectations scale with how fast
+    # *this* machine runs the stream path on the same relation size,
+    # measured in the same fresh dump (capped at 1.0 — a faster box
+    # only ever relaxes the bar, it is never required to be faster).
+    fresh_stream = {r: v for (r, m, _), v in fresh.items() if m == "stream"}
+    base_stream = {r: v for (r, m, _), v in base.items() if m == "stream"}
+
+    problems = []
+    floor_share = 1.0 - max_regression
+    for rows, mode, workers in shared:
+        got = fresh[(rows, mode, workers)]
+        if mode == "stream":
+            scale, anchor = 1.0, ""
+        else:
+            f_anchor, b_anchor = fresh_stream.get(rows), base_stream.get(rows)
+            scale = min(1.0, f_anchor / b_anchor) if f_anchor and b_anchor else 1.0
+            anchor = f" (stream-anchored x{scale:.2f})"
+        expected = base[(rows, mode, workers)] * scale
+        if got < expected * floor_share:
+            problems.append(
+                f"{mode} @ {rows} rows, {workers} worker(s): {got:.0f} tuples/s "
+                f"is below {floor_share:.0%} of the baseline "
+                f"{expected:.0f} tuples/s{anchor}"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*", type=Path, help="BENCH_*.json dumps")
@@ -77,12 +164,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="check every BENCH_*.json in the current directory",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help="committed B1 dump to guard throughput against "
+        "(compared with the first file given)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="tolerated fractional tuples/s drop vs the baseline (default 0.30)",
+    )
     args = parser.parse_args(argv)
     files = list(args.files)
     if args.all:
         files.extend(sorted(Path.cwd().glob("BENCH_*.json")))
     if not files:
         parser.error("no files given (pass dumps or --all)")
+    if not 0.0 <= args.max_regression < 1.0:
+        parser.error(f"--max-regression must be in [0, 1), got {args.max_regression}")
 
     failed = 0
     for path in files:
@@ -95,8 +196,20 @@ def main(argv: list[str] | None = None) -> int:
         else:
             rows = len(json.loads(path.read_text(encoding='utf-8'))["rows"])
             print(f"ok   {path} ({rows} rows)")
+
+    if args.baseline is not None:
+        fresh = files[0]
+        problems = check_regression(fresh, args.baseline, args.max_regression)
+        if problems:
+            failed += 1
+            print(f"FAIL {fresh} vs baseline {args.baseline}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {fresh} within {args.max_regression:.0%} of {args.baseline}")
+
     if failed:
-        print(f"{failed} of {len(files)} bench dumps failed schema validation")
+        print(f"{failed} bench check(s) failed")
     return 1 if failed else 0
 
 

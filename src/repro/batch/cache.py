@@ -18,10 +18,13 @@ the cache can only change speed, never output.
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Mapping
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 from repro.core.rule import Constant, EditingRule
 from repro.master.manager import MasterDataManager, MasterMatch
@@ -115,6 +118,25 @@ class ProbeCache:
     def evictions(self) -> int:
         return self._evictions
 
+    def snapshot(self) -> list[tuple[tuple, MasterMatch]]:
+        """The current entries, oldest first (a consistent copy)."""
+        with self._lock:
+            return list(self._store.items())
+
+    def preload(self, entries: Sequence[tuple[tuple, MasterMatch]]) -> int:
+        """Seed the cache from a snapshot; returns the resident count.
+
+        Overflow past ``maxsize`` drops the oldest entries without
+        counting as evictions — nothing was ever displaced at runtime.
+        """
+        with self._lock:
+            for key, match in entries:
+                self._store[key] = match
+                self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+            return len(self._store)
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -149,14 +171,32 @@ class CachingMasterDataManager(MasterDataManager):
         self.misses = 0
         self._stats_lock = threading.Lock()
         self._probes: dict[str, HashIndex] = {}  # rule_id -> key normaliser
+        #: (rule_id, raw lhs values) -> normalized cache key. Normalizing
+        #: a probe key is pure, and batch traffic re-probes the same few
+        #: raw keys constantly, so skip re-normalizing on repeats.
+        self._key_memo: dict[tuple, tuple] = {}
 
     def _cache_key(self, rule: EditingRule, values: Mapping[str, Any]) -> tuple:
+        raw = tuple(values[a] for a in rule.lhs_attrs)
+        try:
+            key = self._key_memo.get((rule.rule_id, raw))
+        except TypeError:  # unhashable value in the probe key
+            key = None
+            memo_key = None
+        else:
+            memo_key = (rule.rule_id, raw)
+        if key is not None:
+            return key
         probe = self._probes.get(rule.rule_id)
         if probe is None:
             probe = HashIndex(rule.m_attrs, rule.ops)
             self._probes[rule.rule_id] = probe
-        raw = tuple(values[a] for a in rule.lhs_attrs)
-        return (rule.rule_id, probe.key_of(raw))
+        key = (rule.rule_id, probe.key_of(raw))
+        if memo_key is not None:
+            if len(self._key_memo) >= 65536:
+                self._key_memo.clear()
+            self._key_memo[memo_key] = key
+        return key
 
     def match(
         self,
@@ -188,3 +228,80 @@ class CachingMasterDataManager(MasterDataManager):
             f"CachingMasterDataManager({self.relation!r}, "
             f"{self.hits} hits / {self.misses} misses)"
         )
+
+
+# ---------------------------------------------------------------------------
+# Cross-run persistence
+# ---------------------------------------------------------------------------
+
+#: On-disk snapshot format; bump on any incompatible layout change.
+CACHE_SNAPSHOT_FORMAT = 1
+
+
+def save_probe_cache(
+    cache: ProbeCache,
+    path: str | Path,
+    *,
+    master_digest: str,
+    rule_ids: Sequence[str],
+) -> int:
+    """Persist ``cache`` for a future batch run; returns entries written.
+
+    The snapshot is stamped with the master *content* digest and the
+    rule-id set, and :func:`load_probe_cache` refuses a snapshot whose
+    stamps disagree with the loading run — a cached
+    :class:`~repro.master.manager.MasterMatch` is only valid against the
+    exact master data and rules that produced it. The write is atomic
+    (temp file + rename), so a crash mid-save leaves the previous
+    snapshot intact.
+    """
+    path = Path(path)
+    entries = cache.snapshot()
+    payload = {
+        "format": CACHE_SNAPSHOT_FORMAT,
+        "master": master_digest,
+        "rules": tuple(sorted(rule_ids)),
+        "entries": entries,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return len(entries)
+
+
+def load_probe_cache(
+    path: str | Path,
+    *,
+    master_digest: str,
+    rule_ids: Sequence[str],
+    maxsize: int = 4096,
+) -> tuple[ProbeCache | None, str]:
+    """Load a snapshot written by :func:`save_probe_cache`.
+
+    Returns ``(cache, note)``: a warm :class:`ProbeCache` when the
+    snapshot is present, readable and stamped for this exact
+    (master content, rule set) pair, else ``(None, why)`` — a stale or
+    corrupt snapshot degrades to a cold start, never to wrong answers.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None, f"cold start (no snapshot at {path})"
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        fmt = payload["format"]
+        master = payload["master"]
+        rules = payload["rules"]
+        entries = payload["entries"]
+    except Exception as exc:  # truncated, corrupt, or foreign pickle
+        return None, f"cold start (unreadable snapshot: {exc})"
+    if fmt != CACHE_SNAPSHOT_FORMAT:
+        return None, f"cold start (snapshot format {fmt} != {CACHE_SNAPSHOT_FORMAT})"
+    if master != master_digest:
+        return None, "cold start (master data changed since the snapshot)"
+    if rules != tuple(sorted(rule_ids)):
+        return None, "cold start (rule set changed since the snapshot)"
+    cache = ProbeCache(maxsize)
+    resident = cache.preload(entries)
+    return cache, f"warm start ({resident} entries from {path})"

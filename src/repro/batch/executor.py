@@ -41,6 +41,7 @@ from repro.master.manager import MasterDataManager
 from repro.monitor.session import MonitorSession
 from repro.monitor.suggest import SuggestionStrategy
 from repro.monitor.user import OracleUser
+from repro.service.cache import LRUMemo
 
 BACKENDS = ("thread", "process")
 
@@ -183,8 +184,54 @@ def _serialize_events(audit: AuditLog) -> tuple[dict, ...]:
     )
 
 
+class _TranscriptRecorder:
+    """An audit sink recording straight into the serialized event form.
+
+    A group session's audit trail only ever becomes the replay template
+    shipped in :attr:`GroupOutcome.audit_events`; recording through a
+    full :class:`AuditLog` (lock, sequence numbers, per-tuple index,
+    frozen event objects) just to strip all of that back off was
+    measurable at batch scale. Same dict shape as
+    :func:`_serialize_events` — seq/tuple_id are per-member anyway and
+    get assigned at replay time.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def record(
+        self,
+        tuple_id,
+        attr,
+        old,
+        new,
+        source,
+        *,
+        rule_id=None,
+        master_positions=(),
+        round_no=0,
+    ) -> None:
+        self.events.append(
+            {
+                "attr": attr,
+                "old": old,
+                "new": new,
+                "source": source,
+                "rule_id": rule_id,
+                "master_positions": tuple(master_positions),
+                "round_no": round_no,
+            }
+        )
+
+
 def _resolve_group(
-    group: PlanGroup, ctx: BatchContext, manager: MasterDataManager
+    group: PlanGroup,
+    ctx: BatchContext,
+    manager: MasterDataManager,
+    memo: LRUMemo | None = None,
+    chase_memo: LRUMemo | None = None,
 ) -> GroupOutcome:
     """Clean one group's representative tuple.
 
@@ -193,7 +240,7 @@ def _resolve_group(
     chase runs from the trusted ``ctx.validated`` attributes and stops —
     rule-only repair; unvalidated cells keep their input values.
     """
-    audit = AuditLog()
+    audit = _TranscriptRecorder()
     session = MonitorSession(
         ctx.ruleset,
         manager,
@@ -206,6 +253,8 @@ def _resolve_group(
         audit=audit,
         use_index=ctx.use_index,
         max_combos=ctx.max_combos,
+        suggestion_memo=memo,
+        chase_memo=chase_memo,
     )
     if group.truth is not None:
         seed = [a for a in ctx.validated if a not in session.validated]
@@ -217,7 +266,7 @@ def _resolve_group(
         if seed and not session.is_complete:
             session.assure(seed)
     provenance = session.provenance
-    events = _serialize_events(audit)
+    events = tuple(audit.events)
     return GroupOutcome(
         members=group.members,
         values=session.current_values(),
@@ -233,18 +282,30 @@ def _resolve_group(
 
 
 def _run_shard(
-    shard: Shard, ctx: BatchContext, base: MasterDataManager, cache: ProbeCache
+    shard: Shard,
+    ctx: BatchContext,
+    base: MasterDataManager,
+    cache: ProbeCache,
+    memo: LRUMemo | None = None,
+    chase_memo: LRUMemo | None = None,
 ) -> ShardResult:
     """Resolve every group of one shard behind a caching manager.
 
     The caching manager wraps the base manager's *store*, so whatever
     backend the run configured (single, sharded, sqlite) answers the
     cache misses — and its probe structures are shared across shards.
+    ``memo`` is the run's shared suggestion memo: a suggestion is a
+    deterministic function of the validated (attr, value) pairs plus
+    the engine configuration — constant across one batch run — so
+    sharing it across shards reorders when inference work happens but
+    never what any group observes (the bit-identity guarantee holds).
     """
     manager = CachingMasterDataManager(base.store, cache)
     evictions_before = cache.evictions
     start = time.perf_counter()
-    outcomes = tuple(_resolve_group(g, ctx, manager) for g in shard.groups)
+    outcomes = tuple(
+        _resolve_group(g, ctx, manager, memo, chase_memo) for g in shard.groups
+    )
     return ShardResult(
         shard_id=shard.shard_id,
         outcomes=outcomes,
@@ -261,12 +322,16 @@ def _run_shard(
 
 _PROCESS_CTX: BatchContext | None = None
 _PROCESS_CACHE: ProbeCache | None = None
+_PROCESS_MEMO: LRUMemo | None = None
+_PROCESS_CHASE_MEMO: LRUMemo | None = None
 
 
 def _init_process(ctx: BatchContext) -> None:
-    global _PROCESS_CTX, _PROCESS_CACHE
+    global _PROCESS_CTX, _PROCESS_CACHE, _PROCESS_MEMO, _PROCESS_CHASE_MEMO
     _PROCESS_CTX = ctx
     _PROCESS_CACHE = ProbeCache(ctx.cache_size)
+    _PROCESS_MEMO = LRUMemo(max(ctx.cache_size, 1))
+    _PROCESS_CHASE_MEMO = LRUMemo(max(ctx.cache_size, 1))
     # Store-specific warm-up: the single store rebuilds its (pickle-
     # stripped) indexes eagerly; the sharded store stays lazy so this
     # worker only materialises the shards its probes actually route to.
@@ -275,7 +340,14 @@ def _init_process(ctx: BatchContext) -> None:
 
 def _process_shard(shard: Shard) -> ShardResult:
     assert _PROCESS_CTX is not None and _PROCESS_CACHE is not None
-    return _run_shard(shard, _PROCESS_CTX, _PROCESS_CTX.master, _PROCESS_CACHE)
+    return _run_shard(
+        shard,
+        _PROCESS_CTX,
+        _PROCESS_CTX.master,
+        _PROCESS_CACHE,
+        _PROCESS_MEMO,
+        _PROCESS_CHASE_MEMO,
+    )
 
 
 class ShardExecutor:
@@ -288,6 +360,7 @@ class ShardExecutor:
         *,
         workers: int = 1,
         backend: str = "thread",
+        cache: ProbeCache | None = None,
     ):
         if workers < 1:
             raise CerFixError(f"workers must be >= 1, got {workers}")
@@ -297,7 +370,14 @@ class ShardExecutor:
         self.workers = workers
         self.backend = backend
         #: The serial/thread paths share one cache; exposed for reporting.
-        self.cache = ProbeCache(ctx.cache_size)
+        #: A preloaded ``cache`` (cross-run persistence, see
+        #: :func:`repro.batch.cache.load_probe_cache`) is used as-is.
+        self.cache = cache if cache is not None else ProbeCache(ctx.cache_size)
+        #: ...and one suggestion memo (see :func:`_run_shard`) plus one
+        #: chase-transcript memo (see :func:`repro.core.chase.chase_memoized`
+        #: — identical validated states across groups chase once).
+        self.memo = LRUMemo(max(ctx.cache_size, 1))
+        self.chase_memo = LRUMemo(max(ctx.cache_size, 1))
 
     def run(
         self,
@@ -316,7 +396,10 @@ class ShardExecutor:
         if self.workers == 1:
             results = []
             for shard in shards:
-                result = _run_shard(shard, self.ctx, self.ctx.master, self.cache)
+                result = _run_shard(
+                    shard, self.ctx, self.ctx.master, self.cache, self.memo,
+                    self.chase_memo,
+                )
                 if on_result is not None:
                     on_result(result)
                 results.append(result)
@@ -324,7 +407,8 @@ class ShardExecutor:
         if self.backend == "thread":
             pool = ThreadPoolExecutor(max_workers=self.workers)
             submit = lambda shard: pool.submit(  # noqa: E731
-                _run_shard, shard, self.ctx, self.ctx.master, self.cache
+                _run_shard, shard, self.ctx, self.ctx.master, self.cache, self.memo,
+                self.chase_memo,
             )
         else:
             pool = ProcessPoolExecutor(

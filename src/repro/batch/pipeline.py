@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.errors import CerFixError
 from repro.audit.log import AuditLog
+from repro.batch.cache import load_probe_cache, save_probe_cache
 from repro.batch.executor import BatchContext, ShardExecutor, ShardResult
 from repro.batch.journal import CheckpointJournal
 from repro.batch.planner import build_plan, transcript_projection
@@ -109,6 +110,7 @@ class BatchCleaner:
         dedupe: bool = True,
         validated: Sequence[str] = (),
         journal_path: str | Path | None = None,
+        cache_path: str | Path | None = None,
         tuple_ids: Sequence[str] | None = None,
         max_rounds: int | None = None,
     ) -> BatchResult:
@@ -120,6 +122,11 @@ class BatchCleaner:
         repairs from the trusted ``validated`` columns. ``journal_path``
         enables checkpoint/resume; an interrupted run picks up where it
         stopped as long as inputs and configuration are unchanged.
+        ``cache_path`` persists the probe cache across runs: the run
+        starts warm from a snapshot stamped for this exact (master
+        content, rule set) pair — anything else degrades to a cold
+        start — and saves the cache back on completion. The report's
+        ``persistence`` line says which happened.
         """
         got, want = set(dirty.schema.names), set(self.ruleset.input_schema.names)
         if got != want:
@@ -198,7 +205,26 @@ class BatchCleaner:
         done: dict[int, ShardResult] = journal.open(plan.fingerprint) if journal else {}
         pending = [s for s in plan.shards if s.shard_id not in done]
 
-        executor = ShardExecutor(ctx, workers=workers, backend=backend)
+        # Cross-run probe-cache persistence (serial/thread paths only:
+        # process workers hold private caches the parent never sees).
+        persistence = ""
+        preloaded = None
+        cache_stamp: dict | None = None
+        if cache_path is not None:
+            if workers > 1 and backend == "process":
+                persistence = "skipped (process workers hold private caches)"
+            else:
+                cache_stamp = {
+                    "master_digest": self.master.content_digest(),
+                    "rule_ids": [r.rule_id for r in self.ruleset],
+                }
+                preloaded, persistence = load_probe_cache(
+                    cache_path, maxsize=self.cache_size, **cache_stamp
+                )
+
+        executor = ShardExecutor(
+            ctx, workers=workers, backend=backend, cache=preloaded
+        )
         on_result = journal.record if journal is not None else None
         fresh = executor.run(pending, on_result=on_result)
         results = sorted(
@@ -228,6 +254,10 @@ class BatchCleaner:
         # the old values member by member); the per-group aggregate
         # would over- or under-count payload-column changes.
         report.changed_cells = changed_cells
+        if cache_stamp is not None:
+            saved = save_probe_cache(executor.cache, cache_path, **cache_stamp)
+            persistence += f"; saved {saved} entries"
+        report.persistence = persistence
         return BatchResult(relation=relation, report=report)
 
     # -- internals -----------------------------------------------------------

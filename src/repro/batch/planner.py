@@ -177,9 +177,23 @@ def build_plan(
     signatures: list[tuple] = []
     if projection is not None and projection >= frozenset(schema.names):
         projection = None  # everything is relevant — whole-row semantics
-    for i, row in enumerate(dirty.rows()):
-        truth_row = truth.row(i).to_dict() if truth is not None else None
-        sig = repair_signature(row.to_dict(), truth_row, schema, projection)
+    # Signatures are computed column-wise: one decode pass per attribute
+    # over the relation's value arrays (elided attributes never decode at
+    # all), then one zip — same tuples, in the same order, as the
+    # per-row :func:`repair_signature`, without materialising a dict per
+    # row. ``repair_signature`` remains the specification (and the
+    # parity tests hold the two paths together).
+    n_rows = len(dirty)
+    parts: list[list] = [
+        dirty.column(name)
+        if projection is None or name in projection
+        else [_ELIDED] * n_rows
+        for name in schema.names
+    ]
+    if truth is not None:
+        parts.extend(truth.column(name) for name in schema.names)
+    sig_rows = zip(*parts) if parts else iter(() for _ in range(n_rows))
+    for i, sig in enumerate(sig_rows):
         if not dedupe:
             sig = sig + (i,)  # unique per row: every row is its own group
         signatures.append(sig)

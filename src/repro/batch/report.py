@@ -68,6 +68,10 @@ class BatchReport:
     backend: str = "thread"
     elapsed_seconds: float = 0.0
     notes: list[str] = field(default_factory=list)
+    #: What cross-run probe-cache persistence did this run (``""`` when
+    #: no cache path was given): "warm start (N entries from ...)" /
+    #: "cold start (...)" / "skipped (...)", plus "; saved N entries".
+    persistence: str = ""
 
     @property
     def incomplete(self) -> int:
@@ -117,6 +121,8 @@ class BatchReport:
             f"({self.cache.hit_rate:.0%} hit rate), {self.cache.evictions} evictions",
             f"  shards: {len(self.shards)} total, {self.resumed_shards} resumed from journal",
         ]
+        if self.persistence:
+            lines.append(f"  probe cache persistence: {self.persistence}")
         lines.extend(f"  note: {n}" for n in self.notes)
         return "\n".join(lines)
 
@@ -142,6 +148,7 @@ class BatchReport:
             "elapsed_seconds": self.elapsed_seconds,
             "throughput": self.throughput,
             "resumed_shards": self.resumed_shards,
+            "persistence": self.persistence,
             "notes": list(self.notes),
         }
 

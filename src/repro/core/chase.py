@@ -56,6 +56,13 @@ class Applicability:
         return self.status is AppStatus.READY
 
 
+#: Shared outcome instances for the two payload-free misses — the chase
+#: tests every rule on every sweep, and allocating a fresh frozen
+#: dataclass per miss showed up in the stream profile.
+_PATTERN_MISS = Applicability(AppStatus.PATTERN_MISS)
+_NO_MATCH = Applicability(AppStatus.NO_MATCH)
+
+
 def applicable(
     rule: EditingRule,
     values: Mapping[str, Any],
@@ -70,16 +77,18 @@ def applicable(
     certainty analysis and the consistency checker, so their notions of
     "applicable" cannot drift apart.
     """
-    missing = tuple(a for a in sorted(rule.reads) if a not in validated)
-    if missing:
+    if not rule.reads <= validated:
+        missing = tuple(a for a in rule.sorted_reads if a not in validated)
         return Applicability(AppStatus.NOT_READY, missing=missing)
-    if not rule.pattern.matches(values):
-        return Applicability(AppStatus.PATTERN_MISS)
-    match = master.match(rule, values, use_index=use_index)
+    if rule.has_pattern and not rule.pattern.matches(values):
+        return _PATTERN_MISS
     if rule.is_constant:
-        return Applicability(AppStatus.READY, value=match.values[0])
-    if match.is_empty:
-        return Applicability(AppStatus.NO_MATCH)
+        # The manager would answer MasterMatch((), (constant,)) without
+        # touching any store; skip the round trip.
+        return Applicability(AppStatus.READY, value=rule.source.value)
+    match = master.match(rule, values, use_index=use_index)
+    if not match.positions:
+        return _NO_MATCH
     if not match.is_unique:
         return Applicability(
             AppStatus.AMBIGUOUS,
@@ -203,6 +212,23 @@ def chase(
     ambiguities: list[AmbiguityEvent] = []
     normalized_once: set[str] = set()  # rule ids that already rewrote their target
 
+    # Within one chase the master data never changes, so a rule's
+    # applicability depends only on the state values it reads — plus its
+    # target's current value, which the conflict check compares against.
+    # The fixpoint loop re-tests every rule on every sweep; skip the
+    # master probe when none of those values moved since the last test.
+    app_cache: dict[str, tuple[list, Applicability]] = {}
+
+    def _test(rule: EditingRule) -> Applicability:
+        key = [state[a] for a in rule.sorted_reads]
+        key.append(state[rule.target])
+        cached = app_cache.get(rule.rule_id)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        app = applicable(rule, state, valid, master, use_index=use_index)
+        app_cache[rule.rule_id] = (key, app)
+        return app
+
     # Each productive sweep validates an attribute or performs one of the
     # at-most-len(rules) normalising rewrites, so this bound is never hit;
     # it guards against a future bug turning the loop infinite.
@@ -213,13 +239,17 @@ def chase(
         changed = False
         sweeps += 1
         for rule in rules:
+            if not rule.reads <= valid:
+                # Not ready: every branch below would discard the
+                # NOT_READY outcome, so skip the applicability test.
+                continue
             target_valid = rule.target in valid
             if target_valid and (rule.is_self_normalizing is False or rule.rule_id in normalized_once):
                 # Either nothing left for this rule to do, or — for a rule
                 # that is not self-normalising — a potential conflict to check.
                 if rule.is_self_normalizing and rule.rule_id in normalized_once:
                     continue
-                app = applicable(rule, state, valid, master, use_index=use_index)
+                app = _test(rule)
                 if app.is_ready and app.value != state[rule.target]:
                     witness = ConflictWitness(
                         attr=rule.target,
@@ -233,7 +263,7 @@ def chase(
                         if strict:
                             raise ConflictError(witness.describe(), witness=witness)
                 continue
-            app = applicable(rule, state, valid, master, use_index=use_index)
+            app = _test(rule)
             if app.status is AppStatus.AMBIGUOUS:
                 event = AmbiguityEvent(rule.target, rule.rule_id, app.candidate_values)
                 if event not in ambiguities:
@@ -281,3 +311,131 @@ def chase(
         all_attrs=frozenset(schema.names),
         sweeps=sweeps,
     )
+
+
+# -- cross-tuple chase memoisation -------------------------------------------
+#
+# Every decision the chase makes reads *validated* values only: the
+# readiness gate is ``reads <= validated``, the pattern constrains
+# attributes in ``reads``, and master probes key on the (validated) LHS.
+# Unvalidated values influence exactly one thing — the ``old`` field of
+# the steps that overwrite them (each step fires regardless of the value
+# it replaces). So two states with identical validated (attr, value)
+# pairs produce the *same transcript up to rebinding those olds*, and a
+# batch run over duplicate-heavy data can chase each distinct validated
+# state once. (The point-of-entry stream deliberately does not use this:
+# it is the per-tuple baseline the batch pipeline is measured against.)
+
+
+def _chase_relevant(ruleset: RuleSet) -> frozenset[str]:
+    """The attributes whose values can steer a chase: everything some
+    rule reads (readiness, pattern, probe key) or targets (the conflict
+    check compares the prescribed value against the current cell).
+    Validated values *outside* this set ride along untouched."""
+    cache = getattr(ruleset, "_analysis_cache", None)
+    if cache is not None:
+        hit = cache.get("chase_relevant")
+        if hit is not None:
+            return hit
+    attrs: set[str] = set()
+    for rule in ruleset:
+        attrs |= rule.reads
+        attrs.add(rule.target)
+    relevant = frozenset(attrs)
+    if cache is not None:
+        cache["chase_relevant"] = relevant
+    return relevant
+
+
+def _chase_memo_key(
+    values: Mapping[str, Any], validated: Iterable[str], ruleset: RuleSet
+) -> tuple | None:
+    """The sorted validated attribute names plus the (attr, type, value)
+    triples of the *rule-relevant* ones — or None when any such value is
+    unhashable/missing (caller falls back to a direct chase).
+
+    The name list must cover every validated attribute (it determines
+    ``result.validated``), but values only matter where a rule can read
+    or overwrite them — keying on free payload attributes (a per-row
+    item code, say) would shatter an otherwise duplicate-heavy key
+    space. Types are included because values hashing equal
+    (``1``/``1.0``/``True``) can still behave differently under pattern
+    matching and probe normalisation."""
+    relevant = _chase_relevant(ruleset)
+    attrs = tuple(sorted(validated))
+    try:
+        key = (
+            attrs,
+            tuple(
+                (a, values[a].__class__, values[a]) for a in attrs if a in relevant
+            ),
+        )
+        hash(key)
+    except (TypeError, KeyError):
+        return None
+    return key
+
+
+def _rebind_chase(template: ChaseResult, values: Mapping[str, Any]) -> ChaseResult:
+    """Replay a memoised transcript onto ``values``.
+
+    Steps keep their (attr, new, rule, provenance) — only ``old`` is
+    re-read from the replay state. Conflicts and ambiguities carry
+    validated values exclusively, so they transfer verbatim.
+    """
+    state = {name: values[name] for name in template.values}
+    steps = []
+    for s in template.steps:
+        old = state[s.attr]
+        steps.append(
+            FixStep(
+                attr=s.attr,
+                old=old,
+                new=s.new,
+                rule_id=s.rule_id,
+                master_positions=s.master_positions,
+                normalized=s.normalized,
+            )
+            if old != s.old
+            else s
+        )
+        state[s.attr] = s.new
+    return ChaseResult(
+        values=state,
+        validated=template.validated,
+        steps=tuple(steps),
+        conflicts=template.conflicts,
+        ambiguities=template.ambiguities,
+        all_attrs=template.all_attrs,
+        sweeps=template.sweeps,
+    )
+
+
+def chase_memoized(
+    values: Mapping[str, Any],
+    validated: Iterable[str],
+    ruleset: RuleSet,
+    master: MasterDataManager,
+    memo: Any,
+    *,
+    use_index: bool = True,
+) -> ChaseResult:
+    """:func:`chase`, sharing transcripts across identical validated
+    states via ``memo`` (a ``get``/``put`` mapping, e.g.
+    :class:`repro.service.cache.LRUMemo`).
+
+    The caller owns key-space hygiene for everything *not* in the key:
+    one memo must only ever see one (ruleset, master content, use_index)
+    configuration — the batch executor scopes its memo to a single run.
+    Not valid under ``strict=True`` (a strict chase aborts mid-sweep on
+    the first conflict; a memoised transcript has already run to
+    fixpoint).
+    """
+    key = _chase_memo_key(values, validated, ruleset)
+    if key is None:
+        return chase(values, validated, ruleset, master, use_index=use_index)
+    template = memo.get(key)
+    if template is None:
+        template = chase(values, validated, ruleset, master, use_index=use_index)
+        memo.put(key, template)
+    return _rebind_chase(template, values)

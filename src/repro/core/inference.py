@@ -85,11 +85,20 @@ def mandatory_attributes(ruleset: RuleSet, schema: Schema | None = None) -> froz
     suggestion (zip escapes via ϕ8, which reads only AC/phn/type).
     """
     schema = schema or ruleset.input_schema
-    return frozenset(
+    cache = getattr(ruleset, "_analysis_cache", None)
+    key = ("mandatory", schema.names)
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = frozenset(
         a
         for a in schema.names
         if all(r.is_self_normalizing for r in ruleset.by_target(a))
     )
+    if cache is not None:
+        cache[key] = result
+    return result
 
 
 def syntactically_certain(

@@ -128,11 +128,23 @@ class EditingRule:
         """
         return frozenset(self.lhs_attrs) | frozenset(self.pattern_attrs)
 
-    @property
+    @cached_property
+    def sorted_reads(self) -> tuple[str, ...]:
+        """``reads`` in sorted order — the chase reports missing
+        attributes in this order on every not-ready test."""
+        return tuple(sorted(self.reads))
+
+    @cached_property
+    def has_pattern(self) -> bool:
+        """True when the pattern constrains at least one attribute —
+        lets the chase skip the match call for ``tp = ()`` rules."""
+        return len(self.pattern) > 0
+
+    @cached_property
     def is_constant(self) -> bool:
         return isinstance(self.source, Constant)
 
-    @property
+    @cached_property
     def is_self_normalizing(self) -> bool:
         """True when the rule reads its own target (demo rule ϕ1).
 

@@ -24,7 +24,7 @@ class RuleSet:
     *outcome* does not depend on it.
     """
 
-    __slots__ = ("input_schema", "master_schema", "_rules", "_by_id", "_by_target")
+    __slots__ = ("input_schema", "master_schema", "_rules", "_by_id", "_by_target", "_analysis_cache")
 
     def __init__(
         self,
@@ -37,6 +37,10 @@ class RuleSet:
         self._rules = tuple(rules)
         self._by_id: dict[str, EditingRule] = {}
         self._by_target: dict[str, list[EditingRule]] = {}
+        #: Memo for static analyses over this (immutable) rule set — e.g.
+        #: :func:`repro.core.inference.mandatory_attributes`, which the
+        #: suggestion engine consults on every monitor round.
+        self._analysis_cache: dict = {}
         for rule in self._rules:
             if rule.rule_id in self._by_id:
                 raise RuleError(f"duplicate rule id {rule.rule_id!r}")

@@ -214,6 +214,7 @@ class CerFix:
         dedupe: bool = True,
         validated: Sequence[str] = (),
         journal_path: Any = None,
+        cache_path: Any = None,
         tuple_ids: Sequence[str] | None = None,
         max_rounds: int | None = None,
         cache_size: int = 4096,
@@ -226,7 +227,9 @@ class CerFix:
         or processes; ``workers=1`` is the deterministic serial path —
         parallel runs produce bit-identical output). ``journal_path``
         checkpoints per-shard progress so an interrupted run resumes
-        without recleaning. Returns a :class:`BatchResult` carrying the
+        without recleaning; ``cache_path`` persists the probe cache
+        across runs (warm-started only when master content and rule
+        set are unchanged). Returns a :class:`BatchResult` carrying the
         repaired relation and the :class:`BatchReport`; per-cell
         provenance lands in :attr:`audit`.
         """
@@ -251,6 +254,7 @@ class CerFix:
             dedupe=dedupe,
             validated=validated,
             journal_path=journal_path,
+            cache_path=cache_path,
             tuple_ids=tuple_ids,
             max_rounds=max_rounds,
         )

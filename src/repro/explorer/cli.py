@@ -9,6 +9,7 @@ Subcommands::
     cerfix regions  [--scenario ...] [-k N] [--mode strict|anchored|scenario]
     cerfix fix      [--scenario ...] --input CSV --truth CSV [--out CSV]
     cerfix clean    [--scenario ...] --input CSV [--truth CSV] [--workers N]
+                    [--cache FILE]  # cross-run probe-cache persistence
                     [--store single|sharded|sqlite|remote [--store-shards N]
                      [--store-path DB] [--shard-urls URL,URL,...]]
     cerfix monitor  [--scenario ...]              # interactive, stdin-driven
@@ -186,6 +187,7 @@ def cmd_clean(args) -> int:
         dedupe=not args.no_dedupe,
         validated=validated,
         journal_path=args.journal,
+        cache_path=args.cache,
     )
     print(result.report.describe())
     if args.out:
@@ -470,6 +472,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable duplicate-signature collapsing")
     p.add_argument("--validated", help="comma-separated trusted columns (rule-only mode)")
     p.add_argument("--journal", help="checkpoint journal path (enables crash-safe resume)")
+    p.add_argument("--cache", help="probe-cache snapshot path (warm-starts repeat runs "
+                   "against unchanged master data and rules)")
     p.add_argument("--out", help="write the repaired relation here")
     p.add_argument("--report", help="write the batch report (JSON) here")
     p.add_argument("--log", help="write the audit log (JSON lines) here")

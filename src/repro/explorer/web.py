@@ -23,7 +23,8 @@ POST  /api/sessions/<id>/validate    {"assignments": {...}} — user validation;
 DELETE /api/sessions/<id>            drop a session
 GET   /api/audit/<tuple_id>          per-tuple change trace (Fig. 4)
 GET   /api/audit                     per-attribute statistics (Fig. 4)
-GET   /api/metrics                   service metrics (async service only)
+GET   /api/metrics                   service metrics (same schema as the
+                                     async entry service)
 ====  =============================  ===========================================
 
 Run it programmatically (`serve(engine, port=0)` returns the bound
@@ -36,11 +37,13 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.engine import CerFix
 from repro.monitor.session import MonitorSession
-from repro.service.app import RoutingCore, session_state
+from repro.service.app import RoutingCore, classify_route, session_state
+from repro.service.metrics import ServiceMetrics
 
 # Backwards-compatible alias: the session JSON view now lives with the
 # shared routing table in repro.service.app.
@@ -62,15 +65,71 @@ class CerFixWebApp:
 
     def __init__(self, engine: CerFix):
         self.engine = engine
-        self.core = RoutingCore(engine)
+        #: Same counters/latency windows (and therefore the same
+        #: ``GET /api/metrics`` schema) as the async entry service; the
+        #: probe micro-batching counters simply stay zero here — the
+        #: serial app probes inline.
+        self.metrics = ServiceMetrics()
+        self.core = RoutingCore(engine, metrics_json=self._metrics_json)
         self._lock = threading.Lock()
+
+    def _metrics_json(self) -> dict:
+        """The ``GET /api/metrics`` payload, async-schema-compatible.
+
+        The serial app has no shared probe cache, no suggestion memo
+        and no admission control, so those sections report empty/
+        unbounded rather than disappearing — a dashboard written
+        against the async service reads this unchanged."""
+        data = self.metrics.to_json()
+        data["probe_cache"] = {
+            "hits": 0, "misses": 0, "hit_rate": 0.0,
+            "evictions": 0, "size": 0, "maxsize": 0,
+        }
+        data["suggestion_memo"] = {
+            "hits": 0, "misses": 0, "hit_rate": 0.0, "size": 0, "maxsize": 0,
+        }
+        data["limits"] = {
+            "max_sessions": None,
+            "max_inflight": 1,
+            "max_session_pending": 1,
+        }
+        data["dispatch"] = "serial"
+        return data
 
     @property
     def sessions(self) -> dict[str, MonitorSession]:
         return self.core.sessions
 
     def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict | list]:
-        return self.core.handle(method, path, body)
+        parts = [p for p in path.partition("?")[0].split("/") if p]
+        route_class, session_id = classify_route(method, parts)
+        evicting = (
+            self.core.sessions.get(session_id)
+            if method == "DELETE" and session_id is not None
+            else None
+        )
+        self.metrics.request_started()
+        start = time.perf_counter()
+        status = 500
+        try:
+            status, payload = self.core.handle(method, path, body)
+        finally:
+            self.metrics.request_finished(
+                route_class, status, time.perf_counter() - start
+            )
+        if route_class == "open" and status == 201:
+            self.metrics.session_opened()
+            if isinstance(payload, dict) and payload.get("complete"):
+                self.metrics.session_completed()
+        elif route_class == "validate" and status == 200:
+            if isinstance(payload, dict) and payload.get("complete"):
+                self.metrics.session_completed()
+        elif evicting is not None and status == 200:
+            # Dropping an unfinished session is an eviction; dropping a
+            # completed one was already counted as completed.
+            if not evicting.is_complete:
+                self.metrics.session_evicted()
+        return status, payload
 
 
 class _Handler(BaseHTTPRequestHandler):

@@ -296,12 +296,34 @@ class MasterStore:
 
 
 class SingleRelationStore(MasterStore):
-    """The original backend: one relation, lazy global hash indexes."""
+    """The original backend: one relation, lazy global hash indexes.
+
+    Probe results are memoised per ``(rule, raw key)``: master data is
+    static between updates, so a repeated probe (the monitor stream
+    re-entering the same population, a chase re-testing a rule each
+    sweep) is a dict hit instead of normalise + index lookup + distinct-
+    value assembly. The memo is validated against the relation's
+    mutation version on every probe, so any write — through the store or
+    directly to the relation — invalidates it."""
 
     backend = "single"
 
+    _MEMO_MAX = 65536
+
     def __init__(self, relation: Relation):
         self.relation = relation
+        self._probe_memo: dict = {}
+        self._memo_version = relation._version
+
+    def __getstate__(self) -> dict:
+        # The memo is a derived cache; shipping it to process-pool
+        # workers would dwarf the relation itself.
+        return {"relation": self.relation}
+
+    def __setstate__(self, state: dict) -> None:
+        self.relation = state["relation"]
+        self._probe_memo = {}
+        self._memo_version = self.relation._version
 
     def probe(
         self,
@@ -311,10 +333,39 @@ class SingleRelationStore(MasterStore):
         use_index: bool = True,
     ) -> MasterMatch:
         key = tuple(values[a] for a in rule.lhs_attrs)
+        memo = self._probe_memo
+        if self._memo_version != self.relation._version:
+            memo.clear()
+            self._memo_version = self.relation._version
+        # Two-level memo: the outer dict is keyed by id(rule) — hashing
+        # the rule dataclass itself costs more than the probe it saves —
+        # with the rule kept alive in the entry so the id cannot be
+        # recycled while the entry exists.
+        entry = memo.get(id(rule))
+        if entry is None or entry[0] is not rule:
+            inner: dict = {}
+            memo[id(rule)] = (rule, inner)
+        else:
+            inner = entry[1]
+        try:
+            hit = inner.get((key, use_index))
+        except TypeError:  # unhashable cell value: probe uncached
+            hit = None
+            key_hashable = False
+        else:
+            key_hashable = True
+        if hit is not None:
+            return hit
         if not use_index:
-            return self._scan_probe(rule, key)
-        index = self.relation.index_on(rule.m_attrs, rule.ops)
-        return self._match_at(rule, tuple(index.lookup(key)))
+            match = self._scan_probe(rule, key)
+        else:
+            index = self.relation.index_on(rule.m_attrs, rule.ops)
+            match = self._match_at(rule, tuple(index.lookup(key)))
+        if key_hashable:
+            if len(inner) >= self._MEMO_MAX:
+                inner.clear()
+            inner[(key, use_index)] = match
+        return match
 
     def prebuild(self, ruleset: RuleSet) -> None:
         for attrs, ops in ruleset.index_specs():

@@ -16,7 +16,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.errors import MonitorError
 from repro.audit.log import AuditLog
 from repro.core.certainty import CertaintyMode, Scenario
-from repro.core.chase import ChaseResult, ConflictWitness, FixStep, chase
+from repro.core.chase import ChaseResult, ConflictWitness, FixStep, chase, chase_memoized
 from repro.core.region import RankedRegion
 from repro.core.ruleset import RuleSet
 from repro.master.manager import MasterDataManager
@@ -65,6 +65,7 @@ class MonitorSession:
         max_combos: int = 50_000,
         costs: Mapping[str, float] | None = None,
         suggestion_memo: Any = None,
+        chase_memo: Any = None,
     ):
         schema = ruleset.input_schema
         missing = [n for n in schema.names if n not in values]
@@ -91,11 +92,19 @@ class MonitorSession:
         #: :class:`repro.service.cache.MemoView`. Disabled when
         #: per-attribute ``costs`` are in play.
         self._suggestion_memo = suggestion_memo if costs is None else None
+        #: Optional cross-session chase memo (see
+        #: :func:`repro.core.chase.chase_memoized`): transcripts are
+        #: shared across sessions whose validated (attr, value) states
+        #: coincide. Same hygiene contract as the suggestion memo; not
+        #: sound under strict mode (a strict chase aborts mid-sweep).
+        self._chase_memo = chase_memo if not strict else None
 
         self._state: dict[str, Any] = {n: values[n] for n in schema.names}
+        self._all_attrs: frozenset[str] = frozenset(schema.names)
         self._validated: frozenset[str] = frozenset()
         self._provenance: dict[str, str] = {}  # attr -> "user" | "rule"
         self.rounds: list[RoundRecord] = []
+        self._round_count = 0  # rounds with round_no > 0, i.e. len minus the entry round
         self._suggestion_cache: tuple[frozenset[str], Suggestion | None] | None = None
 
         # Round 0: rules applicable with nothing validated (constant rules
@@ -120,11 +129,11 @@ class MonitorSession:
     @property
     def is_complete(self) -> bool:
         """True iff every attribute is validated — a certain fix."""
-        return self._validated >= frozenset(self.schema.names)
+        return self._validated >= self._all_attrs
 
     @property
     def round_no(self) -> int:
-        return len([r for r in self.rounds if r.round_no > 0])
+        return self._round_count
 
     @property
     def conflicts(self) -> tuple[ConflictWitness, ...]:
@@ -257,14 +266,24 @@ class MonitorSession:
         assignments: Mapping[str, Any],
     ) -> RoundRecord:
         before = self._validated
-        result: ChaseResult = chase(
-            self._state,
-            self._validated,
-            self.ruleset,
-            self.master,
-            strict=self.strict,
-            use_index=self.use_index,
-        )
+        if self._chase_memo is not None:
+            result: ChaseResult = chase_memoized(
+                self._state,
+                self._validated,
+                self.ruleset,
+                self.master,
+                self._chase_memo,
+                use_index=self.use_index,
+            )
+        else:
+            result = chase(
+                self._state,
+                self._validated,
+                self.ruleset,
+                self.master,
+                strict=self.strict,
+                use_index=self.use_index,
+            )
         self._state = result.values
         self._validated = result.validated
         for step in result.steps:
@@ -290,6 +309,8 @@ class MonitorSession:
         )
         if round_no > 0 or record.steps or record.conflicts:
             self.rounds.append(record)
+            if round_no > 0:
+                self._round_count += 1
         return record
 
 

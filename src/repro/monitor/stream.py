@@ -88,6 +88,32 @@ class StreamReport:
         return self.tuples / self.elapsed_seconds if self.elapsed_seconds else 0.0
 
 
+class _SuggestionMemo:
+    """A bounded get/put memo shared by one stream's sessions.
+
+    Point-of-entry traffic is duplicate-heavy (the same population
+    re-enters transactions), and a suggestion is a deterministic
+    function of the validated (attr, value) pairs plus the engine
+    configuration — which is constant across one stream run, so the
+    memo-key hygiene the session API requires holds by construction
+    (same ruleset, master, regions, scenario for every session).
+    """
+
+    __slots__ = ("_store", "_maxsize")
+
+    def __init__(self, maxsize: int = 65536):
+        self._store: dict = {}
+        self._maxsize = maxsize
+
+    def get(self, key, default=None):
+        return self._store.get(key, default)
+
+    def put(self, key, value) -> None:
+        if len(self._store) >= self._maxsize:
+            self._store.clear()
+        self._store[key] = value
+
+
 class StreamProcessor:
     """Run monitor sessions over a relation of incoming dirty tuples."""
 
@@ -138,6 +164,7 @@ class StreamProcessor:
                 f"truth has {len(truth)} rows but the dirty stream has {len(dirty)}"
             )
         report = StreamReport()
+        memo = _SuggestionMemo()
         start = time.perf_counter()
         for i, row in enumerate(dirty.rows()):
             tid = tuple_ids[i] if tuple_ids is not None else f"t{i}"
@@ -153,6 +180,7 @@ class StreamProcessor:
                 scenario=self.scenario,
                 audit=self.audit,
                 use_index=self.use_index,
+                suggestion_memo=memo,
             )
             user = user_factory(tid, truth_values)
             session.run(user, max_rounds=self.max_rounds)

@@ -47,6 +47,28 @@ class HashIndex:
             self.add(pos, values)
         return self
 
+    def build_prenormalized(self, keys: Iterable[tuple]) -> "HashIndex":
+        """Bulk-load from *already normalised* bucket keys; returns ``self``.
+
+        The columnar :class:`~repro.relational.relation.Relation` derives
+        keys from per-column normalised arrays — each distinct column value
+        is normalised once at intern time, not once per row — so the bulk
+        build is pure id-array composition. Callers guarantee each key
+        equals :meth:`key_of` of the corresponding raw projection; probes
+        still go through :meth:`key_of`, so bucket contents are identical
+        to a :meth:`build` over the raw projections.
+        """
+        buckets = self._buckets
+        pos = -1
+        for pos, key in enumerate(keys):
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [pos]
+            else:
+                bucket.append(pos)
+        self._size += pos + 1
+        return self
+
     def lookup(self, values: Sequence[Any]) -> list[int]:
         """Row positions whose projection normalises to the same key."""
         return self._buckets.get(self.key_of(values), [])

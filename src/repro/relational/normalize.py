@@ -72,13 +72,41 @@ NORMALIZERS: dict[str, Normalizer] = {
 }
 
 
+#: Bounded memo for :func:`normalize_value`. Keyed by ``(op, type, value)``
+#: so values that compare equal across types (``1`` / ``1.0`` / ``True``)
+#: keep distinct entries; unhashable values bypass the cache. When the memo
+#: fills up it is flushed wholesale — normaliser output is cheap to
+#: recompute and hot keys repopulate within one probe burst, which beats
+#: paying LRU bookkeeping on every lookup.
+_MEMO_MAX = 65536
+_memo: dict[tuple, Any] = {}
+_MISS = object()
+
+
 def normalize_value(value: Any, op: str = "exact") -> Any:
     """Apply the normaliser named ``op`` to ``value``."""
+    key = (op, value.__class__, value)
+    try:
+        cached = _memo.get(key, _MISS)
+    except TypeError:  # unhashable value: normalise directly
+        try:
+            fn = NORMALIZERS[op]
+        except KeyError:
+            raise ValidationError(
+                f"unknown match operator {op!r} (known: {sorted(NORMALIZERS)})"
+            ) from None
+        return fn(value)
+    if cached is not _MISS:
+        return cached
     try:
         fn = NORMALIZERS[op]
     except KeyError:
         raise ValidationError(f"unknown match operator {op!r} (known: {sorted(NORMALIZERS)})") from None
-    return fn(value)
+    result = fn(value)
+    if len(_memo) >= _MEMO_MAX:
+        _memo.clear()
+    _memo[key] = result
+    return result
 
 
 def register_normalizer(name: str, fn: Normalizer) -> None:
@@ -90,3 +118,8 @@ def register_normalizer(name: str, fn: Normalizer) -> None:
     if name in NORMALIZERS:
         raise ValidationError(f"normalizer {name!r} already registered")
     NORMALIZERS[name] = fn
+    # A scenario may delete its operator from NORMALIZERS and re-register
+    # the name with a different function; drop any memoised results so the
+    # new normaliser is actually consulted.
+    for key in [k for k in _memo if k[0] == name]:
+        del _memo[key]

@@ -1,4 +1,20 @@
-"""Relations: schema-typed collections of rows with lazy hash indexes."""
+"""Relations: schema-typed, columnar collections of rows with lazy hash indexes.
+
+Storage is columnar with per-column value interning: each attribute owns a
+:class:`ColumnDict` (distinct values stored once, plus lazily computed
+per-operator normalised arrays) and a row is just one compact value-id per
+column. The public API is unchanged from the row-oriented version —
+:class:`~repro.relational.row.Row` views, ``lookup``/``project``/``select``,
+``tuples()``/``raw_tuples()`` and pickling all behave identically — but the
+hot paths become set-at-a-time column passes:
+
+* index builds compose pre-normalised id-arrays (``normalize_value`` runs
+  once per *distinct* column value, not once per row per probe),
+* ``tuples()``/``raw_tuples()`` serve a cached materialisation that is
+  invalidated on mutation, and
+* pickling ships columns + dictionaries instead of row tuples, so repeated
+  values cross process boundaries once.
+"""
 
 from __future__ import annotations
 
@@ -6,17 +22,74 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import RelationError
 from repro.relational.index import HashIndex
+from repro.relational.normalize import normalize_value
 from repro.relational.row import Row
 from repro.relational.schema import Schema
 
 
-class Relation:
-    """An in-memory relation.
+class ColumnDict:
+    """Interning dictionary for one column.
 
-    Rows are stored as plain value tuples (compact for large master data);
+    ``values`` maps value-id → value; ``_ids`` maps ``(type, value)`` → id
+    so values that compare equal across types (``1`` / ``1.0`` / ``True``)
+    keep distinct ids and decode back to exactly what was stored.
+    Unhashable values cannot be interned and get a fresh id each time.
+
+    ``normalized(op)`` returns the parallel array value-id → normalised
+    value for one match operator, computed lazily per op and extended
+    incrementally as new values are interned — this is what lets the
+    relation hand :meth:`HashIndex.build_prenormalized` ready-made keys.
+    """
+
+    __slots__ = ("values", "_ids", "_norms")
+
+    def __init__(self, values: Iterable[Any] = ()):
+        self.values: list[Any] = []
+        self._ids: dict[tuple, int] = {}
+        self._norms: dict[str, list[Any]] = {}
+        for value in values:
+            self.intern(value)
+
+    def intern(self, value: Any) -> int:
+        """The id for ``value``, allocating (and normalising) if new."""
+        try:
+            key = (value.__class__, value)
+            vid = self._ids.get(key)
+        except TypeError:  # unhashable: store without interning
+            key = None
+            vid = None
+        if vid is None:
+            vid = len(self.values)
+            self.values.append(value)
+            if key is not None:
+                self._ids[key] = vid
+            for op, norm in self._norms.items():
+                norm.append(normalize_value(value, op))
+        return vid
+
+    def normalized(self, op: str) -> list[Any]:
+        """The id → normalised-value array for ``op`` (lazily computed)."""
+        norm = self._norms.get(op)
+        if norm is None:
+            norm = [normalize_value(v, op) for v in self.values]
+            self._norms[op] = norm
+        return norm
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"ColumnDict({len(self.values)} values)"
+
+
+class Relation:
+    """An in-memory columnar relation.
+
+    Rows are stored as one value-id per column (see :class:`ColumnDict`);
     :meth:`rows` yields :class:`Row` views on demand. Hash indexes are
-    built lazily per (attribute list, operator list) and invalidated on
-    mutation, so callers never see a stale index.
+    built lazily per (attribute list, operator list) from pre-normalised
+    column arrays and invalidated on mutation, so callers never see a
+    stale index.
 
     >>> s = Schema("r", ["a", "b"])
     >>> rel = Relation(s, [(1, "x"), (2, "y")])
@@ -26,8 +99,12 @@ class Relation:
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[Any] | Row | Mapping[str, Any]] = ()):
         self.schema = schema
-        self._tuples: list[tuple] = []
+        self._dicts: list[ColumnDict] = [ColumnDict() for _ in range(len(schema))]
+        self._cols: list[list[int]] = [[] for _ in range(len(schema))]
+        self._nrows = 0
         self._indexes: dict[tuple, HashIndex] = {}
+        self._mat: list[tuple] | None = None
+        self._version = 0
         self.extend(rows)
 
     # -- mutation --------------------------------------------------------
@@ -35,42 +112,62 @@ class Relation:
     def append(self, row: Sequence[Any] | Row | Mapping[str, Any]) -> int:
         """Add one row; returns its position. Invalidates indexes."""
         values = self._coerce(row)
-        self._tuples.append(values)
+        for col, d, value in zip(self._cols, self._dicts, values):
+            col.append(d.intern(value))
+        self._nrows += 1
         self._indexes.clear()
-        return len(self._tuples) - 1
+        self._mat = None
+        self._version += 1
+        return self._nrows - 1
 
     def extend(self, rows: Iterable[Sequence[Any] | Row | Mapping[str, Any]]) -> None:
         """Add many rows. Invalidates indexes once."""
         coerced = [self._coerce(r) for r in rows]
-        if coerced:
-            self._tuples.extend(coerced)
-            self._indexes.clear()
+        if not coerced:
+            return
+        for pos, (col, d) in enumerate(zip(self._cols, self._dicts)):
+            intern = d.intern
+            col.extend(intern(t[pos]) for t in coerced)
+        self._nrows += len(coerced)
+        self._indexes.clear()
+        self._mat = None
+        self._version += 1
 
     def update_cell(self, position: int, attr: str, value: Any) -> None:
         """Replace one cell in place. Invalidates indexes."""
         pos = self.schema.position(attr)
+        col = self._cols[pos]
         try:
-            old = self._tuples[position]
+            col[position]
         except IndexError:
             raise RelationError(f"relation {self.schema.name!r} has no row {position}") from None
-        self._tuples[position] = old[:pos] + (value,) + old[pos + 1 :]
+        col[position] = self._dicts[pos].intern(value)
         self._indexes.clear()
+        self._mat = None
+        self._version += 1
 
     def delete_rows(self, positions: Iterable[int]) -> None:
         """Remove rows by position. Invalidates indexes.
 
         Positions of the remaining rows shift down, so any stored row
         references (e.g. audit provenance) refer to the relation version
-        at the time they were recorded — snapshot semantics.
+        at the time they were recorded — snapshot semantics. Interned
+        values stay in the column dictionaries (ids are never reused);
+        value-level views (``column``, ``active_domain``) read the id
+        arrays, so dropped values do not leak into them.
         """
         drop = set(positions)
-        bad = [p for p in drop if not 0 <= p < len(self._tuples)]
+        bad = [p for p in drop if not 0 <= p < self._nrows]
         if bad:
             raise RelationError(f"relation {self.schema.name!r} has no rows {sorted(bad)}")
         if not drop:
             return
-        self._tuples = [t for i, t in enumerate(self._tuples) if i not in drop]
+        keep = [i for i in range(self._nrows) if i not in drop]
+        self._cols = [[col[i] for i in keep] for col in self._cols]
+        self._nrows = len(keep)
         self._indexes.clear()
+        self._mat = None
+        self._version += 1
 
     def _coerce(self, row: Sequence[Any] | Row | Mapping[str, Any]) -> tuple:
         if isinstance(row, Row):
@@ -90,46 +187,107 @@ class Relation:
 
     # -- access ----------------------------------------------------------
 
+    def _materialized(self) -> list[tuple]:
+        """Row tuples decoded from the columns, cached until mutation."""
+        mat = self._mat
+        if mat is None:
+            if not self._cols:
+                mat = [()] * self._nrows
+            else:
+                decoded = [
+                    [d.values[i] for i in col] for d, col in zip(self._dicts, self._cols)
+                ]
+                mat = list(zip(*decoded))
+            self._mat = mat
+        return mat
+
     def row(self, position: int) -> Row:
         """The :class:`Row` at ``position``."""
+        mat = self._mat
+        if mat is not None:
+            try:
+                return Row(self.schema, mat[position])
+            except IndexError:
+                raise RelationError(
+                    f"relation {self.schema.name!r} has no row {position}"
+                ) from None
         try:
-            return Row(self.schema, self._tuples[position])
+            values = tuple(d.values[col[position]] for d, col in zip(self._dicts, self._cols))
         except IndexError:
             raise RelationError(f"relation {self.schema.name!r} has no row {position}") from None
+        if not self._cols and not -self._nrows <= position < self._nrows:
+            raise RelationError(f"relation {self.schema.name!r} has no row {position}")
+        return Row(self.schema, values)
 
     def rows(self) -> Iterator[Row]:
         """Iterate rows as :class:`Row` views."""
-        for values in self._tuples:
-            yield Row(self.schema, values)
+        schema = self.schema
+        for values in self._materialized():
+            yield Row(schema, values)
 
     def tuples(self) -> list[tuple]:
         """The raw value tuples (a shallow copy; mutation-safe)."""
-        return list(self._tuples)
+        return list(self._materialized())
 
     def raw_tuples(self) -> Sequence[tuple]:
         """The raw value tuples *without* a copy — a read-only borrow for
         hot probe paths (an O(|relation|) copy per probe would dominate).
         Callers must not mutate the returned list."""
-        return self._tuples
+        return self._materialized()
 
     def column(self, name: str) -> list[Any]:
         """All values of one attribute, in row order."""
         pos = self.schema.position(name)
-        return [t[pos] for t in self._tuples]
+        values = self._dicts[pos].values
+        return [values[i] for i in self._cols[pos]]
+
+    def predicate_mask(self, name: str, predicate: Callable[[Any], bool]) -> list[bool]:
+        """Per-row truth of ``predicate`` over one column — evaluated
+        once per *distinct* value (the column dictionary), then fanned
+        out over the row positions. The column-wise filter primitive:
+        detectors run their conditions over the dictionary instead of
+        re-testing every cell."""
+        pos = self.schema.position(name)
+        verdicts = [bool(predicate(v)) for v in self._dicts[pos].values]
+        return [verdicts[i] for i in self._cols[pos]]
 
     def active_domain(self, name: str) -> set:
         """The set of distinct values of one attribute."""
-        return set(self.column(name))
+        pos = self.schema.position(name)
+        values = self._dicts[pos].values
+        return {values[i] for i in set(self._cols[pos])}
 
     def project(self, names: Sequence[str], name: str | None = None) -> "Relation":
         """A new relation with just ``names`` (duplicates kept)."""
         schema = self.schema.project(names, name)
         positions = [self.schema.position(n) for n in names]
-        return Relation(schema, [tuple(t[p] for p in positions) for t in self._tuples])
+        out = Relation.__new__(Relation)
+        out.schema = schema
+        # Dictionaries are shared: they are append-only (ids are stable),
+        # so growth through either relation cannot corrupt the other.
+        out._dicts = [self._dicts[p] for p in positions]
+        out._cols = [list(self._cols[p]) for p in positions]
+        out._nrows = self._nrows
+        out._indexes = {}
+        out._mat = None
+        out._version = 0
+        return out
 
     def select(self, predicate: Callable[[Row], bool]) -> "Relation":
         """A new relation with the rows satisfying ``predicate``."""
-        return Relation(self.schema, [t for t in self._tuples if predicate(Row(self.schema, t))])
+        schema = self.schema
+        keep = [
+            i for i, t in enumerate(self._materialized()) if predicate(Row(schema, t))
+        ]
+        out = Relation.__new__(Relation)
+        out.schema = schema
+        out._dicts = self._dicts
+        out._cols = [[col[i] for i in keep] for col in self._cols]
+        out._nrows = len(keep)
+        out._indexes = {}
+        out._mat = None
+        out._version = 0
+        return out
 
     # -- indexing --------------------------------------------------------
 
@@ -140,10 +298,16 @@ class Relation:
         key = (attrs, ops)
         index = self._indexes.get(key)
         if index is None:
-            positions = [self.schema.position(a) for a in attrs]
-            index = HashIndex(attrs, ops).build(
-                tuple(t[p] for p in positions) for t in self._tuples
-            )
+            index = HashIndex(attrs, ops)
+            if attrs:
+                ncols = []
+                for a, op in zip(attrs, ops):
+                    pos = self.schema.position(a)
+                    norm = self._dicts[pos].normalized(op)
+                    ncols.append([norm[i] for i in self._cols[pos]])
+                index.build_prenormalized(zip(*ncols))
+            else:
+                index.build_prenormalized(() for _ in range(self._nrows))
             self._indexes[key] = index
         return index
 
@@ -169,7 +333,7 @@ class Relation:
         target = probe.key_of(values)
         positions = [self.schema.position(a) for a in attrs]
         out = []
-        for i, t in enumerate(self._tuples):
+        for i, t in enumerate(self._materialized()):
             if probe.key_of(tuple(t[p] for p in positions)) == target:
                 out.append(self.row(i))
         return out
@@ -177,15 +341,18 @@ class Relation:
     # -- dunder ----------------------------------------------------------
 
     def __reduce__(self):
-        """Pickle as (schema, raw tuples) only: indexes are derived
-        caches, rebuilt lazily on first probe, and shipping them (e.g.
-        to batch worker processes or sharded sub-relations) would dwarf
-        the data itself. Rebuilding through :func:`_rebuild_relation`
-        also skips per-row coercion — the tuples are known-good."""
-        return (_rebuild_relation, (self.schema, self._tuples))
+        """Pickle as (schema, column dictionaries, id columns): indexes
+        and the materialisation cache are derived, rebuilt lazily on
+        first use, and shipping them (e.g. to batch worker processes or
+        sharded sub-relations) would dwarf the data itself. Repeated
+        values ship once — the dictionary — instead of once per row."""
+        return (
+            _rebuild_columnar,
+            (self.schema, [d.values for d in self._dicts], self._cols, self._nrows),
+        )
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return self._nrows
 
     def __iter__(self) -> Iterator[Row]:
         return self.rows()
@@ -194,11 +361,52 @@ class Relation:
         return f"Relation({self.schema.name!r}, {len(self)} rows)"
 
 
-def _rebuild_relation(schema: Schema, tuples: Sequence[tuple]) -> Relation:
-    """Unpickle target: reattach known-good tuples without coercion;
-    indexes start empty and rebuild lazily on first probe."""
+def _rebuild_columnar(
+    schema: Schema, dict_values: Sequence[Sequence[Any]], cols: Sequence[Sequence[int]], nrows: int
+) -> Relation:
+    """Unpickle target: reattach known-good columns without re-interning
+    row by row; indexes start empty and rebuild lazily on first probe."""
     relation = Relation.__new__(Relation)
     relation.schema = schema
-    relation._tuples = list(tuples)
+    dicts = []
+    for values in dict_values:
+        d = ColumnDict.__new__(ColumnDict)
+        d.values = list(values)
+        ids: dict[tuple, int] = {}
+        for vid, value in enumerate(d.values):
+            try:
+                ids.setdefault((value.__class__, value), vid)
+            except TypeError:
+                pass
+        d._ids = ids
+        d._norms = {}
+        dicts.append(d)
+    relation._dicts = dicts
+    relation._cols = [list(c) for c in cols]
+    relation._nrows = nrows
     relation._indexes = {}
+    relation._mat = None
+    relation._version = 0
+    return relation
+
+
+def _rebuild_relation(schema: Schema, tuples: Sequence[tuple]) -> Relation:
+    """Row-tuple rebuild target, kept for callers that ship raw tuples
+    (sharded / sqlite store reconstruction): re-interns each tuple but
+    skips per-row coercion — the tuples are known-good."""
+    relation = Relation.__new__(Relation)
+    relation.schema = schema
+    tuples = list(tuples)
+    ncols = len(schema)
+    dicts = [ColumnDict() for _ in range(ncols)]
+    cols: list[list[int]] = []
+    for pos in range(ncols):
+        intern = dicts[pos].intern
+        cols.append([intern(t[pos]) for t in tuples])
+    relation._dicts = dicts
+    relation._cols = cols
+    relation._nrows = len(tuples)
+    relation._indexes = {}
+    relation._mat = None
+    relation._version = 0
     return relation

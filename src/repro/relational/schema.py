@@ -50,7 +50,7 @@ class Schema:
     True
     """
 
-    __slots__ = ("name", "attributes", "_positions")
+    __slots__ = ("name", "attributes", "_positions", "_names")
 
     def __init__(self, name: str, attributes: Iterable[Attribute | str]):
         if not name:
@@ -66,13 +66,15 @@ class Schema:
         self.name = name
         self.attributes = attrs
         self._positions = positions
+        self._names = tuple(positions)
 
     # -- lookups ---------------------------------------------------------
 
     @property
     def names(self) -> tuple[str, ...]:
-        """Attribute names, in schema order."""
-        return tuple(a.name for a in self.attributes)
+        """Attribute names, in schema order (precomputed: the chase and
+        the planner read this on every tuple)."""
+        return self._names
 
     def attribute(self, name: str) -> Attribute:
         """Return the :class:`Attribute` called ``name``."""

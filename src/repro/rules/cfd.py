@@ -100,34 +100,46 @@ class CFDViolation:
 def find_violations(cfd: CFD, relation: Relation) -> list[CFDViolation]:
     """All violations of ``cfd`` in ``relation``.
 
-    Constant rows are checked per tuple; variable rows group tuples by
-    their LHS values (hash-based, so this is O(n) per row) and report one
-    violation per offending pair of distinct RHS values.
+    Detection is column-wise: each tableau condition is evaluated once
+    per *distinct* value of its column (via
+    :meth:`~repro.relational.relation.Relation.predicate_mask`), fanned
+    out over the row positions, and combined — a handful of passes over
+    flat arrays instead of a dict materialisation per row. Constant
+    rows then read positions straight off the combined mask; variable
+    rows group the surviving positions by their (decoded) LHS values and
+    report one violation per offending set of distinct RHS values, in
+    first-occurrence order — exactly the per-row semantics, row for
+    row, violation for violation.
     """
     cfd.validate(relation.schema)
     out: list[CFDViolation] = []
+    n = len(relation)
+    rhs_col = relation.column(cfd.rhs)
+    lhs_cols: list[list] | None = None  # decoded lazily, once, for variable rows
     for row_index, row in enumerate(cfd.tableau):
+        mask = [True] * n
+        for attr in row.lhs.attrs:
+            cond_mask = relation.predicate_mask(attr, row.lhs.condition(attr).matches)
+            mask = [m and c for m, c in zip(mask, cond_mask)]
+        rhs_ok = relation.predicate_mask(cfd.rhs, row.rhs.matches)
         if row.is_constant:
-            for pos, rel_row in enumerate(relation.rows()):
-                if row.lhs.matches(rel_row.to_dict()) and not row.rhs.matches(rel_row[cfd.rhs]):
-                    out.append(
-                        CFDViolation(
-                            cfd.cfd_id, row_index, (pos,), cfd.rhs, (rel_row[cfd.rhs],)
-                        )
-                    )
+            out.extend(
+                CFDViolation(cfd.cfd_id, row_index, (pos,), cfd.rhs, (rhs_col[pos],))
+                for pos in range(n)
+                if mask[pos] and not rhs_ok[pos]
+            )
             continue
+        if lhs_cols is None:
+            lhs_cols = [relation.column(a) for a in cfd.lhs]
         groups: dict[tuple, list[int]] = {}
-        for pos, rel_row in enumerate(relation.rows()):
-            values = rel_row.to_dict()
-            if not row.lhs.matches(values):
-                continue
-            if not row.rhs.matches(values[cfd.rhs]):
-                continue  # rhs condition (e.g. NotIn) scopes the row
-            groups.setdefault(rel_row.project(cfd.lhs), []).append(pos)
-        for key, positions in groups.items():
+        for pos in range(n):
+            # rhs condition (e.g. NotIn) scopes the row
+            if mask[pos] and rhs_ok[pos]:
+                groups.setdefault(tuple(c[pos] for c in lhs_cols), []).append(pos)
+        for positions in groups.values():
             rhs_values: dict = {}
             for pos in positions:
-                rhs_values.setdefault(relation.row(pos)[cfd.rhs], pos)
+                rhs_values.setdefault(rhs_col[pos], pos)
             if len(rhs_values) > 1:
                 items = sorted(rhs_values.items(), key=lambda kv: kv[1])
                 out.append(

@@ -185,26 +185,30 @@ def test_caching_manager_matches_base(paper_ruleset, paper_manager):
 
 
 def test_cache_counters_exact_on_duplicated_relation():
-    """Duplicating a 1-tuple relation 3x replays the exact probe sequence:
-    misses stay constant and every extra tuple's probes all hit."""
+    """Duplicating a 1-tuple relation 3x adds no probe work at all: the
+    chase-transcript memo resolves tuples 2 and 3 without ever reaching
+    the probe cache (dedupe=False makes each its own group, so this is
+    the memo, not the planner), and what the first tuple probed is
+    exactly what the run probed."""
     master = uk.paper_master()
     dirty1 = Relation(uk.INPUT_SCHEMA, [uk.fig3_tuple()])
     truth1 = Relation(uk.INPUT_SCHEMA, [uk.fig3_truth()])
 
     def run(dirty, truth):
         cleaner = BatchCleaner(uk.paper_ruleset(), master)
-        report = cleaner.clean(dirty, truth, workers=1, dedupe=False).report
-        return report.cache.hits, report.cache.misses
+        result = cleaner.clean(dirty, truth, workers=1, dedupe=False)
+        return result, result.report.cache.hits, result.report.cache.misses
 
-    hits1, misses1 = run(dirty1, truth1)
+    result1, hits1, misses1 = run(dirty1, truth1)
     probes1 = hits1 + misses1
     assert misses1 > 0 and probes1 > 0
 
     dirty3 = Relation(uk.INPUT_SCHEMA, dirty1.tuples() * 3)
     truth3 = Relation(uk.INPUT_SCHEMA, truth1.tuples() * 3)
-    hits3, misses3 = run(dirty3, truth3)
+    result3, hits3, misses3 = run(dirty3, truth3)
     assert misses3 == misses1  # nothing new to learn
-    assert hits3 == hits1 + 2 * probes1  # tuples 2 and 3 hit on every probe
+    assert hits3 == hits1  # ...and nothing re-probed: transcripts replayed
+    assert result3.relation.tuples() == result1.relation.tuples() * 3
 
 
 @pytest.mark.parametrize(
@@ -452,3 +456,67 @@ def test_projected_dedup_rule_only_keeps_member_payload(hospital_batch):
     for i, row in enumerate(result.relation.tuples()):
         assert row[score_at] == dirty.raw_tuples()[i][score_at]
         assert row[sample_at] == dirty.raw_tuples()[i][sample_at]
+
+
+# ---------------------------------------------------------------------------
+# Cross-run probe-cache persistence
+# ---------------------------------------------------------------------------
+
+
+def test_probe_cache_persists_across_runs(uk_batch, tmp_path):
+    master, wl = uk_batch
+    path = tmp_path / "probes.cache"
+    r1 = _clean(master, wl, uk.paper_ruleset(), cache_path=path)
+    assert r1.report.persistence.startswith("cold start")
+    assert "; saved" in r1.report.persistence
+    assert path.exists()
+    r2 = _clean(master, wl, uk.paper_ruleset(), cache_path=path)
+    assert r2.report.persistence.startswith("warm start")
+    # every probe the first run paid for is answered from the snapshot
+    assert r2.report.cache.misses == 0
+    assert r2.report.cache.hits > 0
+    assert r2.relation.tuples() == r1.relation.tuples()
+
+
+def test_probe_cache_snapshot_rejected_when_master_changes(uk_batch, tmp_path):
+    master, wl = uk_batch
+    path = tmp_path / "probes.cache"
+    _clean(master, wl, uk.paper_ruleset(), cache_path=path)
+    other_master = uk.generate_master(20, seed=99)
+    engine = CerFix(uk.paper_ruleset(), other_master)
+    result = engine.clean_relation(wl.dirty, wl.clean, cache_path=path)
+    assert "master data changed" in result.report.persistence
+    # ...and the stale snapshot is replaced by one stamped for the new master
+    r2 = engine.clean_relation(wl.dirty, wl.clean, cache_path=path)
+    assert r2.report.persistence.startswith("warm start")
+
+
+def test_probe_cache_corrupt_snapshot_degrades_to_cold_start(uk_batch, tmp_path):
+    master, wl = uk_batch
+    path = tmp_path / "probes.cache"
+    path.write_bytes(b"not a pickle")
+    result = _clean(master, wl, uk.paper_ruleset(), cache_path=path)
+    assert "cold start" in result.report.persistence
+    assert result.report.tuples == len(wl.dirty)
+
+
+def test_probe_cache_persistence_skipped_on_process_backend(uk_batch, tmp_path):
+    master, wl = uk_batch
+    path = tmp_path / "probes.cache"
+    result = _clean(
+        master, wl, uk.paper_ruleset(),
+        cache_path=path, workers=2, backend="process",
+    )
+    assert result.report.persistence.startswith("skipped")
+    assert not path.exists()
+
+
+def test_probe_cache_preload_respects_maxsize():
+    from repro.master.manager import MasterMatch
+
+    cache = ProbeCache(maxsize=2)
+    entries = [((f"r{i}", (i,)), MasterMatch((), ())) for i in range(5)]
+    assert cache.preload(entries) == 2
+    assert cache.evictions == 0  # preload overflow is not a runtime eviction
+    assert cache.get(("r4", (4,))) is not None
+    assert cache.get(("r0", (0,))) is None

@@ -1,0 +1,136 @@
+"""The bench-dump checker: schema validation and the throughput floor.
+
+``benchmarks/check_bench_json.py`` is what stands between a silently
+broken benchmark (empty dump, perf regression) and a green CI run, so
+it gets its own tests: the regression comparison keys on
+(rows, mode, workers) — batch throughput is size-dependent, so only
+same-size rows are comparable — anchors batch expectations to the
+stream row measured in the same fresh dump, and fails closed when the
+dumps share no configuration.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_json",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_bench_json.py",
+)
+check_bench_json = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_bench_json", check_bench_json)
+_SPEC.loader.exec_module(check_bench_json)
+
+
+def _dump(path: Path, rows: list[dict]) -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "experiment": "B1",
+                "headers": sorted({k for r in rows for k in r}),
+                "rows": rows,
+                "machine": {"python": "3", "platform": "test", "cpus": 1},
+            }
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+def _row(mode: str, workers: int, tput: int, rows: int = 300) -> dict:
+    return {
+        "rows": rows,
+        "mode": mode,
+        "workers": workers,
+        "seconds": "1.00",
+        "tuples/s": str(tput),
+        "speedup": "1.00x",
+        "dedup": "x1.00",
+        "cache hit rate": "50%",
+    }
+
+
+def test_within_tolerance_passes(tmp_path):
+    base = _dump(tmp_path / "base.json", [_row("stream", 1, 1000), _row("batch/thread", 1, 2000)])
+    fresh = _dump(tmp_path / "fresh.json", [_row("stream", 1, 800), _row("batch/thread", 1, 1500)])
+    assert check_bench_json.check_regression(fresh, base, 0.30) == []
+
+
+def test_deep_drop_fails(tmp_path):
+    base = _dump(tmp_path / "base.json", [_row("stream", 1, 1000), _row("batch/thread", 1, 2000)])
+    fresh = _dump(tmp_path / "fresh.json", [_row("stream", 1, 950), _row("batch/thread", 1, 900)])
+    problems = check_bench_json.check_regression(fresh, base, 0.30)
+    assert len(problems) == 1
+    assert "batch/thread" in problems[0]
+
+
+def test_only_same_size_rows_compared(tmp_path):
+    # quick sweep (300 rows) vs a committed full sweep that kept the
+    # 300-row point: only the matching size is compared — the fast 5k
+    # row neither raises the bar nor hides a same-size drop
+    base = _dump(
+        tmp_path / "base.json",
+        [_row("stream", 1, 600, rows=300), _row("stream", 1, 1000, rows=5000)],
+    )
+    fresh = _dump(tmp_path / "fresh.json", [_row("stream", 1, 550, rows=300)])
+    assert check_bench_json.check_regression(fresh, base, 0.30) == []
+    slow = _dump(tmp_path / "slow.json", [_row("stream", 1, 300, rows=300)])
+    assert check_bench_json.check_regression(slow, base, 0.30)
+
+
+def test_disjoint_configurations_fail_closed(tmp_path):
+    base = _dump(tmp_path / "base.json", [_row("stream", 1, 1000, rows=5000)])
+    fresh = _dump(tmp_path / "fresh.json", [_row("stream", 1, 1000, rows=300)])
+    problems = check_bench_json.check_regression(fresh, base, 0.30)
+    assert problems and "no comparable" in problems[0]
+
+
+def test_unreadable_baseline_fails(tmp_path):
+    fresh = _dump(tmp_path / "fresh.json", [_row("stream", 1, 1000)])
+    missing = tmp_path / "nope.json"
+    assert check_bench_json.check_regression(fresh, missing, 0.30)
+
+
+def test_main_wires_baseline_and_exit_codes(tmp_path, capsys):
+    base = _dump(tmp_path / "base.json", [_row("stream", 1, 1000)])
+    good = _dump(tmp_path / "good.json", [_row("stream", 1, 980)])
+    bad = _dump(tmp_path / "bad.json", [_row("stream", 1, 100)])
+    assert check_bench_json.main([str(good), "--baseline", str(base)]) == 0
+    assert check_bench_json.main([str(bad), "--baseline", str(base)]) == 1
+    out = capsys.readouterr().out
+    assert "below 70% of the baseline" in out
+
+
+def test_main_rejects_bad_tolerance(tmp_path):
+    fresh = _dump(tmp_path / "fresh.json", [_row("stream", 1, 1000)])
+    with pytest.raises(SystemExit):
+        check_bench_json.main([str(fresh), "--max-regression", "1.5"])
+
+
+def test_batch_rows_are_stream_anchored(tmp_path):
+    base = _dump(
+        tmp_path / "base.json",
+        [_row("stream", 1, 4000), _row("batch/thread", 1, 7000)],
+    )
+    # a slower machine: stream at ~72% of baseline, batch scaled
+    # proportionally — no batch-layer regression, so no failure
+    fresh = _dump(
+        tmp_path / "fresh.json",
+        [_row("stream", 1, 2900, rows=300), _row("batch/thread", 1, 4300, rows=300)],
+    )
+    problems = check_bench_json.check_regression(fresh, base, 0.30)
+    assert problems == []
+    # same stream, but batch collapsed below the scaled floor: the
+    # batch layer itself regressed and the guard says so
+    broken = _dump(
+        tmp_path / "broken.json",
+        [_row("stream", 1, 2900, rows=300), _row("batch/thread", 1, 2000, rows=300)],
+    )
+    problems = check_bench_json.check_regression(broken, base, 0.30)
+    assert len(problems) == 1
+    assert "stream-anchored" in problems[0]

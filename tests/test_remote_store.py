@@ -345,11 +345,11 @@ def test_remote_batch_crash_resume_with_shard_restart(tmp_path, monkeypatch):
         real = executor_mod._run_shard
         calls = {"n": 0}
 
-        def crashing(shard, ctx, base, cache):
+        def crashing(shard, ctx, base, cache, *memos):
             if calls["n"] >= 2:
                 raise RuntimeError("simulated mid-shard kill")
             calls["n"] += 1
-            return real(shard, ctx, base, cache)
+            return real(shard, ctx, base, cache, *memos)
 
         monkeypatch.setattr(executor_mod, "_run_shard", crashing)
         with pytest.raises(RuntimeError, match="simulated mid-shard kill"):

@@ -337,20 +337,54 @@ def test_metrics_endpoint_schema(server, uk_workload):
 
 def test_sync_webapp_shares_routing_table(uk_workload):
     """The sync explorer and the async service answer identically from
-    the one RoutingCore — except /api/metrics, which needs the service."""
+    the one RoutingCore, including the /api/metrics schema."""
     master, _ = uk_workload
     engine = CerFix(uk.paper_ruleset(), master)
     app = CerFixWebApp(engine)
     status, rules = app.handle("GET", "/api/rules", None)
     assert status == 200 and len(rules) == len(engine.ruleset)
-    status, payload = app.handle("GET", "/api/metrics", None)
-    assert status == 404 and "async" in payload["error"]
     # session routes flow through the same table
     values = {k: str(v) for k, v in uk.fig3_tuple().items()}
     status, state = app.handle("POST", "/api/sessions", {"tuple_id": "x", "values": values})
     assert status == 201 and app.sessions["x"].tuple_id == "x"
     status, payload = app.handle("DELETE", "/api/sessions/x", None)
     assert status == 200 and "x" not in app.sessions
+
+
+def test_sync_webapp_metrics_schema(uk_workload):
+    """The serial explorer serves /api/metrics with the async schema:
+    request/session counters and latency windows are live; the shared
+    probe-cache / suggestion-memo / admission sections report empty."""
+    master, _ = uk_workload
+    engine = CerFix(uk.paper_ruleset(), master)
+    app = CerFixWebApp(engine)
+    values = {k: str(v) for k, v in uk.fig3_tuple().items()}
+    status, _ = app.handle("POST", "/api/sessions", {"tuple_id": "m", "values": values})
+    assert status == 201
+    status, _ = app.handle("DELETE", "/api/sessions/m", None)
+    assert status == 200
+    status, metrics = app.handle("GET", "/api/metrics", None)
+    assert status == 200
+    assert set(metrics) >= {
+        "requests", "sessions", "probes", "latency_ms",
+        "probe_cache", "suggestion_memo", "limits", "dispatch",
+    }
+    assert metrics["dispatch"] == "serial"
+    assert metrics["requests"]["total"] == 3  # open, delete, metrics
+    assert metrics["sessions"]["opened"] == 1
+    # dropping an unfinished session counts as an eviction
+    assert metrics["sessions"]["evicted"] + metrics["sessions"]["completed"] == 1
+    assert metrics["sessions"]["active"] == 0
+    for key in ("hits", "misses", "hit_rate", "evictions", "size", "maxsize"):
+        assert key in metrics["probe_cache"]
+    for key in ("hits", "misses", "hit_rate", "size", "maxsize"):
+        assert key in metrics["suggestion_memo"]
+    for cls in ("open", "validate", "read", "other"):
+        assert set(metrics["latency_ms"][cls]) == {
+            "count", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+        }
+    assert metrics["latency_ms"]["open"]["count"] == 1
+    assert metrics["limits"]["max_sessions"] is None
 
 
 # ---------------------------------------------------------------------------
