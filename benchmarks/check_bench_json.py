@@ -156,6 +156,43 @@ def check_regression(
     return problems
 
 
+def check_obs_overhead(path: Path, max_overhead: float) -> list[str]:
+    """Telemetry-off overhead beyond tolerance (empty = good).
+
+    Reads one ``BENCH_obs.json`` dump and compares, per (rows, workers)
+    configuration, the ``disabled`` mode (tracing off, registry live —
+    the shipped default) against the ``baseline`` mode (instrumentation
+    stubbed out). ``disabled`` must keep at least
+    ``1 - max_overhead`` of the baseline throughput: the telemetry
+    layer may not tax the hot path when nobody is tracing.
+    """
+    try:
+        modes = _throughputs(json.loads(path.read_text(encoding="utf-8")))
+    except (OSError, ValueError) as exc:
+        return [f"obs dump unreadable: {exc}"]
+    baseline = {(r, w): v for (r, m, w), v in modes.items() if m == "baseline"}
+    disabled = {(r, w): v for (r, m, w), v in modes.items() if m == "disabled"}
+    shared = sorted(set(baseline) & set(disabled))
+    if not shared:
+        return [
+            "no comparable (rows, workers) configurations carrying both a "
+            "'baseline' and a 'disabled' mode row — the overhead guard "
+            "has nothing to compare"
+        ]
+    problems = []
+    floor_share = 1.0 - max_overhead
+    for rows, workers in shared:
+        got, base = disabled[(rows, workers)], baseline[(rows, workers)]
+        if got < base * floor_share:
+            problems.append(
+                f"tracing-disabled @ {rows} rows, {workers} worker(s): "
+                f"{got:.0f} tuples/s is below {floor_share:.0%} of the "
+                f"instrumented-out baseline {base:.0f} tuples/s "
+                f"({(1 - got / base):.1%} overhead > {max_overhead:.0%} budget)"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*", type=Path, help="BENCH_*.json dumps")
@@ -176,6 +213,15 @@ def main(argv: list[str] | None = None) -> int:
         default=0.30,
         help="tolerated fractional tuples/s drop vs the baseline (default 0.30)",
     )
+    parser.add_argument(
+        "--obs-overhead",
+        type=float,
+        default=None,
+        dest="obs_overhead",
+        help="treat the first file as a BENCH_obs.json dump and require "
+        "tracing-disabled throughput within this fraction of the "
+        "instrumented-out baseline (e.g. 0.02 for 2%%)",
+    )
     args = parser.parse_args(argv)
     files = list(args.files)
     if args.all:
@@ -184,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("no files given (pass dumps or --all)")
     if not 0.0 <= args.max_regression < 1.0:
         parser.error(f"--max-regression must be in [0, 1), got {args.max_regression}")
+    if args.obs_overhead is not None and not 0.0 < args.obs_overhead < 1.0:
+        parser.error(f"--obs-overhead must be in (0, 1), got {args.obs_overhead}")
 
     failed = 0
     for path in files:
@@ -207,6 +255,17 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  - {problem}")
         else:
             print(f"ok   {fresh} within {args.max_regression:.0%} of {args.baseline}")
+
+    if args.obs_overhead is not None:
+        target = files[0]
+        problems = check_obs_overhead(target, args.obs_overhead)
+        if problems:
+            failed += 1
+            print(f"FAIL {target} telemetry overhead")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {target} tracing-disabled within {args.obs_overhead:.0%} of baseline")
 
     if failed:
         print(f"{failed} bench check(s) failed")

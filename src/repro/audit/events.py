@@ -33,6 +33,11 @@ class ChangeEvent:
     rule_id: str | None = None
     master_positions: tuple[int, ...] = ()
     round_no: int = 0
+    #: Trace correlation (the QFix-style diagnosis seam): when tracing
+    #: is enabled, the span active while this fix was produced —
+    #: ``cerfix trace --audit`` joins fixes back to probes/chases.
+    trace_id: str | None = None
+    span_id: str | None = None
 
     def __post_init__(self):
         if self.source not in SOURCES:
@@ -57,7 +62,7 @@ class ChangeEvent:
         return f"[{self.tuple_id} r{self.round_no}] {what} — {via}"
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "seq": self.seq,
             "tuple_id": self.tuple_id,
             "attr": self.attr,
@@ -68,6 +73,10 @@ class ChangeEvent:
             "master_positions": list(self.master_positions),
             "round_no": self.round_no,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+        return out
 
     @classmethod
     def from_json(cls, obj: dict) -> "ChangeEvent":
@@ -81,4 +90,6 @@ class ChangeEvent:
             rule_id=obj.get("rule_id"),
             master_positions=tuple(obj.get("master_positions", ())),
             round_no=obj.get("round_no", 0),
+            trace_id=obj.get("trace_id"),
+            span_id=obj.get("span_id"),
         )

@@ -8,6 +8,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.audit.events import ChangeEvent
+from repro.obs import trace as tracing
 
 
 class AuditLog:
@@ -51,8 +52,17 @@ class AuditLog:
         rule_id: str | None = None,
         master_positions: Iterable[int] = (),
         round_no: int = 0,
+        trace_id: str | None = None,
+        span_id: str | None = None,
     ) -> ChangeEvent:
-        """Append one event; the sequence number is assigned here."""
+        """Append one event; the sequence number is assigned here.
+
+        When tracing is enabled and no explicit ids are given, the
+        event is stamped with the active span — batch replay passes the
+        ids recorded *in the worker* instead, so provenance points at
+        the group-chase that actually produced the fix."""
+        if trace_id is None:
+            trace_id, span_id = tracing.current_ids()
         with self._lock:
             event = ChangeEvent(
                 seq=len(self._events),
@@ -64,6 +74,8 @@ class AuditLog:
                 rule_id=rule_id,
                 master_positions=tuple(master_positions),
                 round_no=round_no,
+                trace_id=trace_id,
+                span_id=span_id,
             )
             self._events.append(event)
             self._by_tuple.setdefault(tuple_id, []).append(event)
@@ -90,6 +102,11 @@ class AuditLog:
     def by_attr(self, attr: str) -> list[ChangeEvent]:
         """All events for one attribute (column) — the Fig. 4 column view."""
         return self.filter(lambda e: e.attr == attr)
+
+    def stats(self) -> dict:
+        """Registry-source summary (see :mod:`repro.obs.metrics`)."""
+        with self._lock:
+            return {"events": len(self._events), "tuples": len(self._by_tuple)}
 
     def tuple_ids(self) -> list[str]:
         """Distinct tuple ids, in first-seen order."""

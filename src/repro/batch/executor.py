@@ -41,6 +41,7 @@ from repro.master.manager import MasterDataManager
 from repro.monitor.session import MonitorSession
 from repro.monitor.suggest import SuggestionStrategy
 from repro.monitor.user import OracleUser
+from repro.obs import trace
 from repro.service.cache import LRUMemo
 
 BACKENDS = ("thread", "process")
@@ -72,6 +73,12 @@ class BatchContext:
     max_combos: int = 50_000
     max_rounds: int | None = None
     cache_size: int = 4096
+    #: The clean-run's trace context (a picklable
+    #: :class:`~repro.obs.trace.TraceCarrier`, or None with tracing
+    #: off): thread workers re-activate it, process workers additionally
+    #: configure their own exporter from its path/sample — so shard
+    #: spans land in the same trace whatever the backend.
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -213,17 +220,23 @@ class _TranscriptRecorder:
         master_positions=(),
         round_no=0,
     ) -> None:
-        self.events.append(
-            {
-                "attr": attr,
-                "old": old,
-                "new": new,
-                "source": source,
-                "rule_id": rule_id,
-                "master_positions": tuple(master_positions),
-                "round_no": round_no,
-            }
-        )
+        event = {
+            "attr": attr,
+            "old": old,
+            "new": new,
+            "source": source,
+            "rule_id": rule_id,
+            "master_positions": tuple(master_positions),
+            "round_no": round_no,
+        }
+        # Stamp in the worker, where the group-chase span is live — the
+        # pipeline replays these ids so provenance points at the span
+        # that actually produced the fix, not the replay loop.
+        trace_id, span_id = trace.current_ids()
+        if trace_id is not None:
+            event["trace_id"] = trace_id
+            event["span_id"] = span_id
+        self.events.append(event)
 
 
 def _resolve_group(
@@ -241,6 +254,20 @@ def _resolve_group(
     rule-only repair; unvalidated cells keep their input values.
     """
     audit = _TranscriptRecorder()
+    with trace.span(
+        "group-chase", rep=group.representative, members=len(group.members)
+    ):
+        return _resolve_group_inner(group, ctx, manager, memo, chase_memo, audit)
+
+
+def _resolve_group_inner(
+    group: PlanGroup,
+    ctx: BatchContext,
+    manager: MasterDataManager,
+    memo: LRUMemo | None,
+    chase_memo: LRUMemo | None,
+    audit: _TranscriptRecorder,
+) -> GroupOutcome:
     session = MonitorSession(
         ctx.ruleset,
         manager,
@@ -255,6 +282,7 @@ def _resolve_group(
         max_combos=ctx.max_combos,
         suggestion_memo=memo,
         chase_memo=chase_memo,
+        trace=False,  # the group-chase span covers the whole session
     )
     if group.truth is not None:
         seed = [a for a in ctx.validated if a not in session.validated]
@@ -303,9 +331,13 @@ def _run_shard(
     manager = CachingMasterDataManager(base.store, cache)
     evictions_before = cache.evictions
     start = time.perf_counter()
-    outcomes = tuple(
-        _resolve_group(g, ctx, manager, memo, chase_memo) for g in shard.groups
-    )
+    # Pool threads (and process workers) have no ambient span; the
+    # carrier in the context re-parents this shard under the clean-run.
+    with trace.activate(ctx.trace):
+        with trace.span("shard", shard=shard.shard_id, groups=len(shard.groups)):
+            outcomes = tuple(
+                _resolve_group(g, ctx, manager, memo, chase_memo) for g in shard.groups
+            )
     return ShardResult(
         shard_id=shard.shard_id,
         outcomes=outcomes,
@@ -329,6 +361,10 @@ _PROCESS_CHASE_MEMO: LRUMemo | None = None
 def _init_process(ctx: BatchContext) -> None:
     global _PROCESS_CTX, _PROCESS_CACHE, _PROCESS_MEMO, _PROCESS_CHASE_MEMO
     _PROCESS_CTX = ctx
+    # A spawned worker starts with tracing unconfigured; the carrier
+    # ships the exporter config so worker spans reach the same file.
+    if ctx.trace is not None and ctx.trace.path:
+        trace.configure(ctx.trace.path, ctx.trace.sample)
     _PROCESS_CACHE = ProbeCache(ctx.cache_size)
     _PROCESS_MEMO = LRUMemo(max(ctx.cache_size, 1))
     _PROCESS_CHASE_MEMO = LRUMemo(max(ctx.cache_size, 1))

@@ -35,6 +35,8 @@ from repro.core.ruleset import RuleSet
 from repro.master.manager import MasterDataManager
 from repro.master.store import MasterStore, resolve_master
 from repro.monitor.suggest import SuggestionStrategy
+from repro.obs import trace
+from repro.obs.metrics import get_registry
 from repro.relational.relation import Relation
 
 
@@ -141,6 +143,38 @@ class BatchCleaner:
         unknown = [a for a in validated if a not in self.ruleset.input_schema]
         if unknown:
             raise CerFixError(f"validated attributes {unknown} not in the input schema")
+        with trace.span(
+            "clean-run", rows=len(dirty), workers=workers, backend=backend
+        ):
+            return self._clean(
+                dirty,
+                truth,
+                workers=workers,
+                backend=backend,
+                shards=shards,
+                dedupe=dedupe,
+                validated=validated,
+                journal_path=journal_path,
+                cache_path=cache_path,
+                tuple_ids=tuple_ids,
+                max_rounds=max_rounds,
+            )
+
+    def _clean(
+        self,
+        dirty: Relation,
+        truth: Relation | None,
+        *,
+        workers: int,
+        backend: str,
+        shards: int | None,
+        dedupe: bool,
+        validated: Sequence[str],
+        journal_path: str | Path | None,
+        cache_path: str | Path | None,
+        tuple_ids: Sequence[str] | None,
+        max_rounds: int | None,
+    ) -> BatchResult:
         start = time.perf_counter()
         notes: list[str] = []
 
@@ -154,18 +188,19 @@ class BatchCleaner:
         )
         if projection >= frozenset(self.ruleset.input_schema.names):
             projection = None
-        plan = build_plan(
-            dirty,
-            truth,
-            shards=n_shards,
-            dedupe=dedupe,
-            # The master content digest is O(|master|); only the journal
-            # ever consumes the fingerprint, so only pay for it then.
-            context=self._context_key(
-                validated, max_rounds, include_master=journal_path is not None
-            ),
-            projection=projection,
-        )
+        with trace.span("plan", rows=len(dirty), shards=n_shards):
+            plan = build_plan(
+                dirty,
+                truth,
+                shards=n_shards,
+                dedupe=dedupe,
+                # The master content digest is O(|master|); only the journal
+                # ever consumes the fingerprint, so only pay for it then.
+                context=self._context_key(
+                    validated, max_rounds, include_master=journal_path is not None
+                ),
+                projection=projection,
+            )
 
         # The scenario generator is only ever consulted under SCENARIO
         # mode; dropping it otherwise keeps the context picklable (it is
@@ -183,6 +218,7 @@ class BatchCleaner:
             max_combos=self.max_combos,
             max_rounds=max_rounds,
             cache_size=self.cache_size,
+            trace=trace.carrier(),  # the clean-run span, ready to ship
         )
         # Probe only the fields that can realistically be unpicklable
         # (scenario closures, exotic regions/rules) — not the master
@@ -254,6 +290,7 @@ class BatchCleaner:
         # the old values member by member); the per-group aggregate
         # would over- or under-count payload-column changes.
         report.changed_cells = changed_cells
+        self._publish_metrics(executor, results, evictions)
         if cache_stamp is not None:
             saved = save_probe_cache(executor.cache, cache_path, **cache_stamp)
             persistence += f"; saved {saved} entries"
@@ -261,6 +298,31 @@ class BatchCleaner:
         return BatchResult(relation=relation, report=report)
 
     # -- internals -----------------------------------------------------------
+
+    def _publish_metrics(
+        self,
+        executor: ShardExecutor,
+        results: Sequence[ShardResult],
+        evictions: int,
+    ) -> None:
+        """Fold this run's totals into the process-wide registry — the
+        live numbers behind the explorers' ``/api/metrics`` probe-cache
+        and suggestion-memo sections (per-shard deltas, so the counts
+        are exact under every backend, process workers included)."""
+        reg = get_registry()
+        reg.inc("cerfix.batch.runs")
+        reg.inc("cerfix.batch.tuples", sum(r.tuples for r in results))
+        reg.inc("cerfix.batch.groups", sum(r.groups for r in results))
+        reg.inc("cerfix.probe_cache.hits", sum(r.cache_hits for r in results))
+        reg.inc("cerfix.probe_cache.misses", sum(r.cache_misses for r in results))
+        reg.inc("cerfix.probe_cache.evictions", evictions)
+        reg.set_gauge("cerfix.probe_cache.size", len(executor.cache))
+        reg.set_gauge("cerfix.probe_cache.maxsize", executor.cache.maxsize)
+        memo_stats = executor.memo.stats
+        reg.inc("cerfix.suggestion_memo.hits", memo_stats.hits)
+        reg.inc("cerfix.suggestion_memo.misses", memo_stats.misses)
+        reg.set_gauge("cerfix.suggestion_memo.size", len(executor.memo))
+        reg.set_gauge("cerfix.suggestion_memo.maxsize", executor.memo.maxsize)
 
     def _context_key(
         self,
@@ -377,6 +439,10 @@ class BatchCleaner:
                             rule_id=e["rule_id"],
                             master_positions=tuple(e["master_positions"]),
                             round_no=e["round_no"],
+                            # Worker-recorded span ids: provenance points
+                            # at the group-chase that produced the fix.
+                            trace_id=e.get("trace_id"),
+                            span_id=e.get("span_id"),
                         )
         return changed
 

@@ -35,6 +35,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.core.ruleset import RuleSet
 from repro.errors import CerFixError
+from repro.obs.metrics import get_registry
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 
@@ -225,6 +226,11 @@ def build_plan(
     digest.update(f"projection={projected}".encode("utf-8"))
     for sig in signatures:
         digest.update(repr(sig).encode("utf-8"))
+
+    reg = get_registry()
+    reg.inc("cerfix.plan.rows", len(dirty))
+    reg.inc("cerfix.plan.groups", len(groups))
+    reg.inc("cerfix.plan.deduped_rows", len(dirty) - len(groups))
 
     return RepairPlan(
         groups=tuple(groups),

@@ -28,6 +28,7 @@ from repro.core.ruleset import RuleSet
 from repro.master.manager import MasterDataManager
 from repro.master.store import MasterStore, resolve_master
 from repro.monitor.session import MonitorSession
+from repro.obs.metrics import get_registry
 from repro.monitor.stream import StreamProcessor, StreamReport
 from repro.monitor.suggest import SuggestionStrategy
 from repro.monitor.user import User
@@ -110,6 +111,13 @@ class CerFix:
         self.regions: tuple[RankedRegion, ...] = ()
         if use_index:
             self.master.prebuild(ruleset)
+        # One registry dump tells the whole story: audit-log size and
+        # master-store shape ride along with the engine/batch counters.
+        # Sources are held weakly and keyed last-wins, so short-lived
+        # engines (tests) neither leak nor fight over the slots.
+        registry = get_registry()
+        registry.register_source("audit", self.audit.stats)
+        registry.register_source("store", self.master.store.stats)
 
     # -- rule engine ---------------------------------------------------------
 

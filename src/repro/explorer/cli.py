@@ -18,8 +18,13 @@ Subcommands::
     cerfix shard-server  (--instance DIR | --scenario ... [--master CSV])
                     --shard-id I --shards N [--host H] [--port P]
     cerfix audit    --log FILE [--attr NAME] [--tuple ID]
+    cerfix trace    FILE [--trace-id PREFIX] [--audit LOG]   # span-file analysis
     cerfix generate [--scenario ...] --master-out CSV --out CSV --truth-out CSV
     cerfix demo                                   # the Fig. 3 walkthrough
+
+``clean`` and ``serve`` accept ``--trace FILE [--trace-sample Q]`` to
+export structured spans (JSON lines) for ``cerfix trace`` to analyse;
+shard servers inherit the export target through ``CERFIX_TRACE``.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from repro.engine import CerFix
 from repro.errors import CerFixError
 from repro.explorer.render import format_kv, format_table, highlight
 from repro.monitor.suggest import SuggestionStrategy
+from repro.obs import trace as tracing
 from repro.relational.csvio import read_csv, write_csv
 from repro.relational.relation import Relation
 from repro.rules.parser import parse_rules
@@ -99,6 +105,24 @@ def _engine(args) -> CerFix:
         store_path=getattr(args, "store_path", None),
         store_urls=shard_urls,
     )
+
+
+def _configure_trace(args) -> None:
+    """Turn on span export when ``--trace`` was given.
+
+    Also mirrors the target into ``CERFIX_TRACE`` so subprocesses this
+    command spawns (process-backend workers, shard servers launched
+    from the same shell) append to the same span file — multi-process
+    runs yield one connected trace."""
+    import os
+
+    path = getattr(args, "trace", None)
+    if not path:
+        tracing.configure_from_env()
+        return
+    sample = getattr(args, "trace_sample", 1.0)
+    tracing.configure(path, sample)
+    os.environ["CERFIX_TRACE"] = tracing.env_value(path, sample)
 
 
 def _parse_shard_urls(args) -> list[str] | None:
@@ -172,6 +196,7 @@ def cmd_clean(args) -> int:
     """Whole-relation cleaning through the batch pipeline."""
     import json as _json
 
+    _configure_trace(args)
     engine = _engine(args)
     dirty = read_csv(args.input, schema=engine.ruleset.input_schema)
     truth = (
@@ -202,7 +227,16 @@ def cmd_clean(args) -> int:
     if args.log:
         engine.audit.to_jsonl(args.log)
         print(f"audit log written to {args.log}")
+    if getattr(args, "trace", None):
+        print(f"trace spans written to {args.trace} (analyse with `cerfix trace {args.trace}`)")
     return 0
+
+
+def cmd_trace(args) -> int:
+    """Analyse a span file: flame summary, stage latency, critical path."""
+    from repro.obs import tracecli
+
+    return tracecli.run(args)
 
 
 def cmd_shard_server(args) -> int:
@@ -340,6 +374,7 @@ def cmd_init(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    _configure_trace(args)
     service_cfg: dict[str, Any] = {}
     if args.instance:
         if (
@@ -420,6 +455,12 @@ def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
                    default="core_first")
 
 
+def _add_trace_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", help="export structured spans (JSON lines) to this file")
+    p.add_argument("--trace-sample", type=float, default=1.0, dest="trace_sample",
+                   help="fraction of traces to export, 0..1 (default 1.0)")
+
+
 def _add_store_flags(p: argparse.ArgumentParser) -> None:
     from repro.master import STORE_BACKENDS
 
@@ -477,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the repaired relation here")
     p.add_argument("--report", help="write the batch report (JSON) here")
     p.add_argument("--log", help="write the audit log (JSON lines) here")
+    _add_trace_flags(p)
     p.set_defaults(func=cmd_clean)
 
     p = sub.add_parser(
@@ -498,6 +540,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attr")
     p.add_argument("--tuple", dest="tuple")
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("trace", help="analyse a span file written by --trace")
+    p.add_argument("file", help="span file (JSON lines)")
+    p.add_argument("--trace-id", dest="trace_id",
+                   help="only show traces whose id starts with this prefix")
+    p.add_argument("--audit", help="audit log (JSON lines) to join fixes onto spans")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("generate", help="generate master data and a dirty workload")
     p.add_argument("--scenario", choices=("uk", "hospital"), default="uk")
@@ -534,6 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="async: max concurrently active sessions before 429 (default 256)")
     p.add_argument("--cache-size", type=int, default=None, dest="cache_size",
                    help="async: shared probe cache entries (default 8192)")
+    _add_trace_flags(p)
     p.set_defaults(func=cmd_serve)
 
     return parser

@@ -42,6 +42,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.engine import CerFix
 from repro.monitor.session import MonitorSession
+from repro.obs.metrics import get_registry
 from repro.service.app import RoutingCore, classify_route, session_state
 from repro.service.metrics import ServiceMetrics
 
@@ -72,28 +73,57 @@ class CerFixWebApp:
         self.metrics = ServiceMetrics()
         self.core = RoutingCore(engine, metrics_json=self._metrics_json)
         self._lock = threading.Lock()
+        registry = get_registry()
+        self.metrics.register(registry, "explorer")
+        # The serial app admits one request at a time and has no session
+        # cap; publish those limits as gauges so the registry dump says
+        # so explicitly rather than by omission.
+        registry.set_gauge("cerfix.explorer.max_inflight", 1)
+        registry.set_gauge("cerfix.explorer.max_session_pending", 1)
 
     def _metrics_json(self) -> dict:
         """The ``GET /api/metrics`` payload, async-schema-compatible.
 
-        The serial app has no shared probe cache, no suggestion memo
-        and no admission control, so those sections report empty/
-        unbounded rather than disappearing — a dashboard written
-        against the async service reads this unchanged."""
+        The serial app has no *service-owned* probe cache or memo, but
+        ``POST /api/clean`` runs the batch pipeline, which publishes its
+        probe-cache and suggestion-memo totals into the process-wide
+        registry — so those sections report the live registry values
+        instead of hardwired zeros. No admission control: ``limits``
+        reports unbounded sessions and a serial request pipeline. A
+        dashboard written against the async service reads this
+        unchanged."""
+        registry = get_registry()
         data = self.metrics.to_json()
+        hits = registry.counter_value("cerfix.probe_cache.hits")
+        misses = registry.counter_value("cerfix.probe_cache.misses")
         data["probe_cache"] = {
-            "hits": 0, "misses": 0, "hit_rate": 0.0,
-            "evictions": 0, "size": 0, "maxsize": 0,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "evictions": registry.counter_value("cerfix.probe_cache.evictions"),
+            "size": int(registry.gauge_value("cerfix.probe_cache.size", 0) or 0),
+            "maxsize": int(registry.gauge_value("cerfix.probe_cache.maxsize", 0) or 0),
         }
+        memo_hits = registry.counter_value("cerfix.suggestion_memo.hits")
+        memo_misses = registry.counter_value("cerfix.suggestion_memo.misses")
         data["suggestion_memo"] = {
-            "hits": 0, "misses": 0, "hit_rate": 0.0, "size": 0, "maxsize": 0,
+            "hits": memo_hits,
+            "misses": memo_misses,
+            "hit_rate": (
+                memo_hits / (memo_hits + memo_misses) if memo_hits + memo_misses else 0.0
+            ),
+            "size": int(registry.gauge_value("cerfix.suggestion_memo.size", 0) or 0),
+            "maxsize": int(registry.gauge_value("cerfix.suggestion_memo.maxsize", 0) or 0),
         }
         data["limits"] = {
             "max_sessions": None,
-            "max_inflight": 1,
-            "max_session_pending": 1,
+            "max_inflight": int(registry.gauge_value("cerfix.explorer.max_inflight", 1) or 1),
+            "max_session_pending": int(
+                registry.gauge_value("cerfix.explorer.max_session_pending", 1) or 1
+            ),
         }
         data["dispatch"] = "serial"
+        data["registry"] = registry.dump()
         return data
 
     @property

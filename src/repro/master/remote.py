@@ -55,6 +55,8 @@ from urllib.parse import urlsplit
 from repro.errors import MasterDataError
 from repro.core.rule import EditingRule
 from repro.core.ruleset import RuleSet
+from repro.obs import trace
+from repro.obs.metrics import get_registry
 from repro.master.store import (
     MasterMatch,
     MasterStore,
@@ -87,6 +89,54 @@ class _NoDelayHTTPConnection(http.client.HTTPConnection):
     def connect(self) -> None:
         super().connect()
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+#: Remote round-trip latency, in the process-wide registry.
+_RPC_SECONDS = get_registry().histogram("cerfix.remote.rpc_seconds")
+
+
+class _EndpointStats:
+    """Per-(store, shard-url) counters that outlive endpoint rebuilds.
+
+    Kept in a module-level registry keyed by ``(store token, url)``
+    (see :func:`_stats_for`) so the stats survive the client-side
+    rebuilds that used to zero them: a fork-safe ``__reduce__`` round
+    trip or a reconnect keeps accumulating into the same counters,
+    because the rebuilt store carries its original token. Two
+    *independently constructed* stores over the same cluster get
+    different tokens and therefore independent counters. A *forked*
+    process starts its own registry — counters are per-process, like
+    its connections.
+    """
+
+    __slots__ = ("lock", "probes", "round_trips", "retried", "errors", "latency_s", "latency_max_s")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.probes = 0
+        self.round_trips = 0
+        self.retried = 0
+        self.errors = 0
+        self.latency_s = 0.0
+        self.latency_max_s = 0.0
+
+
+_STATS: dict[tuple[str, str], _EndpointStats] = {}
+_STATS_PID: int | None = None
+_STATS_LOCK = threading.Lock()
+
+
+def _stats_for(token: str, url: str) -> _EndpointStats:
+    global _STATS_PID
+    with _STATS_LOCK:
+        pid = os.getpid()
+        if _STATS_PID != pid:
+            _STATS.clear()
+            _STATS_PID = pid
+        stats = _STATS.get((token, url))
+        if stats is None:
+            stats = _STATS[(token, url)] = _EndpointStats()
+        return stats
 
 
 def _split_url(url: str) -> tuple[str, int]:
@@ -132,6 +182,7 @@ class ShardEndpoint:
         timeout: float = 10.0,
         retries: int = 2,
         backoff: float = 0.05,
+        stats_token: str = "",
     ):
         self.shard_id = shard_id
         self.url = url.rstrip("/")
@@ -142,12 +193,7 @@ class ShardEndpoint:
         self._local = threading.local()
         self._conns: set[http.client.HTTPConnection] = set()
         self._lock = threading.Lock()
-        self.probes = 0
-        self.round_trips = 0
-        self.retried = 0
-        self.errors = 0
-        self.latency_s = 0.0
-        self.latency_max_s = 0.0
+        self._stats = _stats_for(stats_token, self.url)
 
     # -- connection pool ----------------------------------------------------
 
@@ -194,10 +240,22 @@ class ShardEndpoint:
         """
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         last: Exception | None = None
+        stats = self._stats
+        with trace.span("shard-rpc", shard=self.shard_id, path=path):
+            return self._request_retrying(method, path, body, stats, last)
+
+    def _request_retrying(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        stats: _EndpointStats,
+        last: Exception | None,
+    ) -> Any:
         for attempt in range(self.retries + 1):
             if attempt:
-                with self._lock:
-                    self.retried += 1
+                with stats.lock:
+                    stats.retried += 1
                 time.sleep(self.backoff * (2 ** (attempt - 1)))
             started = time.perf_counter()
             try:
@@ -210,10 +268,11 @@ class ShardEndpoint:
                 last = MasterDataError(str(exc))
                 continue
             elapsed = time.perf_counter() - started
-            with self._lock:
-                self.round_trips += 1
-                self.latency_s += elapsed
-                self.latency_max_s = max(self.latency_max_s, elapsed)
+            with stats.lock:
+                stats.round_trips += 1
+                stats.latency_s += elapsed
+                stats.latency_max_s = max(stats.latency_max_s, elapsed)
+            _RPC_SECONDS.observe(elapsed)
             try:
                 parsed = json.loads(data) if data else None
             except ValueError:
@@ -228,8 +287,8 @@ class ShardEndpoint:
                     f"{method} {path} ({status}): {detail}"
                 )
             return parsed
-        with self._lock:
-            self.errors += 1
+        with stats.lock:
+            stats.errors += 1
         raise MasterDataError(
             f"shard {self.shard_id} at {self.url} unreachable after "
             f"{self.retries + 1} attempts ({method} {path}): {last}"
@@ -238,6 +297,9 @@ class ShardEndpoint:
     def _request_once(self, method: str, path: str, body: bytes | None) -> tuple[int, bytes]:
         conn = self._connection()
         headers = {"Content-Type": "application/json"} if body is not None else {}
+        trace_header = trace.header_value()
+        if trace_header is not None:
+            headers[trace.HEADER] = trace_header
         conn.request(method, path, body=body, headers=headers)
         response = conn.getresponse()
         data = response.read()  # always drain: keep-alive needs a clean socket
@@ -248,21 +310,23 @@ class ShardEndpoint:
         return response.status, data
 
     def record_probes(self, n: int) -> None:
-        with self._lock:
-            self.probes += n
+        with self._stats.lock:
+            self._stats.probes += n
 
     def stats(self) -> dict[str, Any]:
-        mean_ms = 1000 * self.latency_s / self.round_trips if self.round_trips else 0.0
-        return {
-            "shard_id": self.shard_id,
-            "url": self.url,
-            "probes": self.probes,
-            "round_trips": self.round_trips,
-            "retries": self.retried,
-            "errors": self.errors,
-            "latency_mean_ms": round(mean_ms, 3),
-            "latency_max_ms": round(1000 * self.latency_max_s, 3),
-        }
+        s = self._stats
+        with s.lock:
+            mean_ms = 1000 * s.latency_s / s.round_trips if s.round_trips else 0.0
+            return {
+                "shard_id": self.shard_id,
+                "url": self.url,
+                "probes": s.probes,
+                "round_trips": s.round_trips,
+                "retries": s.retried,
+                "errors": s.errors,
+                "latency_mean_ms": round(mean_ms, 3),
+                "latency_max_ms": round(1000 * s.latency_max_s, 3),
+            }
 
 
 class RemoteMasterStore(MasterStore):
@@ -294,6 +358,7 @@ class RemoteMasterStore(MasterStore):
         retries: int = 2,
         backoff: float = 0.05,
         max_batch: int = 512,
+        stats_token: str | None = None,
     ):
         if not urls:
             raise MasterDataError("the remote master store needs at least one shard url")
@@ -303,8 +368,19 @@ class RemoteMasterStore(MasterStore):
         self.retries = retries
         self.backoff = backoff
         self.max_batch = max_batch
+        #: Identity of this store's per-shard counters: ``__reduce__``
+        #: ships it, so a fork-safe rebuild in the same process keeps
+        #: accumulating into the same stats instead of zeroing them.
+        self._stats_token = stats_token if stats_token is not None else os.urandom(8).hex()
         self.endpoints = [
-            ShardEndpoint(i, url, timeout=timeout, retries=retries, backoff=backoff)
+            ShardEndpoint(
+                i,
+                url,
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
+                stats_token=self._stats_token,
+            )
             for i, url in enumerate(self.urls)
         ]
         self._normalizers: dict[str, HashIndex] = {}
@@ -314,6 +390,7 @@ class RemoteMasterStore(MasterStore):
         self._pool_pid = os.getpid()
         self._pool_lock = threading.Lock()
         self._digest, self._tuples = self._handshake()
+        get_registry().register_source("remote_store", self.stats)
 
     # -- cluster handshake --------------------------------------------------
 
@@ -406,6 +483,15 @@ class RemoteMasterStore(MasterStore):
         """
         if not requests:
             return []
+        with trace.span("probe_many", probes=len(requests)):
+            return self._probe_many(requests, use_index=use_index)
+
+    def _probe_many(
+        self,
+        requests: Sequence[tuple[EditingRule, Mapping[str, Any]]],
+        *,
+        use_index: bool,
+    ) -> list[MasterMatch]:
         by_shard: dict[int, list[int]] = {}
         wire: list[dict[str, Any]] = []
         for i, (rule, values) in enumerate(requests):
@@ -443,8 +529,16 @@ class RemoteMasterStore(MasterStore):
         if len(groups) == 1:
             fetch_shard(*groups[0])
         else:
+            # Pool threads have no ambient span — hand each group the
+            # caller's context so shard-rpc spans stay in the trace.
+            car = trace.carrier()
+
+            def fetch_with_context(shard_id: int, indexes: list[int]) -> None:
+                with trace.activate(car):
+                    fetch_shard(shard_id, indexes)
+
             futures = [
-                self._executor().submit(fetch_shard, shard_id, indexes)
+                self._executor().submit(fetch_with_context, shard_id, indexes)
                 for shard_id, indexes in groups
             ]
             errors = [f.exception() for f in futures]
@@ -528,10 +622,19 @@ class RemoteMasterStore(MasterStore):
 
     def __reduce__(self):
         # Ship the coordinates, not the sockets: a process-pool worker
-        # reconnects (and re-handshakes) against the same cluster.
+        # reconnects (and re-handshakes) against the same cluster. The
+        # stats token rides along so a same-process rebuild resumes its
+        # counters (a new PID starts fresh either way).
         return (
             _rebuild_remote,
-            (self.urls, self.timeout, self.retries, self.backoff, self.max_batch),
+            (
+                self.urls,
+                self.timeout,
+                self.retries,
+                self.backoff,
+                self.max_batch,
+                self._stats_token,
+            ),
         )
 
     def __repr__(self) -> str:
@@ -542,8 +645,18 @@ class RemoteMasterStore(MasterStore):
 
 
 def _rebuild_remote(
-    urls: tuple[str, ...], timeout: float, retries: int, backoff: float, max_batch: int
+    urls: tuple[str, ...],
+    timeout: float,
+    retries: int,
+    backoff: float,
+    max_batch: int,
+    stats_token: str | None = None,
 ) -> RemoteMasterStore:
     return RemoteMasterStore(
-        urls, timeout=timeout, retries=retries, backoff=backoff, max_batch=max_batch
+        urls,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        max_batch=max_batch,
+        stats_token=stats_token,
     )

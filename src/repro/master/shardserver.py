@@ -14,6 +14,9 @@ Wire protocol (all JSON)::
 
     GET  /healthz      {ok, shard_id, shards, tuples, digest, name}
     GET  /stats        request counters + the underlying store's stats
+    GET  /metrics      the process-wide registry dump + this server's
+                       request counters (see :mod:`repro.obs.metrics`)
+                       — the scrape endpoint for the whole cluster
     GET  /relation     {schema, tuples, digest} — the canonical content
     POST /prebuild     warm this shard's indexes for every rule spec
     POST /probe_many   {"probes": [{"rule_id": ..., "values": {...}}],
@@ -47,6 +50,8 @@ from typing import Any, Sequence
 
 from repro.errors import MasterDataError
 from repro.core.ruleset import RuleSet
+from repro.obs import trace
+from repro.obs.metrics import get_registry
 from repro.master.store import (
     MasterMatch,
     ShardedMasterStore,
@@ -98,12 +103,34 @@ class ShardServerApp:
         self.requests = 0
         self.probes = 0
         self.misroutes = 0
+        get_registry().register_source(f"shard{shard_id}", self.counters)
+
+    def counters(self) -> dict[str, Any]:
+        """This server's request counters (a registry source)."""
+        with self._lock:
+            return {
+                "shard_id": self.shard_id,
+                "requests": self.requests,
+                "probes": self.probes,
+                "misroutes": self.misroutes,
+            }
 
     # -- routes -------------------------------------------------------------
 
     def handle(self, method: str, path: str, body: Any) -> tuple[int, Any]:
+        """Route one request.
+
+        Trace joining happens a layer up (the HTTP handler parses
+        ``X-Cerfix-Trace`` and activates the client's context around
+        this call) — ``handle`` keeps its three-argument shape so tests
+        and embedders can wrap it without caring about telemetry."""
+        return self._route(method, path, body)
+
+    def _route(self, method: str, path: str, body: Any) -> tuple[int, Any]:
         with self._lock:
             self.requests += 1
+        if method == "GET" and path == "/metrics":
+            return 200, {**get_registry().dump(), "shard": self.counters()}
         if method == "GET" and path == "/healthz":
             return 200, {
                 "ok": True,
@@ -206,7 +233,17 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(400, {"error": "request body is not valid JSON"})
                 return
         try:
-            status, payload = self.app.handle(method, self.path, body)
+            carrier = trace.parse_header(self.headers.get(trace.HEADER))
+            if carrier is None:
+                status, payload = self.app.handle(method, self.path, body)
+            else:
+                # Join the client's trace: a clean run over a spawned
+                # cluster exports one connected tree across processes.
+                with trace.activate(carrier):
+                    with trace.span(
+                        "shard-server", shard=self.app.shard_id, path=self.path
+                    ):
+                        status, payload = self.app.handle(method, self.path, body)
         except Exception as exc:  # a handler bug must not kill the thread
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
         self._respond(status, payload)
@@ -646,12 +683,29 @@ def add_arguments(parser) -> None:
     parser.add_argument(
         "--port", type=int, default=0, help="listening port (0 picks an ephemeral port)"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export request spans to this JSONL file (CERFIX_TRACE=path[|sample] "
+        "works too — a spawned cluster inherits the client's env)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        dest="trace_sample",
+        help="root-span sample rate for --trace (default 1.0)",
+    )
 
 
 def run_from_args(args) -> int:
     """Boot and serve in the foreground (the CLI/`python -m` entry)."""
     from repro.errors import CerFixError
 
+    if getattr(args, "trace", None):
+        trace.configure(args.trace, getattr(args, "trace_sample", 1.0))
+    else:
+        trace.configure_from_env()
     try:
         app = build_app_from_args(args)
         server = ShardServer(app, host=args.host, port=args.port)

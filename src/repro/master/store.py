@@ -811,6 +811,8 @@ def make_store(
     is verified against what the cluster serves (a cluster serving
     *different* master data must fail loudly, never probe wrongly).
     """
+    from repro.obs.metrics import get_registry
+
     if backend == "remote":
         from repro.master.remote import RemoteMasterStore
 
@@ -830,20 +832,26 @@ def make_store(
                     f"{store.content_digest()[:12]}…); repoint the urls or "
                     f"restart the shard servers on the right master data"
                 )
+        get_registry().register_source("store", store.stats)
         return store
     if relation is None:
         raise MasterDataError(f"master store backend {backend!r} needs a master relation")
     if backend == "single":
-        return SingleRelationStore(relation)
-    if backend == "sharded":
-        return ShardedMasterStore(relation, shards=shards)
-    if backend == "sqlite":
+        store = SingleRelationStore(relation)
+    elif backend == "sharded":
+        store = ShardedMasterStore(relation, shards=shards)
+    elif backend == "sqlite":
         if path is None:
             raise MasterDataError("the sqlite master store needs a snapshot path")
-        return SqliteMasterStore(path, relation)
-    raise MasterDataError(
-        f"unknown master store backend {backend!r} (expected one of {STORE_BACKENDS})"
-    )
+        store = SqliteMasterStore(path, relation)
+    else:
+        raise MasterDataError(
+            f"unknown master store backend {backend!r} (expected one of {STORE_BACKENDS})"
+        )
+    # Every configuration-surface store rides along in the registry dump
+    # (held weakly, last-wins on the name — see MetricsRegistry).
+    get_registry().register_source("store", store.stats)
+    return store
 
 
 def resolve_master(

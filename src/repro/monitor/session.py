@@ -10,6 +10,7 @@ the validated set; repeat until a certain fix is reached.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -21,6 +22,12 @@ from repro.core.region import RankedRegion
 from repro.core.ruleset import RuleSet
 from repro.master.manager import MasterDataManager
 from repro.monitor.suggest import Suggestion, SuggestionStrategy, compute_suggestion
+from repro.obs import trace as tracing
+from repro.obs.metrics import get_registry
+
+#: Chase latency in the process-wide registry: fixed-bucket observe, so
+#: the hot path pays two clock reads and one short lock per chase.
+_CHASE_SECONDS = get_registry().histogram("cerfix.chase.seconds")
 
 
 @dataclass(frozen=True)
@@ -66,6 +73,7 @@ class MonitorSession:
         costs: Mapping[str, float] | None = None,
         suggestion_memo: Any = None,
         chase_memo: Any = None,
+        trace: bool = True,
     ):
         schema = ruleset.input_schema
         missing = [n for n in schema.names if n not in values]
@@ -106,10 +114,15 @@ class MonitorSession:
         self.rounds: list[RoundRecord] = []
         self._round_count = 0  # rounds with round_no > 0, i.e. len minus the entry round
         self._suggestion_cache: tuple[frozenset[str], Suggestion | None] | None = None
+        #: Per-session span gate: the batch executor opens one
+        #: group-chase span per group and passes ``trace=False`` here,
+        #: so a 5k-row run exports thousands of spans, not millions.
+        self._trace = trace
 
         # Round 0: rules applicable with nothing validated (constant rules
         # with empty patterns) fire immediately on entry.
-        self._run_chase(round_no=0, suggestion=None, assignments={})
+        with tracing.span("session-open", tuple=tuple_id) if trace else tracing.NOOP:
+            self._run_chase(round_no=0, suggestion=None, assignments={})
 
     # -- state views -------------------------------------------------------
 
@@ -166,18 +179,19 @@ class MonitorSession:
             if memoised is not None:
                 self._suggestion_cache = (self._validated, memoised)
                 return memoised
-        suggestion = compute_suggestion(
-            self._state,
-            self._validated,
-            self.ruleset,
-            self.master,
-            strategy=self.strategy,
-            regions=self.regions,
-            mode=self.mode,
-            scenario=self.scenario,
-            max_combos=self.max_combos,
-            costs=self.costs,
-        )
+        with tracing.span("suggest", tuple=self.tuple_id) if self._trace else tracing.NOOP:
+            suggestion = compute_suggestion(
+                self._state,
+                self._validated,
+                self.ruleset,
+                self.master,
+                strategy=self.strategy,
+                regions=self.regions,
+                mode=self.mode,
+                scenario=self.scenario,
+                max_combos=self.max_combos,
+                costs=self.costs,
+            )
         self._suggestion_cache = (self._validated, suggestion)
         if memo_key is not None and suggestion is not None:
             self._suggestion_memo.put(memo_key, suggestion)
@@ -208,6 +222,10 @@ class MonitorSession:
         with a *different* value is rejected: it would contradict an
         earlier certain fix.
         """
+        with tracing.span("interaction", tuple=self.tuple_id) if self._trace else tracing.NOOP:
+            return self._validate(assignments)
+
+    def _validate(self, assignments: Mapping[str, Any]) -> RoundRecord:
         if self.is_complete:
             raise MonitorError(f"tuple {self.tuple_id!r} already has a certain fix")
         if not assignments:
@@ -266,6 +284,7 @@ class MonitorSession:
         assignments: Mapping[str, Any],
     ) -> RoundRecord:
         before = self._validated
+        started = time.perf_counter()
         if self._chase_memo is not None:
             result: ChaseResult = chase_memoized(
                 self._state,
@@ -284,6 +303,7 @@ class MonitorSession:
                 strict=self.strict,
                 use_index=self.use_index,
             )
+        _CHASE_SECONDS.observe(time.perf_counter() - started)
         self._state = result.values
         self._validated = result.validated
         for step in result.steps:

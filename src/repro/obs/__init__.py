@@ -1,0 +1,24 @@
+"""Unified telemetry: one metrics registry, trace-correlated spans.
+
+The subsystem has two halves, both stdlib-only and process-wide:
+
+* :mod:`repro.obs.metrics` — a lock-striped :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket latency histograms) that absorbs the
+  previously ad-hoc metric surfaces (``ServiceMetrics``, remote
+  per-shard stats, probe-cache counters, audit stats) under one
+  namespaced ``cerfix.metrics.v1`` dump.
+* :mod:`repro.obs.trace` — context-propagated spans with trace/span
+  ids that cross thread pools, process pools and the remote-store HTTP
+  boundary (``X-Cerfix-Trace``), exported as sampled JSONL. Disabled
+  tracing costs one module-flag check per call site; the bench guard
+  (``benchmarks/bench_obs_overhead.py``) holds that to ≤2% throughput
+  overhead.
+
+``cerfix trace <file>`` (:mod:`repro.obs.tracecli`) renders exported
+span files as per-trace flame summaries with critical-path latency.
+"""
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import TraceCarrier, span
+
+__all__ = ["MetricsRegistry", "get_registry", "TraceCarrier", "span"]

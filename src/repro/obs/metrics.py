@@ -1,0 +1,247 @@
+"""Process-wide metrics registry: counters, gauges, latency histograms.
+
+One registry per process (:func:`get_registry`), namespaced metric
+names (``cerfix.<surface>.<metric>``), lock-striped so hot paths (the
+chase, remote round trips) pay one short critical section per update —
+the same contention discipline as the batch probe cache.
+
+Subsystems that already keep their own structured stats (the async
+service's ``ServiceMetrics``, the remote store's per-shard stats, a
+shard server's request counters, the audit log) register themselves as
+**sources**: named zero-argument callables re-exported verbatim under
+``dump()["sources"]``. Sources are held weakly (a registered engine or
+service must not be kept alive by telemetry) and keyed by name with
+last-wins semantics, so re-creating an engine in the same process
+simply repoints the source.
+
+The dump schema (``cerfix.metrics.v1``)::
+
+    {"schema": "cerfix.metrics.v1",
+     "counters":   {name: int},
+     "gauges":     {name: float},
+     "histograms": {name: {count, mean_ms, max_ms, p50_ms, p95_ms,
+                           p99_ms, buckets: {"<=ms": n}}},
+     "sources":    {name: <whatever the source returns>}}
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from bisect import bisect_left
+from typing import Any, Callable, Dict
+
+# Exponential bucket upper bounds in milliseconds: 0.05ms doubling to
+# ~52s, 21 buckets + overflow. Percentiles report the matching upper
+# bound (or the observed max for the overflow bucket) — coarse but
+# fixed-cost, which is what a chase-hot-path histogram must be.
+BUCKET_BOUNDS_MS: tuple[float, ...] = tuple(0.05 * 2**i for i in range(21))
+
+
+class Counter:
+    """A monotonically increasing integer, guarded by a striped lock."""
+
+    __slots__ = ("name", "_lock", "value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A last-write-wins numeric level."""
+
+    __slots__ = ("name", "_lock", "value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self.value: float | None = None
+
+    def set(self, value: float | None) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (observations in **seconds**).
+
+    ``observe`` is the hot path: one ``bisect`` over the precomputed
+    bounds plus one short lock. Percentile estimates are bucket upper
+    bounds — monotone and stable, never interpolated.
+    """
+
+    __slots__ = ("name", "_lock", "counts", "count", "total_ms", "max_ms")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self.counts = [0] * (len(BUCKET_BOUNDS_MS) + 1)
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        idx = bisect_left(BUCKET_BOUNDS_MS, ms)
+        with self._lock:
+            self.counts[idx] += 1
+            self.count += 1
+            self.total_ms += ms
+            if ms > self.max_ms:
+                self.max_ms = ms
+
+    def to_json(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self.counts)
+            count, total_ms, max_ms = self.count, self.total_ms, self.max_ms
+
+        def percentile(q: float) -> float:
+            """Upper bound of the bucket holding the q-quantile observation."""
+            target = q * count
+            seen = 0
+            for idx, n in enumerate(counts):
+                seen += n
+                if seen >= target and n:
+                    if idx >= len(BUCKET_BOUNDS_MS):
+                        return max_ms
+                    return BUCKET_BOUNDS_MS[idx]
+            return max_ms
+
+        buckets = {
+            f"<={BUCKET_BOUNDS_MS[i]:g}": n
+            for i, n in enumerate(counts[:-1])
+            if n
+        }
+        if counts[-1]:
+            buckets["+inf"] = counts[-1]
+        return {
+            "count": count,
+            "mean_ms": round(total_ms / count, 4) if count else 0.0,
+            "max_ms": round(max_ms, 4),
+            "p50_ms": round(percentile(0.50), 4),
+            "p95_ms": round(percentile(0.95), 4),
+            "p99_ms": round(percentile(0.99), 4),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create named instruments plus weakly-held stat sources."""
+
+    def __init__(self, stripes: int = 16):
+        self._stripes = tuple(threading.Lock() for _ in range(stripes))
+        self._meta = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: Dict[str, Callable[[], Any]] = {}
+
+    def _lock_for(self, name: str) -> threading.Lock:
+        return self._stripes[hash(name) % len(self._stripes)]
+
+    # -- instruments (get-or-create; dict reads are GIL-atomic) ----------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._meta:
+                c = self._counters.setdefault(name, Counter(name, self._lock_for(name)))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._meta:
+                g = self._gauges.setdefault(name, Gauge(name, self._lock_for(name)))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._meta:
+                h = self._histograms.setdefault(
+                    name, Histogram(name, self._lock_for(name))
+                )
+        return h
+
+    # -- conveniences ----------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float | None) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        self.histogram(name).observe(seconds)
+
+    def counter_value(self, name: str) -> int:
+        c = self._counters.get(name)
+        return c.value if c is not None else 0
+
+    def gauge_value(self, name: str, default: float | None = None) -> float | None:
+        g = self._gauges.get(name)
+        return g.value if g is not None and g.value is not None else default
+
+    # -- sources ---------------------------------------------------------
+
+    def register_source(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register ``fn`` to be re-exported under ``dump()["sources"]``.
+
+        Bound methods are held via :class:`weakref.WeakMethod` so the
+        registry never pins a dead engine/service; plain functions are
+        held strongly. Registering the same name again replaces the
+        previous source (last wins).
+        """
+        ref: Callable[[], Any]
+        try:
+            ref = weakref.WeakMethod(fn)  # type: ignore[arg-type]
+        except TypeError:
+            ref = lambda fn=fn: fn  # noqa: E731 — uniform deref shape
+        with self._meta:
+            self._sources[name] = ref
+
+    def dump(self) -> dict[str, Any]:
+        """One JSON-able snapshot of everything — the registry schema."""
+        with self._meta:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+            sources = dict(self._sources)
+        out: dict[str, Any] = {
+            "schema": "cerfix.metrics.v1",
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges if g.value is not None},
+            "histograms": {h.name: h.to_json() for h in histograms},
+            "sources": {},
+        }
+        dead = []
+        for name, ref in sources.items():
+            fn = ref()
+            if fn is None:
+                dead.append(name)
+                continue
+            try:
+                out["sources"][name] = fn()
+            except Exception as exc:  # a broken source must not kill /metrics
+                out["sources"][name] = {"error": f"{type(exc).__name__}: {exc}"}
+        if dead:
+            with self._meta:
+                for name in dead:
+                    if self._sources.get(name) is sources[name]:
+                        del self._sources[name]
+        return out
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every subsystem shares."""
+    return _GLOBAL

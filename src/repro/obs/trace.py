@@ -1,0 +1,326 @@
+"""Structured tracing: context-propagated spans, JSONL export.
+
+Design constraints, in order:
+
+1. **Off-cost when disabled.** ``span()`` is called on the chase hot
+   path; with tracing off it is one module-flag check returning a
+   cached no-op singleton. The bench guard
+   (``benchmarks/bench_obs_overhead.py`` + ``check_bench_json.py
+   --obs-overhead``) holds disabled-tracing throughput within 2% of an
+   instrumented-out build.
+2. **Ids must cross every execution boundary the system has.**
+   Contextvars carry the current span within a task/thread; explicit
+   :class:`TraceCarrier` snapshots cross thread pools and process
+   pools (it is picklable); the ``X-Cerfix-Trace`` HTTP header crosses
+   the remote-store RPC into shard servers. One ``cerfix clean --store
+   remote --trace out.jsonl`` run therefore yields a single connected
+   trace over client, executor workers and every shard-server process.
+3. **Multi-process safe export.** Spans append single ``os.write``
+   lines to an ``O_APPEND`` fd, so workers and shard servers share one
+   JSONL file without interleaving torn lines.
+
+Sampling is decided once at the root span (children inherit the bit);
+unsampled spans still propagate ids — they are just never exported.
+Span ids come from ``os.urandom`` so forked workers cannot collide.
+
+Enable per process with :func:`configure`, per CLI with ``--trace``,
+or per environment with ``CERFIX_TRACE=path[|sample]`` (honoured by
+``cerfix shard-server`` / spawned shard clusters via
+:func:`configure_from_env` — deliberately *not* read at import time).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextvars import ContextVar
+from typing import Any, NamedTuple
+
+HEADER = "X-Cerfix-Trace"
+
+_ENABLED = False
+_PATH: str | None = None
+_SAMPLE = 1.0
+_FD: int | None = None
+_FD_PID: int | None = None
+
+_CURRENT: ContextVar[Any] = ContextVar("cerfix_current_span", default=None)
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+NOOP = _NoopSpan()
+
+
+class TraceCarrier(NamedTuple):
+    """A picklable snapshot of the current trace context.
+
+    Capture with :func:`carrier` before handing work to a thread or
+    process pool; re-establish inside the worker with
+    :func:`activate`. ``path``/``sample`` let process-pool workers
+    configure their own exporter to the same JSONL file.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool
+    path: str | None = None
+    sample: float = 1.0
+
+
+class _RemoteParent:
+    """An activated carrier: parent ids without a measured local span."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+
+class Span:
+    """A real measured span; use as a context manager."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "sampled",
+        "attrs",
+        "_start",
+        "_wall",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        sampled: bool,
+        attrs: dict[str, Any],
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = os.urandom(8).hex()
+        self.parent_id = parent_id
+        self.sampled = sampled
+        self.attrs = attrs
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        self._wall = time.time()
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        _CURRENT.reset(self._token)
+        if self.sampled and _ENABLED:
+            if exc_type is not None:
+                self.attrs["error"] = exc_type.__name__
+            _export(self, time.perf_counter() - self._start)
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+
+def span(name: str, **attrs: Any):
+    """Open a span under the current context (or start a new trace).
+
+    Returns :data:`NOOP` when tracing is disabled — the call costs one
+    flag check, no allocation.
+    """
+    if not _ENABLED:
+        return NOOP
+    parent = _CURRENT.get()
+    if parent is None:
+        trace_id = os.urandom(8).hex()
+        parent_id = None
+        sampled = _SAMPLE >= 1.0 or int.from_bytes(os.urandom(2), "big") < _SAMPLE * 65536
+    else:
+        trace_id = parent.trace_id
+        parent_id = parent.span_id
+        sampled = parent.sampled
+    return Span(name, trace_id, parent_id, sampled, attrs)
+
+
+def current_ids() -> tuple[str | None, str | None]:
+    """(trace_id, span_id) of the active span — the audit-event stamp."""
+    if not _ENABLED:
+        return (None, None)
+    cur = _CURRENT.get()
+    if cur is None:
+        return (None, None)
+    return (cur.trace_id, cur.span_id)
+
+
+def carrier() -> TraceCarrier | None:
+    """Snapshot the current context for another thread/process."""
+    if not _ENABLED:
+        return None
+    cur = _CURRENT.get()
+    if cur is None:
+        return None
+    return TraceCarrier(cur.trace_id, cur.span_id, cur.sampled, _PATH, _SAMPLE)
+
+
+class activate:
+    """Context manager installing a carrier as the ambient parent.
+
+    ``activate(None)`` is a no-op, so call sites do not need their own
+    disabled checks.
+    """
+
+    __slots__ = ("_carrier", "_token")
+
+    def __init__(self, car: TraceCarrier | None):
+        self._carrier = car
+        self._token = None
+
+    def __enter__(self) -> "activate":
+        if self._carrier is not None and _ENABLED:
+            c = self._carrier
+            self._token = _CURRENT.set(_RemoteParent(c.trace_id, c.span_id, c.sampled))
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        return False
+
+
+# -- HTTP propagation --------------------------------------------------------
+
+
+def header_value() -> str | None:
+    """The ``X-Cerfix-Trace`` value for an outgoing RPC, if any."""
+    if not _ENABLED:
+        return None
+    cur = _CURRENT.get()
+    if cur is None:
+        return None
+    return f"{cur.trace_id}-{cur.span_id}-{int(cur.sampled)}"
+
+
+def parse_header(value: str | None) -> TraceCarrier | None:
+    """Parse an incoming header into a carrier (None if absent/bad)."""
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 3:
+        return None
+    trace_id, span_id, flag = parts
+    if not trace_id or not span_id or flag not in ("0", "1"):
+        return None
+    return TraceCarrier(trace_id, span_id, flag == "1")
+
+
+# -- configuration -----------------------------------------------------------
+
+
+def configure(path: str | os.PathLike, sample: float = 1.0) -> None:
+    """Enable tracing in this process, exporting spans to ``path``."""
+    global _ENABLED, _PATH, _SAMPLE
+    _close_fd()
+    _PATH = os.fspath(path)
+    _SAMPLE = max(0.0, min(1.0, float(sample)))
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn tracing off (spans already open export if sampled-in)."""
+    global _ENABLED, _PATH, _SAMPLE
+    _ENABLED = False
+    _PATH = None
+    _SAMPLE = 1.0
+    _close_fd()
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def export_path() -> str | None:
+    return _PATH
+
+
+def configure_from_env() -> bool:
+    """Honour ``CERFIX_TRACE=path[|sample]`` if set; returns whether
+    tracing ended up enabled. Shard servers call this at startup so a
+    spawned cluster inherits the client's tracing config through the
+    environment."""
+    value = os.environ.get("CERFIX_TRACE", "").strip()
+    if not value:
+        return _ENABLED
+    path, _, rate = value.partition("|")
+    try:
+        sample = float(rate) if rate else 1.0
+    except ValueError:
+        sample = 1.0
+    configure(path, sample)
+    return True
+
+
+def env_value(path: str, sample: float) -> str:
+    """The ``CERFIX_TRACE`` encoding of a (path, sample) config."""
+    return path if sample >= 1.0 else f"{path}|{sample:g}"
+
+
+# -- JSONL export ------------------------------------------------------------
+
+
+def _close_fd() -> None:
+    global _FD, _FD_PID
+    if _FD is not None:
+        try:
+            os.close(_FD)
+        except OSError:
+            pass
+    _FD = None
+    _FD_PID = None
+
+
+def _export(s: Span, dur_s: float) -> None:
+    global _FD, _FD_PID
+    if _PATH is None:
+        return
+    pid = os.getpid()
+    if _FD is None or _FD_PID != pid:  # reopen after fork — never share offsets
+        try:
+            _FD = os.open(_PATH, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        except OSError:
+            return
+        _FD_PID = pid
+    record: dict[str, Any] = {
+        "trace": s.trace_id,
+        "span": s.span_id,
+        "parent": s.parent_id,
+        "name": s.name,
+        "ts": round(s._wall, 6),
+        "dur_ms": round(dur_s * 1000.0, 3),
+        "pid": pid,
+    }
+    if s.attrs:
+        record["attrs"] = s.attrs
+    try:
+        os.write(_FD, (json.dumps(record, default=str) + "\n").encode("utf-8"))
+    except OSError:
+        pass

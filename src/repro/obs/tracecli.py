@@ -1,0 +1,238 @@
+"""``cerfix trace <file>`` — render exported span JSONL.
+
+Groups spans by trace id, rebuilds the span tree (across pids — the
+executor workers and shard servers append to the same file), and
+prints per-trace flame summaries, per-stage latency aggregates and the
+critical path (the deepest chain of maximum-duration children).
+Orphan spans — a parent id that never appears in the file, e.g. a
+sampled child of an unexported remote parent — are flagged and treated
+as extra roots rather than dropped.
+
+``--audit log.jsonl`` joins audit events (stamped with trace/span ids
+by :mod:`repro.audit`) onto the spans that produced them: the
+QFix-style seam from "this fix" back to "this probe on this shard".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+
+@dataclass
+class SpanNode:
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    ts: float
+    dur_ms: float
+    pid: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["SpanNode"] = field(default_factory=list)
+    orphan: bool = False
+    fixes: int = 0
+
+
+@dataclass
+class Trace:
+    trace_id: str
+    roots: list[SpanNode]
+    spans: dict[str, SpanNode]
+    orphans: list[SpanNode]
+
+    @property
+    def pids(self) -> set[int]:
+        return {s.pid for s in self.spans.values()}
+
+    @property
+    def duration_ms(self) -> float:
+        return max((r.dur_ms for r in self.roots), default=0.0)
+
+    def critical_path(self) -> list[SpanNode]:
+        """Root → longest child → ... — where the wall time went."""
+        if not self.roots:
+            return []
+        node = max(self.roots, key=lambda s: s.dur_ms)
+        path = [node]
+        while node.children:
+            node = max(node.children, key=lambda s: s.dur_ms)
+            path.append(node)
+        return path
+
+
+def load_spans(path: Path | str) -> list[SpanNode]:
+    """Parse a span JSONL file, skipping unparseable lines."""
+    spans: list[SpanNode] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                spans.append(
+                    SpanNode(
+                        trace_id=str(rec["trace"]),
+                        span_id=str(rec["span"]),
+                        parent_id=rec.get("parent"),
+                        name=str(rec.get("name", "?")),
+                        ts=float(rec.get("ts", 0.0)),
+                        dur_ms=float(rec.get("dur_ms", 0.0)),
+                        pid=int(rec.get("pid", 0)),
+                        attrs=dict(rec.get("attrs") or {}),
+                    )
+                )
+            except (ValueError, KeyError, TypeError):
+                continue
+    return spans
+
+
+def build_traces(spans: Iterable[SpanNode]) -> list[Trace]:
+    """Group spans into per-trace trees, flagging orphans as roots."""
+    by_trace: dict[str, list[SpanNode]] = {}
+    for s in spans:
+        by_trace.setdefault(s.trace_id, []).append(s)
+    traces: list[Trace] = []
+    for trace_id, members in by_trace.items():
+        index = {s.span_id: s for s in members}
+        roots: list[SpanNode] = []
+        orphans: list[SpanNode] = []
+        for s in members:
+            s.children = []
+        for s in sorted(members, key=lambda s: s.ts):
+            if s.parent_id is None:
+                roots.append(s)
+            elif s.parent_id in index:
+                index[s.parent_id].children.append(s)
+            else:
+                s.orphan = True
+                orphans.append(s)
+                roots.append(s)
+        traces.append(Trace(trace_id, roots, index, orphans))
+    traces.sort(key=lambda t: min((s.ts for s in t.spans.values()), default=0.0))
+    return traces
+
+
+def stage_latency(spans: Iterable[SpanNode]) -> dict[str, dict[str, float]]:
+    """Per-span-name aggregates: count / total / mean / max (ms)."""
+    agg: dict[str, dict[str, float]] = {}
+    for s in spans:
+        row = agg.setdefault(s.name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0})
+        row["count"] += 1
+        row["total_ms"] += s.dur_ms
+        row["max_ms"] = max(row["max_ms"], s.dur_ms)
+    for row in agg.values():
+        row["mean_ms"] = row["total_ms"] / row["count"] if row["count"] else 0.0
+    return agg
+
+
+def join_audit(traces: Iterable[Trace], audit_path: Path | str) -> tuple[int, int]:
+    """Attach audit-event counts to spans; returns (joined, total)."""
+    index: dict[str, SpanNode] = {}
+    for t in traces:
+        index.update(t.spans)
+    joined = total = 0
+    with open(audit_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            total += 1
+            node = index.get(event.get("span_id") or "")
+            if node is not None:
+                node.fixes += 1
+                joined += 1
+    return joined, total
+
+
+def _flame_lines(node: SpanNode, depth: int, out: list[str]) -> None:
+    # Collapse same-name sibling groups past the first few — a batch
+    # run has hundreds of group-chase spans; the summary should not.
+    label = node.name
+    extra = f"  ✎{node.fixes}" if node.fixes else ""
+    orphan = "  [orphan parent]" if node.orphan else ""
+    out.append(
+        f"  {'  ' * depth}{label:<{max(4, 34 - 2 * depth)}}"
+        f"{node.dur_ms:>10.2f} ms  pid {node.pid}{extra}{orphan}"
+    )
+    groups: dict[str, list[SpanNode]] = {}
+    for child in node.children:
+        groups.setdefault(child.name, []).append(child)
+    for name, members in groups.items():
+        members.sort(key=lambda s: s.dur_ms, reverse=True)
+        shown = members[:3]
+        for child in shown:
+            _flame_lines(child, depth + 1, out)
+        rest = members[len(shown) :]
+        if rest:
+            total = sum(s.dur_ms for s in rest)
+            out.append(
+                f"  {'  ' * (depth + 1)}… {len(rest)} more {name!r}"
+                f"{total:>{max(4, 26 - 2 * depth)}.2f} ms total"
+            )
+
+
+def render(traces: list[Trace], all_spans: list[SpanNode]) -> str:
+    lines: list[str] = []
+    for t in traces:
+        lines.append(
+            f"trace {t.trace_id} — {len(t.spans)} span(s), "
+            f"{len(t.pids)} process(es), {t.duration_ms:.2f} ms"
+        )
+        if t.orphans:
+            lines.append(
+                f"  ! {len(t.orphans)} orphan span(s) "
+                f"(parent never exported — raise the sample rate?)"
+            )
+        for root in t.roots:
+            _flame_lines(root, 0, lines)
+        path = t.critical_path()
+        if len(path) > 1:
+            chain = " → ".join(f"{s.name} ({s.dur_ms:.1f} ms)" for s in path)
+            lines.append(f"  critical path: {chain}")
+        lines.append("")
+    lines.append("per-stage latency:")
+    agg = stage_latency(all_spans)
+    name_w = max((len(n) for n in agg), default=5)
+    lines.append(
+        f"  {'stage':<{name_w}}  {'count':>6}  {'total ms':>10}  "
+        f"{'mean ms':>9}  {'max ms':>9}"
+    )
+    for name, row in sorted(agg.items(), key=lambda kv: -kv[1]["total_ms"]):
+        lines.append(
+            f"  {name:<{name_w}}  {int(row['count']):>6}  {row['total_ms']:>10.2f}  "
+            f"{row['mean_ms']:>9.2f}  {row['max_ms']:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def run(args: Any) -> int:
+    """Entry point for the ``cerfix trace`` subcommand."""
+    path = Path(args.file)
+    if not path.exists():
+        print(f"no such span file: {path}")
+        return 2
+    spans = load_spans(path)
+    if not spans:
+        print(f"{path}: no spans")
+        return 1
+    traces = build_traces(spans)
+    if getattr(args, "trace_id", None):
+        traces = [t for t in traces if t.trace_id.startswith(args.trace_id)]
+        if not traces:
+            print(f"no trace matching id prefix {args.trace_id!r}")
+            return 1
+    audit_note = ""
+    if getattr(args, "audit", None):
+        joined, total = join_audit(traces, args.audit)
+        audit_note = f"\naudit join: {joined}/{total} events matched to spans"
+    shown = {s.span_id for t in traces for s in t.spans.values()}
+    print(render(traces, [s for s in spans if s.span_id in shown]) + audit_note)
+    return 0

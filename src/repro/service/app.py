@@ -28,6 +28,8 @@ from urllib.parse import parse_qs
 from repro.audit.stats import attribute_stats, overall_stats
 from repro.errors import CerFixError, MonitorError
 from repro.monitor.session import MonitorSession
+from repro.obs import trace
+from repro.obs.metrics import get_registry
 from repro.service.batcher import CoalescingMasterDataManager, ProbeBatcher, ProbeKeyer
 from repro.service.cache import LRUMemo, MemoView, SharedProbeCache
 from repro.service.limits import Admission, AdmissionController
@@ -347,6 +349,11 @@ class AsyncCerFixService:
         #: grow memory with every session it ever finished.
         self._retained: dict[str, None] = {}
         self._id_counter = itertools.count()
+        registry = get_registry()
+        self.metrics.register(registry, "service")
+        registry.set_gauge("cerfix.service.max_sessions", max_sessions)
+        registry.set_gauge("cerfix.service.max_inflight", max_inflight)
+        registry.set_gauge("cerfix.service.max_session_pending", max_session_pending)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -414,28 +421,40 @@ class AsyncCerFixService:
     # -- request handling ----------------------------------------------------
 
     async def handle(
-        self, method: str, path: str, body: dict | None
+        self,
+        method: str,
+        path: str,
+        body: dict | None,
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, dict | list, dict[str, str]]:
         """One request: admission → lock → route (executor) → account.
 
-        Returns ``(status, payload, extra headers)`` — the headers carry
-        ``Retry-After`` on 429s.
+        ``headers`` (lower-cased names, as the HTTP front end parses
+        them) may carry an ``X-Cerfix-Trace`` parent, in which case the
+        request span joins the caller's trace. Returns ``(status,
+        payload, extra headers)`` — the headers carry ``Retry-After``
+        on 429s.
         """
         parts = [p for p in path.partition("?")[0].split("/") if p]
         route_class, session_id = classify_route(method, parts)
-        self.metrics.request_started()
-        start = time.perf_counter()
-        status: int = 500
-        try:
-            status, payload, headers = await self._process(
-                method, path, body, parts, route_class, session_id
-            )
-            return status, payload, headers
-        except Exception as exc:  # never let a route error kill the server
-            status = 500
-            return 500, {"error": f"internal error: {exc}"}, {}
-        finally:
-            self.metrics.request_finished(route_class, status, time.perf_counter() - start)
+        carrier = trace.parse_header((headers or {}).get(trace.HEADER.lower()))
+        with trace.activate(carrier):
+            with trace.span("request", method=method, route=route_class):
+                self.metrics.request_started()
+                start = time.perf_counter()
+                status: int = 500
+                try:
+                    status, payload, extra = await self._process(
+                        method, path, body, parts, route_class, session_id
+                    )
+                    return status, payload, extra
+                except Exception as exc:  # never let a route error kill the server
+                    status = 500
+                    return 500, {"error": f"internal error: {exc}"}, {}
+                finally:
+                    self.metrics.request_finished(
+                        route_class, status, time.perf_counter() - start
+                    )
 
     async def _process(
         self,
@@ -501,7 +520,19 @@ class AsyncCerFixService:
             # path (see ProbeBatcher.probe_sync) so nothing deadlocks.
             return self.core.handle(method, path, body)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, self.core.handle, method, path, body)
+        # Contextvars do not cross run_in_executor: ship the trace
+        # context as a carrier so session work (suggest/chase spans,
+        # remote probes) parents under this request's span.
+        car = trace.carrier()
+        return await loop.run_in_executor(
+            self._executor, self._handle_traced, car, method, path, body
+        )
+
+    def _handle_traced(
+        self, car: trace.TraceCarrier | None, method: str, path: str, body: dict | None
+    ) -> tuple[int, Any]:
+        with trace.activate(car):
+            return self.core.handle(method, path, body)
 
     @staticmethod
     def _rejected(admission: Admission) -> tuple[int, dict, dict]:
@@ -572,4 +603,5 @@ class AsyncCerFixService:
             "max_session_pending": self.admission.max_session_pending,
         }
         data["dispatch"] = self.dispatch_mode
+        data["registry"] = get_registry().dump()
         return data

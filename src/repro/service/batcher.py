@@ -44,6 +44,7 @@ from repro.core.rule import Constant, EditingRule
 from repro.core.ruleset import RuleSet
 from repro.master.manager import MasterDataManager, MasterMatch
 from repro.master.store import MasterStore
+from repro.obs import trace
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 from repro.service.cache import SharedProbeCache
@@ -140,19 +141,21 @@ class ProbeBatcher:
                 continue
             requests = [(rule, values) for _, rule, values in batch]
             try:
-                if self.store.io_bound:
-                    # Network-backed stores (the remote shard cluster)
-                    # block on real round trips; run them on the default
-                    # executor so the loop keeps accepting sessions.
-                    # In-memory stores stay inline — their probes are
-                    # index reads, and a thread hop would cost more
-                    # than it hides.
-                    assert self._loop is not None
-                    matches = await self._loop.run_in_executor(
-                        None, lambda: self.store.probe_many(requests)
-                    )
-                else:
-                    matches = self.store.probe_many(requests)
+                with trace.span("probe", probes=len(batch)):
+                    if self.store.io_bound:
+                        # Network-backed stores (the remote shard cluster)
+                        # block on real round trips; run them on the default
+                        # executor so the loop keeps accepting sessions.
+                        # In-memory stores stay inline — their probes are
+                        # index reads, and a thread hop would cost more
+                        # than it hides.
+                        assert self._loop is not None
+                        car = trace.carrier()
+                        matches = await self._loop.run_in_executor(
+                            None, lambda: self._probe_many_traced(car, requests)
+                        )
+                    else:
+                        matches = self.store.probe_many(requests)
             except Exception as exc:  # propagate to every waiter, keep draining
                 for key, _, _ in batch:
                     future = self._pending.pop(key, None)
@@ -165,6 +168,15 @@ class ProbeBatcher:
                 future = self._pending.pop(key, None)
                 if future is not None and not future.done():
                     future.set_result(match)
+
+    def _probe_many_traced(self, car, requests):
+        """Run the store's batch probe on an executor thread with the
+        loop-side trace context re-activated — contextvars do not cross
+        ``run_in_executor``, and the remote store's ``probe_many`` span
+        (plus the shard RPC headers under it) must parent under the
+        drain's ``probe`` span."""
+        with trace.activate(car):
+            return self.store.probe_many(requests)
 
     # -- the sync bridge (runs on executor threads) -------------------------
 

@@ -182,7 +182,9 @@ class AsyncCerFixServer:
                         ))
                         await writer.drain()
                         continue
-                status, payload, extra = await self.service.handle(method, path, body)
+                status, payload, extra = await self.service.handle(
+                    method, path, body, headers
+                )
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
                 writer.write(_encode_response(status, payload, extra, keep_alive=keep_alive))
                 await writer.drain()

@@ -55,7 +55,13 @@ class LatencyWindow:
 
 
 class ServiceMetrics:
-    """Counters + latency windows for one running entry service."""
+    """Counters + latency windows for one running entry service.
+
+    Also exportable through the process-wide
+    :class:`~repro.obs.metrics.MetricsRegistry` via :meth:`register`, so
+    one registry dump carries the service counters next to the engine,
+    batch and shard-tier metrics.
+    """
 
     def __init__(self, window: int = 2048):
         self._lock = threading.Lock()
@@ -142,6 +148,14 @@ class ServiceMetrics:
             return self._latency_sum / self._latency_count
 
     # -- snapshot ----------------------------------------------------------
+
+    def register(self, registry, name: str = "service") -> None:
+        """Export this instance's snapshot through ``registry`` dumps.
+
+        The registry holds the bound :meth:`to_json` weakly, so a closed
+        service's metrics drop out of the dump with the service itself.
+        """
+        registry.register_source(name, self.to_json)
 
     def to_json(self) -> dict:
         with self._lock:
