@@ -14,6 +14,13 @@ tuples/s number.
 
 Acceptance (asserted): at 3 shards, batched probing crosses the
 network at least 5x fewer times than naive probing, and is faster.
+A replicated point (2 replicas per shard, client-side failover) must
+add zero probe round trips and at most 5% steady-state wall-clock
+overhead (full mode; best-of-3 — quick mode's tiny workload makes the
+ratio pure noise, so there only the round-trip identity is asserted),
+and killing a replica under load must cost at most one jittered
+retry-storm per shard before the circuit parks it — bit-identical
+answers throughout.
 
 Quick mode (the CI ``bench-smoke`` leg): ``CERFIX_BENCH_QUICK=1``
 shrinks the workload so the leg finishes in seconds while still
@@ -36,6 +43,7 @@ from repro.scenarios import uk_customers as uk
 QUICK = os.environ.get("CERFIX_BENCH_QUICK", "") == "1"
 
 SHARDS = 3
+REPLICAS = 2
 MASTER_SIZE = 300 if QUICK else 2_000
 PROBE_INPUTS = 80 if QUICK else 400
 PROBE_ROUNDS = 1 if QUICK else 5
@@ -43,6 +51,8 @@ BATCH_ROWS = 100 if QUICK else 1_000
 CHUNK_SIZES = (64, 512)
 #: naive must cross the network at least this many times more often
 MIN_TRIP_REDUCTION = 5.0
+#: replicated steady state may cost at most this much over unreplicated
+MAX_REPLICATION_OVERHEAD = 0.05
 
 
 @pytest.fixture(scope="module")
@@ -64,6 +74,12 @@ def table():
     result.note(
         f"acceptance: batched probe_many >= {MIN_TRIP_REDUCTION:.0f}x fewer "
         f"round trips than naive at {SHARDS} shards"
+    )
+    result.note(
+        f"acceptance: {REPLICAS}-replica client adds zero probe round trips "
+        f"and <= {MAX_REPLICATION_OVERHEAD:.0%} steady-state overhead "
+        f"(best of 3); a killed replica costs <= 1 jittered retry-storm per "
+        f"failed request before its circuit parks it, answers bit-identical"
     )
     save_table(result, "b5_remote_store.txt")
     save_json(result, "BENCH_remote.json")
@@ -135,6 +151,86 @@ def test_remote_probe_round_trips(table, world):
             f"batched probing only saved {naive_trips / trips:.1f}x round trips"
         )
         assert t_batched < t_naive, "batched probing slower than naive"
+
+
+def test_remote_replicated_steady_state_and_failover(table, world):
+    """The replicated client vs the flat one on the identical workload:
+    zero extra probe round trips, bounded steady-state overhead — and a
+    replica killed under load costs at most one jittered retry-storm
+    per shard before its circuit parks it, answers bit-identical."""
+    master, ruleset, inputs, _, cluster = world
+    rules = [r for r in ruleset if not r.is_constant]
+    rows = [r.to_dict() for r in inputs.rows()]
+    requests = [
+        (rule, values) for _ in range(PROBE_ROUNDS) for values in rows for rule in rules
+    ]
+
+    flat = RemoteMasterStore(cluster.urls)
+    t_flat, expected = time_call(lambda: flat.probe_many(requests), repeat=3)
+    flat_trips = _round_trips(flat) // 3
+    flat.close()
+
+    rcluster = ShardCluster.in_process(ruleset, master, SHARDS, replicas=REPLICAS)
+    try:
+        repl = RemoteMasterStore(rcluster.urls)
+        t_repl, got = time_call(lambda: repl.probe_many(requests), repeat=3)
+        assert got == expected, "replication changed probe answers"
+        # handshake GETs: one per replica per shard
+        repl_trips = _round_trips(repl, baseline=REPLICAS) // 3
+        repl.close()
+        assert repl_trips == flat_trips, "replication added probe round trips"
+        overhead = t_repl / t_flat - 1
+        table.add(
+            f"replicated x{REPLICAS} steady state",
+            len(requests),
+            repl_trips,
+            f"{overhead:+.1%} vs flat",
+            f"{t_repl:.2f}",
+            f"{len(requests) / t_repl:.0f}",
+        )
+        if not QUICK:  # quick workloads are too small to time a 5% bound
+            assert overhead <= MAX_REPLICATION_OVERHEAD, (
+                f"replicated steady state cost {overhead:+.1%} over unreplicated"
+            )
+
+        circuit_threshold = 3
+        store = RemoteMasterStore(
+            rcluster.urls,
+            retries=1,
+            backoff=0.01,
+            circuit_threshold=circuit_threshold,
+            circuit_reset=60.0,
+        )
+        assert store.probe_many(requests) == expected  # warm, all healthy
+        for shard in range(SHARDS):
+            rcluster.stop(shard, 0)  # one replica of every shard dies
+
+        def probe_through_failure():
+            return [store.probe_many(requests) for _ in range(2)]
+
+        t_failover, sweeps = time_call(probe_through_failure, repeat=1)
+        assert all(sweep == expected for sweep in sweeps), "failover changed answers"
+        per_shard = store.stats()["per_shard"]
+        failovers = sum(s["failovers"] for s in per_shard)
+        dead_errors = sum(s["replicas"][0]["errors"] for s in per_shard)
+        store.close()
+        assert failovers >= 1, "the killed replicas were never routed around"
+        # <= one retry-storm per failed request, <= circuit_threshold
+        # failed requests per shard before the circuit parks the replica
+        assert dead_errors <= SHARDS * circuit_threshold, (
+            f"dead replicas absorbed {dead_errors} exhausted requests — "
+            f"the circuit never parked them"
+        )
+        table.add(
+            f"replicated x{REPLICAS}, replica killed",
+            2 * len(requests),
+            f"{failovers} failovers",
+            f"{dead_errors} dead-end trips",
+            f"{t_failover:.2f}",
+            f"{2 * len(requests) / t_failover:.0f}",
+        )
+    finally:
+        rcluster.close()
 
 
 def test_remote_batch_pipeline_end_to_end(table, world):

@@ -39,10 +39,14 @@ The optional ``store`` section selects the master store backend (see
     resolves against the instance directory; the snapshot is written or
     refreshed from ``master_csv`` on load);
 ``{"backend": "remote", "urls": ["http://shard0:8401", ...]}``
-    probes answered by shard-server processes over HTTP (one url per
-    shard, in shard-id order — see :mod:`repro.master.remote`). The
-    instance's ``master_csv`` stays the authority on *content*: its
-    digest is verified against what the cluster serves, so an instance
+    probes answered by shard-server processes over HTTP (one entry per
+    shard, in shard-id order — see :mod:`repro.master.remote`). An
+    entry may also be a *list* of replica urls
+    (``"urls": [["http://s0a:8401", "http://s0b:8501"], ...]``): every
+    replica serves the same shard and the client rotates reads across
+    them, failing over when one dies. The instance's ``master_csv``
+    stays the authority on *content*: its digest is verified against
+    what the cluster (every replica included) serves, so an instance
     can never silently clean against the wrong master version.
 
 Every backend produces bit-identical fixes — the choice only affects
@@ -191,14 +195,22 @@ class InstanceConfig:
                 raise ValidationError("store backend 'sqlite' needs a 'path'")
             if backend == "remote":
                 urls = store.get("urls")
-                if (
-                    not isinstance(urls, list)
-                    or not urls
-                    or not all(isinstance(u, str) and u for u in urls)
-                ):
+
+                def _ok(entry: Any) -> bool:
+                    # a slot is one url, or a non-empty replica-url list
+                    if isinstance(entry, str):
+                        return bool(entry)
+                    return (
+                        isinstance(entry, list)
+                        and bool(entry)
+                        and all(isinstance(u, str) and u for u in entry)
+                    )
+
+                if not isinstance(urls, list) or not urls or not all(map(_ok, urls)):
                     raise ValidationError(
                         "store backend 'remote' needs a non-empty 'urls' list "
-                        "(one shard-server url per shard, in shard-id order)"
+                        "(one entry per shard, in shard-id order — each entry "
+                        "a shard-server url, or a list of replica urls)"
                     )
             if "shards" in store:
                 try:

@@ -68,10 +68,12 @@ class CerFix:
     :class:`MasterDataManager`. ``store`` selects a backend by name for
     the bare-relation form — ``"single"``, ``"sharded"`` (with
     ``store_shards``), ``"sqlite"`` (with ``store_path``) or
-    ``"remote"`` (with ``store_urls``, one shard-server url per shard;
-    the master content then lives on the servers, so ``master`` may be
-    ``None`` — when a relation *is* given its content digest is
-    verified against the cluster). Every backend produces bit-identical
+    ``"remote"`` (with ``store_urls``, one entry per shard — a
+    shard-server url, or a list of replica urls for client-side
+    failover; the master content then lives on the servers, so
+    ``master`` may be ``None`` — when a relation *is* given its content
+    digest is verified against the cluster, every replica included).
+    Every backend produces bit-identical
     fixes (the conformance suite enforces this), so the choice is
     purely about scale, durability and topology.
     """

@@ -11,7 +11,7 @@ Subcommands::
     cerfix clean    [--scenario ...] --input CSV [--truth CSV] [--workers N]
                     [--cache FILE]  # cross-run probe-cache persistence
                     [--store single|sharded|sqlite|remote [--store-shards N]
-                     [--store-path DB] [--shard-urls URL,URL,...]]
+                     [--store-path DB] [--shard-urls URL,..[;URL,..]]]
     cerfix monitor  [--scenario ...]              # interactive, stdin-driven
     cerfix serve    [--scenario ...|--instance DIR] [--port N]
                     [--async [--max-sessions N] [--cache-size N]]
@@ -91,7 +91,8 @@ def _engine(args) -> CerFix:
     if store == "remote" and not shard_urls:
         raise CerFixError(
             "--store remote requires --shard-urls (comma-separated shard "
-            "server urls, one per shard, in shard-id order)"
+            "server urls, one per shard, in shard-id order; use ';' between "
+            "shards to give each a comma-separated replica list)"
         )
     store_shards = getattr(args, "store_shards", None)
     return CerFix(
@@ -125,12 +126,26 @@ def _configure_trace(args) -> None:
     os.environ["CERFIX_TRACE"] = tracing.env_value(path, sample)
 
 
-def _parse_shard_urls(args) -> list[str] | None:
+def _parse_shard_urls(args) -> list | None:
+    """``--shard-urls`` → the remote store's url topology.
+
+    Commas separate shards: ``a,b,c`` is three unreplicated shards
+    (the legacy form, returned flat). Semicolons separate shards when
+    replicas are in play: ``a,b;c,d`` is two shards with two replicas
+    each — within a ``;`` group, commas separate that shard's replicas.
+    """
     raw = getattr(args, "shard_urls", None)
     if not raw:
         return None
-    urls = [u.strip() for u in raw.split(",") if u.strip()]
-    return urls or None
+    if ";" not in raw:
+        urls = [u.strip() for u in raw.split(",") if u.strip()]
+        return urls or None
+    groups: list[list[str]] = []
+    for chunk in raw.split(";"):
+        replicas = [u.strip() for u in chunk.split(",") if u.strip()]
+        if replicas:
+            groups.append(replicas)
+    return groups or None
 
 
 # -- subcommands -------------------------------------------------------------
@@ -471,8 +486,11 @@ def _add_store_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--store-path", dest="store_path",
                    help="snapshot file for --store sqlite")
     p.add_argument("--shard-urls", dest="shard_urls",
-                   help="comma-separated shard-server urls for --store remote "
-                        "(one per shard, in shard-id order)")
+                   help="shard-server urls for --store remote, in shard-id "
+                        "order: commas separate shards (host:a,host:b), or "
+                        "semicolons separate shards and commas their replicas "
+                        "(host:a,host:b;host:c,host:d = 2 shards x 2 replicas "
+                        "with client-side failover)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -45,6 +45,8 @@ from __future__ import annotations
 
 import contextlib
 import random
+import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Sequence
@@ -125,7 +127,7 @@ def store_factories(
     tmp_path: Path,
     *,
     shards: int = 3,
-    remote_urls: Sequence[str] | None = None,
+    remote_urls: Sequence[Any] | None = None,
 ) -> dict[str, Callable[[], MasterStore]]:
     """One factory per backend, each over a fresh copy of the master.
 
@@ -178,6 +180,7 @@ def case_cluster(
     tmp_path: Path,
     *,
     shards: int = 3,
+    replicas: int = 1,
     processes: bool = False,
 ) -> Iterator[Any]:
     """A running shard cluster serving ``case``'s master content.
@@ -185,24 +188,110 @@ def case_cluster(
     ``processes=False`` boots in-process thread servers (fast — the
     default for unit tests); ``processes=True`` writes the case to an
     instance directory and spawns real ``cerfix shard-server``
-    subprocesses (what the CI ``remote-store`` leg runs). Either way
-    the cluster is torn down on exit, so no server outlives the test
-    that booted it.
+    subprocesses (what the CI ``remote-store`` leg runs).
+    ``replicas > 1`` boots that many members per shard — the cluster's
+    ``urls`` become one replica list per shard, ready to hand to
+    :class:`~repro.master.remote.RemoteMasterStore`. Either way the
+    cluster is torn down on exit, so no server outlives the test that
+    booted it.
     """
     from repro.master.shardserver import ShardCluster
 
     if processes:
         instance_dir = Path(tmp_path) / f"{case.name}-instance"
         write_case_instance(case, instance_dir)
-        cluster = ShardCluster.spawn(instance_dir, shards)
+        cluster = ShardCluster.spawn(instance_dir, shards, replicas=replicas)
     else:
         cluster = ShardCluster.in_process(
-            case.ruleset, case.master, shards, name=case.name
+            case.ruleset, case.master, shards, replicas=replicas, name=case.name
         )
     try:
         yield cluster
     finally:
         cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# Failure injection: disrupt a cluster while a clean runs against it
+# ---------------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def disruption(action: Callable[[], Any], delay: float = 0.05) -> Iterator[threading.Thread]:
+    """Fire ``action`` on a background thread ``delay`` seconds after
+    entry — a replica kill or a rolling restart landing *mid-run*.
+
+    The thread is joined on exit; if ``action`` itself raised (the
+    disruption failed to disrupt), that error propagates — a chaos case
+    that silently skipped its chaos would assert nothing.
+    """
+    failure: list[BaseException] = []
+
+    def fire() -> None:
+        time.sleep(delay)
+        try:
+            action()
+        except BaseException as exc:  # surfaced after join, never swallowed
+            failure.append(exc)
+
+    thread = threading.Thread(target=fire, daemon=True, name="cerfix-disruption")
+    thread.start()
+    try:
+        yield thread
+    finally:
+        thread.join(timeout=60)
+    if failure:
+        raise failure[0]
+
+
+def run_failover_conformance(
+    case: DifferentialCase,
+    cluster: Any,
+    *,
+    disrupt: Callable[[Any], Any],
+    batch_workers: int = 2,
+    delay: float = 0.05,
+    timeout: float = 10.0,
+    retries: int = 3,
+    backoff: float = 0.02,
+    circuit_reset: float = 0.2,
+) -> PathOutcome:
+    """Batch-clean through a remote store while ``disrupt(cluster)``
+    fires mid-run, and assert the disrupted outcome bit-identical to
+    the ``single`` backend's undisrupted run.
+
+    This is the certainty guarantee under failover as an executable
+    assertion: a replica dying (or a whole rolling restart) may change
+    *routes* — retries, failovers, circuit opens all show up in the
+    store's stats — but never a repaired cell, an audit event or a
+    report scalar. The handshake runs before the disruption is armed,
+    so the clean starts against a verified healthy cluster and the
+    failure lands mid-probing, which is the scenario that matters.
+    """
+    from repro.master.remote import RemoteMasterStore
+
+    reference = run_batch_path(
+        case,
+        SingleRelationStore(Relation(case.master.schema, case.master.tuples())),
+        workers=batch_workers,
+        backend="thread",
+    )
+    store = RemoteMasterStore(
+        cluster.urls,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        circuit_reset=circuit_reset,
+    )
+    try:
+        with disruption(lambda: disrupt(cluster), delay):
+            disrupted = run_batch_path(
+                case, store, workers=batch_workers, backend="thread"
+            )
+    finally:
+        store.close()
+    assert_parity({"single": reference, "remote-disrupted": disrupted})
+    return disrupted
 
 
 @dataclass

@@ -22,16 +22,27 @@ What makes it production-shaped rather than a toy RPC wrapper:
   batch pipeline's probe cache now amortise *real round trips*, not
   just CPU;
 * **retry with backoff** — transient transport failures (connection
-  reset, refused, timeout, 5xx) retry with exponential backoff against
-  a fresh connection, so a shard server restarting under the client
-  heals instead of failing the clean;
-* **per-shard stats** — probes, round trips, retries, errors and
-  latency per shard (:meth:`RemoteMasterStore.stats`), the numbers the
+  reset, refused, timeout, 5xx) retry with decorrelated-jitter
+  exponential backoff against a fresh connection, so a shard server
+  restarting under N workers heals instead of failing the clean — and
+  the workers don't re-probe it in lockstep;
+* **replication with client-side failover** — each routing slot
+  accepts a *group* of replica urls (``[[a, b], [c, d]]``); a request
+  that exhausts its retries against one replica fails over to the next
+  healthy one, read load rotates across healthy replicas, and a
+  replica that keeps failing trips a consecutive-failure circuit
+  breaker (skipped until a timed half-open re-probe finds it serving
+  again) — a shard dying mid-clean changes a request's *route*, never
+  its *answer*;
+* **per-replica stats** — probes, round trips, retries, errors,
+  failovers, circuit state and latency per replica, aggregated per
+  shard (:meth:`RemoteMasterStore.stats`), the numbers the
   remote-store benchmark records;
-* **graceful degradation** — a shard that stays down after retries
-  raises :class:`~repro.errors.MasterDataError` naming the shard and
-  url; a cluster whose members disagree on shard count or content
-  digest is rejected at handshake.
+* **graceful degradation** — a shard whose replicas all stay down
+  raises :class:`~repro.errors.MasterDataError` naming every url
+  tried; a cluster whose members (any replica included) disagree on
+  shard count or content digest is rejected at handshake, so a stale
+  replica is refused loudly instead of silently consulted.
 
 Parity: the servers answer through the same
 :class:`~repro.master.store.ShardedMasterStore` probe path every other
@@ -45,6 +56,7 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import random
 import socket
 import threading
 import time
@@ -78,6 +90,35 @@ class _TransientServerError(Exception):
     """A 5xx response — retryable, unlike 4xx protocol errors."""
 
 
+class ShardUnreachableError(MasterDataError):
+    """One replica exhausted its retries on transport failures or 5xx.
+
+    The failover trigger: :class:`ShardGroup` catches this, marks the
+    replica unhealthy and moves to the next one. 4xx/protocol errors
+    stay plain :class:`MasterDataError` — they are deterministic, so a
+    sibling replica would answer exactly the same and failing over
+    would only hide the bug.
+    """
+
+    def __init__(self, message: str, *, url: str, kind: str):
+        super().__init__(message)
+        self.url = url
+        #: ``"unreachable"`` (transport died) or ``"server-error"``
+        #: (the shard answered, but with a 5xx, on every attempt).
+        self.kind = kind
+
+
+def _backoff_delay(base: float, previous: float, cap: float) -> float:
+    """Decorrelated-jitter backoff (AWS style): each delay is drawn from
+    ``[base, max(2*base, 3*previous)]``, capped.
+
+    N workers that lose a shard simultaneously must *not* re-probe it
+    in lockstep — pure exponential backoff synchronizes the herd on the
+    worst possible moment, the server's restart.
+    """
+    return min(cap, random.uniform(base, max(2 * base, 3 * previous)))
+
+
 class _NoDelayHTTPConnection(http.client.HTTPConnection):
     """An HTTPConnection with Nagle disabled.
 
@@ -91,8 +132,15 @@ class _NoDelayHTTPConnection(http.client.HTTPConnection):
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
 
-#: Remote round-trip latency, in the process-wide registry.
+#: Remote round-trip latency, in the process-wide registry. Failed
+#: attempts are observed too — a histogram that only sees successes
+#: hides exactly the tail an operator is hunting.
 _RPC_SECONDS = get_registry().histogram("cerfix.remote.rpc_seconds")
+
+#: Cluster-wide failover/circuit activity (per-replica detail lives in
+#: the ``remote_store`` source's ``per_shard[*].replicas`` entries).
+_FAILOVERS = get_registry().counter("cerfix.remote.failovers")
+_CIRCUIT_OPENS = get_registry().counter("cerfix.remote.circuit_opens")
 
 
 class _EndpointStats:
@@ -109,7 +157,19 @@ class _EndpointStats:
     its connections.
     """
 
-    __slots__ = ("lock", "probes", "round_trips", "retried", "errors", "latency_s", "latency_max_s")
+    __slots__ = (
+        "lock",
+        "probes",
+        "round_trips",
+        "retried",
+        "errors",
+        "failovers",
+        "circuit_opens",
+        "failures_in_row",
+        "open_until",
+        "latency_s",
+        "latency_max_s",
+    )
 
     def __init__(self):
         self.lock = threading.Lock()
@@ -117,6 +177,10 @@ class _EndpointStats:
         self.round_trips = 0
         self.retried = 0
         self.errors = 0
+        self.failovers = 0
+        self.circuit_opens = 0
+        self.failures_in_row = 0
+        self.open_until = 0.0  # monotonic deadline; 0 = circuit closed
         self.latency_s = 0.0
         self.latency_max_s = 0.0
 
@@ -166,8 +230,9 @@ def fetch_health(url: str, timeout: float = 2.0) -> dict:
 
 
 class ShardEndpoint:
-    """One shard server as the client sees it: pooled connections,
-    retry-with-backoff, and per-shard counters.
+    """One shard-server *replica* as the client sees it: pooled
+    connections, retry-with-backoff, a consecutive-failure circuit
+    breaker, and per-replica counters.
 
     Connections are per *thread* (``http.client`` connections are not
     thread-safe): batch executor threads, the service's probe executor
@@ -183,6 +248,8 @@ class ShardEndpoint:
         retries: int = 2,
         backoff: float = 0.05,
         stats_token: str = "",
+        circuit_threshold: int = 3,
+        circuit_reset: float = 1.0,
     ):
         self.shard_id = shard_id
         self.url = url.rstrip("/")
@@ -190,6 +257,8 @@ class ShardEndpoint:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.circuit_threshold = circuit_threshold
+        self.circuit_reset = circuit_reset
         self._local = threading.local()
         self._conns: set[http.client.HTTPConnection] = set()
         self._lock = threading.Lock()
@@ -228,6 +297,51 @@ class ShardEndpoint:
         for conn in conns:
             conn.close()
 
+    # -- circuit breaker ----------------------------------------------------
+
+    def circuit_state(self, now: float | None = None) -> str:
+        """``"closed"`` (healthy), ``"open"`` (skipped), or
+        ``"half-open"`` (open, but the re-probe window has elapsed)."""
+        s = self._stats
+        now = time.monotonic() if now is None else now
+        with s.lock:
+            if not s.open_until:
+                return "closed"
+            return "half-open" if now >= s.open_until else "open"
+
+    def claim_half_open_probe(self) -> bool:
+        """Atomically claim the half-open re-probe slot.
+
+        True for exactly one caller per ``circuit_reset`` window (the
+        window re-arms on claim), so a recovering replica sees one
+        timed probe, not a stampede of them.
+        """
+        s = self._stats
+        now = time.monotonic()
+        with s.lock:
+            if not s.open_until or now < s.open_until:
+                return False
+            s.open_until = now + self.circuit_reset
+            return True
+
+    def note_success(self) -> None:
+        s = self._stats
+        with s.lock:
+            s.failures_in_row = 0
+            s.open_until = 0.0
+
+    def note_failure(self) -> None:
+        s = self._stats
+        now = time.monotonic()
+        with s.lock:
+            s.failures_in_row += 1
+            if s.failures_in_row < self.circuit_threshold:
+                return
+            if not s.open_until:
+                s.circuit_opens += 1
+                _CIRCUIT_OPENS.inc()
+            s.open_until = now + self.circuit_reset
+
     # -- requests -----------------------------------------------------------
 
     def request(self, method: str, path: str, payload: Any = None) -> Any:
@@ -236,13 +350,13 @@ class ShardEndpoint:
         4xx answers raise :class:`MasterDataError` immediately (the
         request itself is wrong — a misroute or an unknown rule);
         transport failures and 5xx retry ``retries`` times against a
-        fresh connection before giving up loudly.
+        fresh connection before giving up with a
+        :class:`ShardUnreachableError` (what :class:`ShardGroup` fails
+        over on).
         """
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        last: Exception | None = None
-        stats = self._stats
         with trace.span("shard-rpc", shard=self.shard_id, path=path):
-            return self._request_retrying(method, path, body, stats, last)
+            return self._request_retrying(method, path, body, self._stats)
 
     def _request_retrying(
         self,
@@ -250,22 +364,27 @@ class ShardEndpoint:
         path: str,
         body: bytes | None,
         stats: _EndpointStats,
-        last: Exception | None,
     ) -> Any:
+        last: Exception | None = None
+        kind = "unreachable"
+        delay = 0.0
         for attempt in range(self.retries + 1):
             if attempt:
                 with stats.lock:
                     stats.retried += 1
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                delay = _backoff_delay(self.backoff, delay, self.backoff * 16)
+                time.sleep(delay)
             started = time.perf_counter()
             try:
                 status, data = self._request_once(method, path, body)
             except _TRANSIENT as exc:
+                _RPC_SECONDS.observe(time.perf_counter() - started)
                 self._drop_connection()
-                last = exc
+                last, kind = exc, "unreachable"
                 continue
             except _TransientServerError as exc:
-                last = MasterDataError(str(exc))
+                _RPC_SECONDS.observe(time.perf_counter() - started)
+                last, kind = exc, "server-error"
                 continue
             elapsed = time.perf_counter() - started
             with stats.lock:
@@ -276,12 +395,19 @@ class ShardEndpoint:
             try:
                 parsed = json.loads(data) if data else None
             except ValueError:
+                with stats.lock:
+                    stats.errors += 1
                 raise MasterDataError(
                     f"shard {self.shard_id} at {self.url} answered non-JSON "
                     f"to {method} {path}"
                 ) from None
             if status >= 400:
-                detail = parsed.get("error") if isinstance(parsed, dict) else data[:200]
+                if isinstance(parsed, dict):
+                    detail = parsed.get("error")
+                else:
+                    detail = data.decode("utf-8", "replace")[:200]
+                with stats.lock:
+                    stats.errors += 1
                 raise MasterDataError(
                     f"shard {self.shard_id} at {self.url} rejected "
                     f"{method} {path} ({status}): {detail}"
@@ -289,9 +415,19 @@ class ShardEndpoint:
             return parsed
         with stats.lock:
             stats.errors += 1
-        raise MasterDataError(
+        if kind == "server-error":
+            raise ShardUnreachableError(
+                f"shard {self.shard_id} at {self.url} kept failing: a 5xx "
+                f"answer on every one of {self.retries + 1} attempts "
+                f"({method} {path}): {last}",
+                url=self.url,
+                kind=kind,
+            )
+        raise ShardUnreachableError(
             f"shard {self.shard_id} at {self.url} unreachable after "
-            f"{self.retries + 1} attempts ({method} {path}): {last}"
+            f"{self.retries + 1} attempts ({method} {path}): {last}",
+            url=self.url,
+            kind=kind,
         )
 
     def _request_once(self, method: str, path: str, body: bytes | None) -> tuple[int, bytes]:
@@ -314,9 +450,14 @@ class ShardEndpoint:
             self._stats.probes += n
 
     def stats(self) -> dict[str, Any]:
+        now = time.monotonic()
         s = self._stats
         with s.lock:
             mean_ms = 1000 * s.latency_s / s.round_trips if s.round_trips else 0.0
+            if not s.open_until:
+                circuit = "closed"
+            else:
+                circuit = "half-open" if now >= s.open_until else "open"
             return {
                 "shard_id": self.shard_id,
                 "url": self.url,
@@ -324,19 +465,198 @@ class ShardEndpoint:
                 "round_trips": s.round_trips,
                 "retries": s.retried,
                 "errors": s.errors,
+                "failovers": s.failovers,
+                "circuit_opens": s.circuit_opens,
+                "circuit": circuit,
                 "latency_mean_ms": round(mean_ms, 3),
                 "latency_max_ms": round(1000 * s.latency_max_s, 3),
             }
 
 
+class ShardGroup:
+    """One routing slot's replica set: rotation, failover, last resort.
+
+    Every replica serves the *same* shard of the key space with the
+    *same* content (the handshake enforces the digest), so any healthy
+    replica's answer is bit-identical to any other's — failover can
+    never change a result, only a route. Selection per request:
+
+    1. a replica whose open circuit is due its timed half-open
+       re-probe goes first (exactly one claimant per window), so a
+       recovered replica rejoins the rotation promptly;
+    2. healthy replicas follow, in rotation order (reads spread);
+    3. open-circuit replicas come last — tried only when everything
+       else already failed, which keeps a single-replica group exactly
+       as available as the unreplicated client was.
+
+    A replica that exhausts its retries (transport or 5xx —
+    :class:`ShardUnreachableError`) records a failover and the request
+    moves on; deterministic 4xx/protocol errors propagate immediately,
+    because a sibling replica would answer them identically.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        urls: Sequence[str],
+        *,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        stats_token: str = "",
+        circuit_threshold: int = 3,
+        circuit_reset: float = 1.0,
+    ):
+        self.shard_id = shard_id
+        self.replicas = [
+            ShardEndpoint(
+                shard_id,
+                url,
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
+                stats_token=stats_token,
+                circuit_threshold=circuit_threshold,
+                circuit_reset=circuit_reset,
+            )
+            for url in urls
+        ]
+        self.urls = tuple(e.url for e in self.replicas)
+        self._lock = threading.Lock()
+        self._next = 0
+        self._local = threading.local()
+
+    @property
+    def url(self) -> str:
+        """The replica that served this thread's last request (primary
+        before any request) — the url error messages should name."""
+        served = getattr(self._local, "served_by", None)
+        return served.url if served is not None else self.urls[0]
+
+    def _candidates(self) -> list[ShardEndpoint]:
+        n = len(self.replicas)
+        if n == 1:
+            return list(self.replicas)
+        with self._lock:
+            start = self._next
+            self._next = (start + 1) % n
+        ordered = [self.replicas[(start + k) % n] for k in range(n)]
+        probing: list[ShardEndpoint] = []
+        healthy: list[ShardEndpoint] = []
+        parked: list[ShardEndpoint] = []
+        for endpoint in ordered:
+            state = endpoint.circuit_state()
+            if state == "closed":
+                healthy.append(endpoint)
+            elif state == "half-open" and endpoint.claim_half_open_probe():
+                probing.append(endpoint)
+            else:
+                parked.append(endpoint)
+        return probing + healthy + parked
+
+    def request(self, method: str, path: str, payload: Any = None) -> Any:
+        """One JSON request with replica failover (see class docstring)."""
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        candidates = self._candidates()
+        failures: list[tuple[str, Exception]] = []
+        with trace.span("shard-rpc", shard=self.shard_id, path=path):
+            for endpoint in candidates:
+                try:
+                    parsed = endpoint._request_retrying(
+                        method, path, body, endpoint._stats
+                    )
+                except ShardUnreachableError as exc:
+                    endpoint.note_failure()
+                    failures.append((endpoint.url, exc))
+                    if len(candidates) > 1:
+                        with endpoint._stats.lock:
+                            endpoint._stats.failovers += 1
+                        _FAILOVERS.inc()
+                    continue
+                endpoint.note_success()
+                self._local.served_by = endpoint
+                return parsed
+        raise MasterDataError(
+            f"shard {self.shard_id} has no reachable replica — all "
+            f"{len(candidates)} tried ({method} {path}): "
+            + "; ".join(f"{url}: {exc}" for url, exc in failures)
+        )
+
+    def record_probes(self, n: int) -> None:
+        served = getattr(self._local, "served_by", None)
+        (served if served is not None else self.replicas[0]).record_probes(n)
+
+    def close(self) -> None:
+        for endpoint in self.replicas:
+            endpoint.close()
+
+    def stats(self) -> dict[str, Any]:
+        replicas = [e.stats() for e in self.replicas]
+        agg = {
+            key: sum(r[key] for r in replicas)
+            for key in (
+                "probes",
+                "round_trips",
+                "retries",
+                "errors",
+                "failovers",
+                "circuit_opens",
+            )
+        }
+        trips = agg["round_trips"]
+        mean_ms = (
+            sum(r["latency_mean_ms"] * r["round_trips"] for r in replicas) / trips
+            if trips
+            else 0.0
+        )
+        return {
+            "shard_id": self.shard_id,
+            "url": self.urls[0],
+            "urls": list(self.urls),
+            **agg,
+            "latency_mean_ms": round(mean_ms, 3),
+            "latency_max_ms": max(r["latency_max_ms"] for r in replicas),
+            "replicas": replicas,
+        }
+
+
+def _normalize_topology(urls: Any) -> tuple[tuple[str, ...], ...]:
+    """``urls`` → one tuple of replica urls per routing slot.
+
+    Accepts the flat form (one url string per shard — the unreplicated
+    topology every caller used before replication existed) and the
+    nested form (a list of replica urls per shard); the two mix freely.
+    """
+    if isinstance(urls, (str, bytes)):
+        raise MasterDataError(
+            "shard urls must be a sequence (one entry per shard), not a "
+            "single string — wrap it in a list"
+        )
+    groups: list[tuple[str, ...]] = []
+    for entry in urls:
+        if isinstance(entry, (str, bytes)):
+            groups.append((str(entry).rstrip("/"),))
+            continue
+        replicas = tuple(str(u).rstrip("/") for u in entry if str(u).strip())
+        if not replicas:
+            raise MasterDataError(
+                "a shard's replica list must name at least one url"
+            )
+        groups.append(replicas)
+    return tuple(groups)
+
+
 class RemoteMasterStore(MasterStore):
     """Master probes answered by N shard-server processes over HTTP.
 
-    ``urls[i]`` must be the server answering shard ``i`` of
-    ``len(urls)`` — the handshake verifies each server's
-    ``(shard_id, shards)`` and that all members serve the same content
-    digest, so a misconfigured cluster fails at construction, not at
-    the first wrong probe.
+    ``urls[i]`` must be the server(s) answering shard ``i`` of
+    ``len(urls)``: a plain url string is an unreplicated slot, a list
+    of url strings is a replica group served with rotation and
+    client-side failover (see :class:`ShardGroup`). The handshake
+    verifies *every* replica's ``(shard_id, shards)`` and that all
+    members serve the same content digest, so a misconfigured cluster —
+    or a single stale replica — fails at construction, not at the first
+    wrong probe.
 
     The canonical :attr:`relation` is fetched lazily (and digest-
     verified) the first time a non-probe path needs it — region
@@ -352,36 +672,47 @@ class RemoteMasterStore(MasterStore):
 
     def __init__(
         self,
-        urls: Sequence[str],
+        urls: Sequence[str | Sequence[str]],
         *,
         timeout: float = 10.0,
         retries: int = 2,
         backoff: float = 0.05,
         max_batch: int = 512,
         stats_token: str | None = None,
+        circuit_threshold: int = 3,
+        circuit_reset: float = 1.0,
     ):
         if not urls:
             raise MasterDataError("the remote master store needs at least one shard url")
-        self.urls = tuple(str(u).rstrip("/") for u in urls)
-        self.shards = len(self.urls)
+        #: One tuple of replica urls per routing slot (the canonical
+        #: topology; a flat ``urls`` argument becomes 1-tuples).
+        self.replica_urls = _normalize_topology(urls)
+        #: Primary url per shard (replica 0) — the flat view callers of
+        #: the unreplicated client already rely on.
+        self.urls = tuple(group[0] for group in self.replica_urls)
+        self.shards = len(self.replica_urls)
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.max_batch = max_batch
+        self.circuit_threshold = circuit_threshold
+        self.circuit_reset = circuit_reset
         #: Identity of this store's per-shard counters: ``__reduce__``
         #: ships it, so a fork-safe rebuild in the same process keeps
         #: accumulating into the same stats instead of zeroing them.
         self._stats_token = stats_token if stats_token is not None else os.urandom(8).hex()
-        self.endpoints = [
-            ShardEndpoint(
+        self.groups = [
+            ShardGroup(
                 i,
-                url,
+                group,
                 timeout=timeout,
                 retries=retries,
                 backoff=backoff,
                 stats_token=self._stats_token,
+                circuit_threshold=circuit_threshold,
+                circuit_reset=circuit_reset,
             )
-            for i, url in enumerate(self.urls)
+            for i, group in enumerate(self.replica_urls)
         ]
         self._normalizers: dict[str, HashIndex] = {}
         self._relation: Relation | None = None
@@ -395,38 +726,46 @@ class RemoteMasterStore(MasterStore):
     # -- cluster handshake --------------------------------------------------
 
     def _handshake(self) -> tuple[str, int]:
-        digests: list[str] = []
+        """Verify *every* replica of every shard before the first probe.
+
+        A stale replica (wrong digest) or a misplaced one (wrong
+        ``shard_id``) must be rejected loudly here — failover would
+        otherwise route reads to it silently mid-clean.
+        """
+        digests: dict[str, str] = {}
         tuples = 0
-        for i, endpoint in enumerate(self.endpoints):
-            health = endpoint.request("GET", "/healthz")
-            if not isinstance(health, dict) or not health.get("ok"):
-                raise MasterDataError(
-                    f"url {endpoint.url} is not a cerfix shard server "
-                    f"(bad /healthz answer {health!r})"
-                )
-            if health.get("shard_id") != i or health.get("shards") != self.shards:
-                raise MasterDataError(
-                    f"shard-url order mismatch: {endpoint.url} serves shard "
-                    f"{health.get('shard_id')}/{health.get('shards')} but was "
-                    f"given as shard {i}/{self.shards} — list --shard-urls in "
-                    f"shard-id order, one per shard"
-                )
-            digests.append(health["digest"])
-            tuples = int(health["tuples"])
-        if len(set(digests)) > 1:
+        for i, group in enumerate(self.groups):
+            for endpoint in group.replicas:
+                health = endpoint.request("GET", "/healthz")
+                if not isinstance(health, dict) or not health.get("ok"):
+                    raise MasterDataError(
+                        f"url {endpoint.url} is not a cerfix shard server "
+                        f"(bad /healthz answer {health!r})"
+                    )
+                if health.get("shard_id") != i or health.get("shards") != self.shards:
+                    raise MasterDataError(
+                        f"shard-url order mismatch: {endpoint.url} serves shard "
+                        f"{health.get('shard_id')}/{health.get('shards')} but was "
+                        f"given as shard {i}/{self.shards} — list --shard-urls in "
+                        f"shard-id order, one slot (url or replica list) per shard"
+                    )
+                digests[endpoint.url] = health["digest"]
+                tuples = int(health["tuples"])
+        if len(set(digests.values())) > 1:
             raise MasterDataError(
                 "shard servers disagree on master content: digests "
-                + ", ".join(f"{u}={d[:12]}…" for u, d in zip(self.urls, digests))
-                + " — every shard must serve the same master data version"
+                + ", ".join(f"{u}={d[:12]}…" for u, d in digests.items())
+                + " — every shard, and every replica of it, must serve the "
+                "same master data version"
             )
-        return digests[0], tuples
+        return next(iter(digests.values())), tuples
 
     # -- relation (lazy, digest-verified) -----------------------------------
 
     @property
     def relation(self) -> Relation:
         if self._relation is None:
-            payload = self.endpoints[0].request("GET", "/relation")
+            payload = self.groups[0].request("GET", "/relation")
             relation = Relation(
                 schema_from_json(payload["schema"]),
                 [tuple(row) for row in payload["tuples"]],
@@ -503,22 +842,22 @@ class RemoteMasterStore(MasterStore):
         results: list[MasterMatch | None] = [None] * len(requests)
 
         def fetch_shard(shard_id: int, indexes: list[int]) -> None:
-            endpoint = self.endpoints[shard_id]
+            group = self.groups[shard_id]
             for start in range(0, len(indexes), self.max_batch):
                 chunk = indexes[start : start + self.max_batch]
                 payload = {
                     "probes": [wire[i] for i in chunk],
                     "use_index": use_index,
                 }
-                answer = endpoint.request("POST", "/probe_many", payload)
+                answer = group.request("POST", "/probe_many", payload)
                 matches = answer.get("matches") if isinstance(answer, dict) else None
                 if not isinstance(matches, list) or len(matches) != len(chunk):
                     raise MasterDataError(
-                        f"shard {shard_id} at {endpoint.url} answered "
+                        f"shard {shard_id} at {group.url} answered "
                         f"{len(matches) if isinstance(matches, list) else 'no'} "
                         f"matches for {len(chunk)} probes"
                     )
-                endpoint.record_probes(len(chunk))
+                group.record_probes(len(chunk))
                 for i, match in zip(chunk, matches):
                     results[i] = MasterMatch(
                         positions=tuple(match["positions"]),
@@ -566,8 +905,9 @@ class RemoteMasterStore(MasterStore):
         for rule in ruleset:
             if not rule.is_constant:
                 self._normalizer(rule)
-        for endpoint in self.endpoints:
-            endpoint.request("POST", "/prebuild", {})
+        for group in self.groups:
+            for endpoint in group.replicas:
+                endpoint.request("POST", "/prebuild", {})
 
     def prepare_worker(self, ruleset: RuleSet) -> None:
         """Nothing to rebuild: a freshly unpickled worker reconnects to
@@ -591,9 +931,11 @@ class RemoteMasterStore(MasterStore):
             "backend": self.backend,
             "tuples": self._tuples,
             "shards": self.shards,
+            "replicas": max(len(group) for group in self.replica_urls),
             "digest": self._digest,
             "urls": list(self.urls),
-            "per_shard": [endpoint.stats() for endpoint in self.endpoints],
+            "replica_urls": [list(group) for group in self.replica_urls],
+            "per_shard": [group.stats() for group in self.groups],
         }
 
     # -- maintenance --------------------------------------------------------
@@ -613,8 +955,8 @@ class RemoteMasterStore(MasterStore):
 
     def close(self) -> None:
         """Close pooled connections and the shard-group executor."""
-        for endpoint in self.endpoints:
-            endpoint.close()
+        for group in self.groups:
+            group.close()
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
@@ -628,12 +970,14 @@ class RemoteMasterStore(MasterStore):
         return (
             _rebuild_remote,
             (
-                self.urls,
+                self.replica_urls,
                 self.timeout,
                 self.retries,
                 self.backoff,
                 self.max_batch,
                 self._stats_token,
+                self.circuit_threshold,
+                self.circuit_reset,
             ),
         )
 
@@ -645,12 +989,14 @@ class RemoteMasterStore(MasterStore):
 
 
 def _rebuild_remote(
-    urls: tuple[str, ...],
+    urls: tuple,
     timeout: float,
     retries: int,
     backoff: float,
     max_batch: int,
     stats_token: str | None = None,
+    circuit_threshold: int = 3,
+    circuit_reset: float = 1.0,
 ) -> RemoteMasterStore:
     return RemoteMasterStore(
         urls,
@@ -659,4 +1005,6 @@ def _rebuild_remote(
         backoff=backoff,
         max_batch=max_batch,
         stats_token=stats_token,
+        circuit_threshold=circuit_threshold,
+        circuit_reset=circuit_reset,
     )

@@ -375,38 +375,72 @@ class ShardCluster:
 
     Two flavours behind one interface:
 
-    * :meth:`in_process` — N :class:`ShardServer` threads in this
+    * :meth:`in_process` — :class:`ShardServer` threads in this
       process (fast; unit tests, benchmarks);
-    * :meth:`spawn` — N ``cerfix shard-server`` *subprocesses* over an
+    * :meth:`spawn` — ``cerfix shard-server`` *subprocesses* over an
       instance directory (what the CI ``remote-store`` leg and real
       deployments look like), each health-checked before the
       constructor returns and killed on :meth:`close` so no orphan
       survives the caller.
 
+    With ``replicas > 1`` each shard gets that many identical members
+    (same ``shard_id``/``shards``, same content) and :attr:`urls`
+    becomes nested — one replica-url list per shard, directly the
+    topology :class:`~repro.master.remote.RemoteMasterStore` takes.
+
     ``restart(i)`` replaces one member on its *same* port — the
-    mid-run shard-restart scenario the conformance kit exercises.
+    mid-run shard-restart scenario the conformance kit exercises —
+    and :meth:`rolling_restart` cycles every member that way, one at
+    a time, the way a real deployment rolls a new version out under
+    live traffic.
     """
 
-    def __init__(self, members: list[Any], restarter):
+    def __init__(self, members: list[Any], restarter, replicas: int = 1):
+        #: Flat, shard-major: ``members[shard_id * replicas + replica]``.
         self._members = members
         self._restart = restarter
+        self.replicas = replicas
+
+    def _index(self, shard_id: int, replica: int) -> int:
+        return shard_id * self.replicas + replica
 
     @property
-    def urls(self) -> list[str]:
-        return [m["url"] for m in self._members]
+    def urls(self) -> list:
+        """Flat url list when unreplicated (back-compat); one replica
+        list per shard when ``replicas > 1``."""
+        if self.replicas == 1:
+            return [m["url"] for m in self._members]
+        return [
+            [self._members[self._index(s, r)]["url"] for r in range(self.replicas)]
+            for s in range(self.shards)
+        ]
 
     @property
     def shards(self) -> int:
-        return len(self._members)
+        return len(self._members) // self.replicas
 
-    def restart(self, shard_id: int) -> None:
-        """Stop member ``shard_id`` and bring a fresh one up on the same
+    def restart(self, shard_id: int, replica: int = 0) -> None:
+        """Stop one member and bring a fresh one up on the same
         host:port (a rolling restart as the client sees it)."""
-        self._members[shard_id] = self._restart(self._members[shard_id])
+        i = self._index(shard_id, replica)
+        self._members[i] = self._restart(self._members[i])
 
-    def stop(self, shard_id: int) -> None:
+    def rolling_restart(self, pause: float = 0.0) -> None:
+        """Restart every member, one at a time, ``pause`` seconds apart.
+
+        With replicas this is the zero-downtime deployment shape: at
+        any instant at most one replica of one shard is bouncing, so a
+        failover-capable client keeps answering probes throughout.
+        """
+        for shard_id in range(self.shards):
+            for replica in range(self.replicas):
+                self.restart(shard_id, replica)
+                if pause:
+                    time.sleep(pause)
+
+    def stop(self, shard_id: int, replica: int = 0) -> None:
         """Stop one member without replacement (the shard-down scenario)."""
-        _stop_member(self._members[shard_id])
+        _stop_member(self._members[self._index(shard_id, replica)])
 
     def close(self) -> None:
         for member in self._members:
@@ -427,6 +461,7 @@ class ShardCluster:
         relation: Relation,
         shards: int,
         *,
+        replicas: int = 1,
         host: str = "127.0.0.1",
         name: str = "",
     ) -> "ShardCluster":
@@ -446,13 +481,13 @@ class ShardCluster:
                 "port": server.port,
             }
 
-        members = [boot(i, 0) for i in range(shards)]
+        members = [boot(i, 0) for i in range(shards) for _ in range(replicas)]
 
         def restarter(member: dict) -> dict:
             _stop_member(member)
             return boot(member["shard_id"], member["port"])
 
-        return cls(members, restarter)
+        return cls(members, restarter, replicas)
 
     # -- subprocess flavour -------------------------------------------------
 
@@ -462,10 +497,12 @@ class ShardCluster:
         instance_dir: str | Path,
         shards: int,
         *,
+        replicas: int = 1,
         host: str = "127.0.0.1",
         timeout: float = SPAWN_TIMEOUT,
     ) -> "ShardCluster":
-        """Boot ``shards`` subprocess servers over an instance directory.
+        """Boot ``shards × replicas`` subprocess servers over an
+        instance directory.
 
         Each process prints its bound URL on stdout (``--port 0`` picks
         an ephemeral port); spawn parses it, then polls ``/healthz``
@@ -475,7 +512,10 @@ class ShardCluster:
         members: list[dict] = []
         try:
             for shard_id in range(shards):
-                members.append(_spawn_member(instance_dir, shard_id, shards, host, 0, timeout))
+                for _ in range(replicas):
+                    members.append(
+                        _spawn_member(instance_dir, shard_id, shards, host, 0, timeout)
+                    )
         except Exception:
             for member in members:
                 _stop_member(member)
@@ -487,7 +527,7 @@ class ShardCluster:
                 instance_dir, member["shard_id"], shards, host, member["port"], timeout
             )
 
-        return cls(members, restarter)
+        return cls(members, restarter, replicas)
 
 
 def _stop_member(member: dict) -> None:

@@ -799,17 +799,20 @@ def make_store(
     *,
     shards: int = 4,
     path: str | Path | None = None,
-    urls: Sequence[str] | None = None,
+    urls: Sequence[Any] | None = None,
 ) -> MasterStore:
     """Build a master store over ``relation`` for a backend name.
 
     The string form is what configuration surfaces speak (``CerFix``'s
     ``store=`` argument, ``cerfix clean --store``, the instance
     document's ``store`` section). The ``remote`` backend takes shard
-    server ``urls`` instead of a relation — the master content lives on
-    the servers; when a ``relation`` is also given, its content digest
-    is verified against what the cluster serves (a cluster serving
-    *different* master data must fail loudly, never probe wrongly).
+    server ``urls`` instead of a relation — one entry per shard, each
+    either a url string or a list of replica urls (client-side
+    failover; see :class:`~repro.master.remote.RemoteMasterStore`); the
+    master content lives on the servers. When a ``relation`` is also
+    given, its content digest is verified against what the cluster
+    serves (a cluster serving *different* master data must fail loudly,
+    never probe wrongly).
     """
     from repro.obs.metrics import get_registry
 

@@ -8,9 +8,11 @@ must stay bit-identical to the ``single`` reference.
 
 The remote backend runs against an in-process thread cluster by
 default (fast); the CI ``remote-store`` leg sets
-``CERFIX_REMOTE_PROCESSES=1`` to boot three real ``cerfix
-shard-server`` subprocesses instead, and every cluster is torn down on
-test exit so no server process leaks into later CI steps.
+``CERFIX_REMOTE_PROCESSES=1`` to boot real ``cerfix shard-server``
+subprocesses instead, and ``CERFIX_REMOTE_REPLICAS=2`` to boot that
+many replicas per shard (the whole kit then runs through the
+replicated failover client). Every cluster is torn down on test exit
+so no server process leaks into later CI steps.
 """
 
 from __future__ import annotations
@@ -23,11 +25,14 @@ from repro.master.conformance import (
     case_cluster,
     generate_case,
     run_conformance,
+    run_failover_conformance,
     store_factories,
 )
 
-#: CI's remote-store leg flips this to exercise real subprocess servers.
+#: CI's remote-store leg flips these to exercise real subprocess
+#: servers and replicated shard groups.
 REMOTE_PROCESSES = os.environ.get("CERFIX_REMOTE_PROCESSES", "") == "1"
+REMOTE_REPLICAS = max(1, int(os.environ.get("CERFIX_REMOTE_REPLICAS", "1") or "1"))
 SHARDS = 3
 ALL_BACKENDS = {"single", "sharded", "sqlite", "remote"}
 
@@ -44,7 +49,7 @@ def test_all_backends_conform(seed, scenario, n, paths, tmp_path):
     audit trails on every backend, remote included."""
     case = generate_case(seed, scenario=scenario, n=n)
     with case_cluster(
-        case, tmp_path, shards=SHARDS, processes=REMOTE_PROCESSES
+        case, tmp_path, shards=SHARDS, replicas=REMOTE_REPLICAS, processes=REMOTE_PROCESSES
     ) as cluster:
         factories = store_factories(
             case, tmp_path, shards=SHARDS, remote_urls=cluster.urls
@@ -63,7 +68,7 @@ def test_all_backends_interleaving_fuzz(tmp_path):
     outcomes identical across every backend *and* every order."""
     case = generate_case(1303, scenario="uk", n=16)
     with case_cluster(
-        case, tmp_path, shards=SHARDS, processes=REMOTE_PROCESSES
+        case, tmp_path, shards=SHARDS, replicas=REMOTE_REPLICAS, processes=REMOTE_PROCESSES
     ) as cluster:
         factories = store_factories(
             case, tmp_path, shards=SHARDS, remote_urls=cluster.urls
@@ -73,6 +78,23 @@ def test_all_backends_interleaving_fuzz(tmp_path):
     assert {name.split("/")[0] for name in outcomes} == ALL_BACKENDS
     reference = next(iter(outcomes.values()))
     assert 0 < reference.report["completed"] <= reference.report["tuples"]
+
+
+def test_remote_rolling_restart_mid_run_conformance(tmp_path):
+    """The CI matrix point's acceptance scenario: a replicated cluster
+    rolled member by member *while* a batch clean runs against it —
+    bit-identical to the single backend, zero wrong answers."""
+    case = generate_case(1707, scenario="uk", n=20)
+    replicas = max(2, REMOTE_REPLICAS)
+    with case_cluster(
+        case, tmp_path, shards=SHARDS, replicas=replicas, processes=REMOTE_PROCESSES
+    ) as cluster:
+        run_failover_conformance(
+            case,
+            cluster,
+            disrupt=lambda c: c.rolling_restart(pause=0.02),
+            delay=0.03,
+        )
 
 
 def test_kit_rejects_unknown_paths_and_reference(tmp_path):

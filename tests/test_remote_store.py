@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import pickle
+import time
 
 import pytest
 
@@ -22,16 +23,24 @@ from repro.master.conformance import (
     case_cluster,
     generate_case,
     normalize_report,
+    run_failover_conformance,
     store_factories,
     write_case_instance,
 )
-from repro.master.remote import RemoteMasterStore, fetch_health
+from repro.master.remote import (
+    RemoteMasterStore,
+    ShardEndpoint,
+    _backoff_delay,
+    _normalize_topology,
+    fetch_health,
+)
 from repro.master.shardserver import ShardCluster, ShardServerApp
 from repro.master.store import SingleRelationStore, make_store
 from repro.relational.relation import Relation
 from repro.scenarios import uk_customers as uk
 
 SHARDS = 3
+REPLICAS = 2
 
 
 @pytest.fixture(scope="module")
@@ -167,7 +176,7 @@ def test_unknown_rule_is_a_clear_400(world, cluster):
     try:
         status_error = None
         try:
-            store.endpoints[0].request(
+            store.groups[0].request(
                 "POST", "/probe_many",
                 {"probes": [{"rule_id": "phantom", "values": {}}]},
             )
@@ -490,3 +499,284 @@ def test_cli_remote_flag_validation():
         ["clean", "--scenario", "uk", "--store", "remote", "--input", "/dev/null"]
     )
     assert rc == 2  # "--store remote requires --shard-urls", prettified
+
+
+def test_cli_shard_urls_parses_replica_groups():
+    from types import SimpleNamespace
+
+    from repro.explorer.cli import _parse_shard_urls
+
+    flat = _parse_shard_urls(SimpleNamespace(shard_urls="h:1, h:2 ,h:3"))
+    assert flat == ["h:1", "h:2", "h:3"]
+    nested = _parse_shard_urls(SimpleNamespace(shard_urls="h:1,h:2; h:3 ,h:4"))
+    assert nested == [["h:1", "h:2"], ["h:3", "h:4"]]
+    assert _parse_shard_urls(SimpleNamespace(shard_urls="")) is None
+
+
+def test_topology_normalisation_accepts_mixed_forms():
+    got = _normalize_topology(["http://a:1", ["http://b:2", "http://c:3/"]])
+    assert got == (("http://a:1",), ("http://b:2", "http://c:3"))
+    with pytest.raises(MasterDataError, match="single string"):
+        _normalize_topology("http://a:1")
+    with pytest.raises(MasterDataError, match="at least one url"):
+        _normalize_topology([[]])
+
+
+def test_instance_document_accepts_replica_url_lists():
+    from repro.config import InstanceConfig
+    from repro.errors import ValidationError
+
+    base = {
+        "name": "x",
+        "input_schema": {"name": "i", "attributes": [{"name": "a"}]},
+        "master_schema": {"name": "m", "attributes": [{"name": "a"}]},
+    }
+    nested = [["http://a:1", "http://b:2"], "http://c:3"]
+    config = InstanceConfig.from_json(
+        dict(base, store={"backend": "remote", "urls": nested})
+    )
+    assert config.store["urls"] == nested
+    for urls in ([[]], [["http://a:1"], []], [[""]], [["http://a:1", 7]]):
+        with pytest.raises(ValidationError, match="'urls'"):
+            InstanceConfig.from_json(
+                dict(base, store={"backend": "remote", "urls": urls})
+            )
+
+
+# ---------------------------------------------------------------------------
+# Retry-path details: jitter, failure kinds, error accounting
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_jitter_is_decorrelated_and_bounded():
+    base, cap = 0.05, 0.8
+    delay, seen = 0.0, set()
+    for _ in range(200):
+        delay = _backoff_delay(base, delay, cap)
+        assert base <= delay <= cap
+        seen.add(round(delay, 9))
+    assert len(seen) > 20, "no jitter: delays repeat deterministically"
+
+
+def test_exhausted_5xx_reports_server_error_not_unreachable(world):
+    """A shard that *answers* — with a 5xx every time — must not be
+    reported as 'unreachable': the operator's next move differs."""
+    master, ruleset, _ = world
+    solo = ShardCluster.in_process(ruleset, master, 1)
+    store = RemoteMasterStore(solo.urls, retries=1, backoff=0.01)
+    try:
+        app = solo._members[0]["server"].app
+
+        def always_fail(method, path, body):
+            raise RuntimeError("injected permanent failure")  # handler -> 500
+
+        app.handle = always_fail
+        with pytest.raises(MasterDataError, match="5xx answer on every one of 2"):
+            store.probe(*_probe_requests(world, n=1)[0])
+        assert store.stats()["per_shard"][0]["errors"] >= 1
+    finally:
+        store.close()
+        solo.close()
+
+
+def test_4xx_detail_is_decoded_text_and_counted(world):
+    master, ruleset, _ = world
+    solo = ShardCluster.in_process(ruleset, master, 1)
+    store = RemoteMasterStore(solo.urls)
+    try:
+        app = solo._members[0]["server"].app
+        # a non-dict JSON body: the detail must come out as text, never
+        # as a bytes repr leaking b'...' into the user-facing error
+        app.handle = lambda method, path, body: (418, "short and stout")
+        with pytest.raises(MasterDataError, match="short and stout") as excinfo:
+            store.probe(*_probe_requests(world, n=1)[0])
+        assert "b'" not in str(excinfo.value)
+        assert store.stats()["per_shard"][0]["errors"] == 1
+    finally:
+        store.close()
+        solo.close()
+
+
+# ---------------------------------------------------------------------------
+# Replication: rotation, failover, circuit breaking
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def replicated(world):
+    master, ruleset, _ = world
+    cluster = ShardCluster.in_process(ruleset, master, SHARDS, replicas=REPLICAS)
+    yield cluster
+    cluster.close()
+
+
+def test_replicated_topology_parity_and_read_spread(world, replicated):
+    urls = replicated.urls
+    assert all(isinstance(group, list) and len(group) == REPLICAS for group in urls)
+    store = RemoteMasterStore(urls)
+    try:
+        requests = _probe_requests(world, n=20)
+        single = SingleRelationStore(world[0])
+        expected = [single.probe(r, v) for r, v in requests]
+        for _ in range(3):
+            assert store.probe_many(requests) == expected
+        per_shard = store.stats()["per_shard"]
+        assert sum(s["probes"] for s in per_shard) == 3 * len(requests)
+        # healthy replicas rotate the read load — for busy shards both
+        # replicas end up serving probes, not just the primary
+        spread = [[r["probes"] for r in s["replicas"]] for s in per_shard]
+        assert any(all(served > 0 for served in shard) for shard in spread), spread
+    finally:
+        store.close()
+
+
+def test_replica_killed_mid_run_fails_over_bit_identically(world):
+    master, ruleset, _ = world
+    cluster = ShardCluster.in_process(ruleset, master, SHARDS, replicas=REPLICAS)
+    store = RemoteMasterStore(cluster.urls, retries=1, backoff=0.01)
+    try:
+        requests = _probe_requests(world, n=20)
+        single = SingleRelationStore(master)
+        expected = [single.probe(r, v) for r, v in requests]
+        assert store.probe_many(requests) == expected  # warm pooled conns
+        for shard in range(SHARDS):
+            cluster.stop(shard, 1)  # kill one replica of every shard
+        # two sweeps: rotation guarantees the dead replica leads the
+        # candidate order at least once per shard — forcing a failover
+        assert store.probe_many(requests) == expected
+        assert store.probe_many(requests) == expected
+        stats = store.stats()
+        assert sum(s["failovers"] for s in stats["per_shard"]) >= 1
+    finally:
+        store.close()
+        cluster.close()
+
+
+def test_circuit_opens_and_half_opens_on_schedule():
+    endpoint = ShardEndpoint(
+        0,
+        "http://127.0.0.1:9",
+        stats_token="circuit-schedule-test",
+        circuit_threshold=2,
+        circuit_reset=0.15,
+    )
+    assert endpoint.circuit_state() == "closed"
+    endpoint.note_failure()
+    assert endpoint.circuit_state() == "closed"  # below threshold
+    endpoint.note_failure()
+    assert endpoint.circuit_state() == "open"
+    assert endpoint.stats()["circuit_opens"] == 1
+    assert not endpoint.claim_half_open_probe()  # window not elapsed yet
+    time.sleep(0.2)
+    assert endpoint.circuit_state() == "half-open"
+    assert endpoint.claim_half_open_probe()  # exactly one claimant...
+    assert not endpoint.claim_half_open_probe()  # ...window re-armed
+    endpoint.note_failure()  # the re-probe failed: open again, counted once
+    assert endpoint.circuit_state() == "open"
+    assert endpoint.stats()["circuit_opens"] == 1
+    time.sleep(0.2)
+    assert endpoint.claim_half_open_probe()
+    endpoint.note_success()  # the re-probe succeeded: fully closed
+    assert endpoint.circuit_state() == "closed"
+    assert endpoint.stats()["circuit"] == "closed"
+
+
+def test_circuit_parks_dead_replica_after_threshold(world):
+    master, ruleset, _ = world
+    cluster = ShardCluster.in_process(ruleset, master, 1, replicas=REPLICAS)
+    store = RemoteMasterStore(
+        cluster.urls, retries=0, backoff=0.01, circuit_threshold=2, circuit_reset=60.0
+    )
+    try:
+        rule, values = _probe_requests(world, n=1)[0]
+        cluster.stop(0, 0)
+        for _ in range(6):
+            store.probe(rule, values)
+        dead, alive = store.stats()["per_shard"][0]["replicas"]
+        assert dead["circuit"] == "open"
+        assert alive["circuit"] == "closed" and alive["probes"] == 6
+        # after circuit_threshold failures the dead replica is parked —
+        # later probes stop re-dialing it, so failovers stay bounded
+        assert dead["failovers"] == 2
+    finally:
+        store.close()
+        cluster.close()
+
+
+def test_all_replicas_dead_is_loud_and_names_every_url(world):
+    master, ruleset, _ = world
+    cluster = ShardCluster.in_process(ruleset, master, 1, replicas=REPLICAS)
+    urls = list(cluster.urls[0])
+    store = RemoteMasterStore(cluster.urls, retries=0, backoff=0.01)
+    try:
+        rule, values = _probe_requests(world, n=1)[0]
+        cluster.stop(0, 0)
+        cluster.stop(0, 1)
+        with pytest.raises(MasterDataError, match="no reachable replica") as excinfo:
+            store.probe(rule, values)
+        for url in urls:
+            assert url in str(excinfo.value), f"error does not name {url}"
+    finally:
+        store.close()
+        cluster.close()
+
+
+def test_stale_replica_rejected_at_handshake(world, cluster):
+    """A replica serving *yesterday's* master must be refused loudly at
+    construction — failover would otherwise consult it silently."""
+    master, ruleset, _ = world
+    stale_master = uk.generate_master(40, seed=77)
+    stale = ShardCluster.in_process(ruleset, stale_master, SHARDS)
+    try:
+        urls = [
+            [cluster.urls[i], stale.urls[i]] if i == 1 else [cluster.urls[i]]
+            for i in range(SHARDS)
+        ]
+        with pytest.raises(MasterDataError, match="disagree on master content"):
+            RemoteMasterStore(urls)
+    finally:
+        stale.close()
+
+
+def test_replicated_store_pickles_with_topology(world, replicated):
+    store = RemoteMasterStore(replicated.urls)
+    try:
+        rule, values = _probe_requests(world, n=1)[0]
+        expected = store.probe(rule, values)
+        clone = pickle.loads(pickle.dumps(store))
+        try:
+            assert clone.replica_urls == store.replica_urls
+            assert clone.probe(rule, values) == expected
+        finally:
+            clone.close()
+    finally:
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Chaos conformance: kills and rolling restarts under a live batch clean
+# ---------------------------------------------------------------------------
+
+
+def test_failover_conformance_replica_killed_mid_run(tmp_path):
+    """A replica dying while a batch clean is probing: zero wrong
+    answers, bit-identical to the single-backend run."""
+    case = generate_case(2303, scenario="uk")
+    with case_cluster(case, tmp_path, shards=SHARDS, replicas=REPLICAS) as cluster:
+        outcome = run_failover_conformance(
+            case, cluster, disrupt=lambda c: c.stop(1, 0), delay=0.03
+        )
+    assert outcome.fixed_rows
+
+
+def test_failover_conformance_rolling_restart_under_live_traffic(tmp_path):
+    """Every member bounced one at a time while the clean runs — the
+    zero-downtime deployment shape — with bit-identical output."""
+    case = generate_case(2404, scenario="uk")
+    with case_cluster(case, tmp_path, shards=SHARDS, replicas=REPLICAS) as cluster:
+        run_failover_conformance(
+            case,
+            cluster,
+            disrupt=lambda c: c.rolling_restart(pause=0.02),
+            delay=0.03,
+        )
