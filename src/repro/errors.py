@@ -79,5 +79,9 @@ class MonitorError(CerFixError):
     """
 
 
+class ScrapeError(CerFixError):
+    """A cluster-monitor scrape could not reach or parse an endpoint."""
+
+
 class ValidationError(CerFixError):
     """User-supplied input (CLI values, generator parameters) is invalid."""

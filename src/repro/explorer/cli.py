@@ -19,12 +19,19 @@ Subcommands::
                     --shard-id I --shards N [--host H] [--port P]
     cerfix audit    --log FILE [--attr NAME] [--tuple ID]
     cerfix trace    FILE [--trace-id PREFIX] [--audit LOG]   # span-file analysis
+    cerfix health   --shard-urls URL,..[;URL,..] [--service URL] [--json]
+    cerfix top      --shard-urls URL,..[;URL,..] [--service URL]
+                    [--interval S] [--iterations N]
     cerfix generate [--scenario ...] --master-out CSV --out CSV --truth-out CSV
     cerfix demo                                   # the Fig. 3 walkthrough
 
 ``clean`` and ``serve`` accept ``--trace FILE [--trace-sample Q]`` to
-export structured spans (JSON lines) for ``cerfix trace`` to analyse;
-shard servers inherit the export target through ``CERFIX_TRACE``.
+export structured spans (JSON lines) for ``cerfix trace`` to analyse,
+and ``--slowlog FILE [--slow-ms T]`` to append spans slower than the
+threshold to a structured slowlog (also a ``cerfix trace`` input);
+shard servers inherit both through ``CERFIX_TRACE`` /
+``CERFIX_SLOW_SPAN``. ``health`` exits 0 only when the cluster rollup
+is ``ok`` — 1 on degraded/down, so it slots into scripts and probes.
 """
 
 from __future__ import annotations
@@ -109,14 +116,20 @@ def _engine(args) -> CerFix:
 
 
 def _configure_trace(args) -> None:
-    """Turn on span export when ``--trace`` was given.
+    """Turn on span export when ``--trace`` / ``--slowlog`` were given.
 
-    Also mirrors the target into ``CERFIX_TRACE`` so subprocesses this
-    command spawns (process-backend workers, shard servers launched
-    from the same shell) append to the same span file — multi-process
-    runs yield one connected trace."""
+    Also mirrors the targets into ``CERFIX_TRACE`` /
+    ``CERFIX_SLOW_SPAN`` so subprocesses this command spawns
+    (process-backend workers, shard servers launched from the same
+    shell) append to the same files — multi-process runs yield one
+    connected trace and one fleet-wide slowlog."""
     import os
 
+    slowlog = getattr(args, "slowlog", None)
+    if slowlog:
+        slow_ms = getattr(args, "slow_ms", 100.0)
+        tracing.configure_slowlog(slowlog, slow_ms)
+        os.environ["CERFIX_SLOW_SPAN"] = tracing.slow_env_value(slowlog, slow_ms)
     path = getattr(args, "trace", None)
     if not path:
         tracing.configure_from_env()
@@ -252,6 +265,68 @@ def cmd_trace(args) -> int:
     from repro.obs import tracecli
 
     return tracecli.run(args)
+
+
+def _monitor_from_args(args, *, fail_threshold: int):
+    from repro.obs.monitor import ClusterMonitor
+
+    shard_urls = _parse_shard_urls(args)
+    if not shard_urls:
+        raise CerFixError(
+            "--shard-urls is required: comma-separated shard-server urls in "
+            "shard-id order (';' separates shards with replica lists)"
+        )
+    return ClusterMonitor(
+        shard_urls,
+        service_url=getattr(args, "service", None),
+        timeout=args.timeout,
+        fail_threshold=fail_threshold,
+    )
+
+
+def cmd_health(args) -> int:
+    """One-shot cluster health rollup; exit 0 only when everything is ok."""
+    import json as _json
+
+    from repro.obs.monitor import describe_rollup
+
+    # One shot means one scrape: a single failure must already count as
+    # an open circuit, or a dead replica would need a second run to name.
+    monitor = _monitor_from_args(args, fail_threshold=1)
+    snapshot = monitor.scrape_once()
+    rollup = snapshot["rollup"]
+    if args.json:
+        print(_json.dumps(snapshot, indent=2, default=str))
+    else:
+        for line in describe_rollup(rollup):
+            print(line)
+    return 0 if rollup["status"] == "ok" else 1
+
+
+def cmd_top(args) -> int:
+    """Live terminal dashboard over the cluster (curses-free)."""
+    import time as _time
+
+    from repro.obs.monitor import render_top
+
+    monitor = _monitor_from_args(args, fail_threshold=2)
+    iterations = args.iterations
+    n = 0
+    try:
+        while True:
+            snapshot = monitor.scrape_once()
+            frame = render_top(snapshot, monitor.rates())
+            n += 1
+            if iterations and n >= iterations:
+                # Final (or only) frame: plain print, no screen control —
+                # what scripts and tests capture.
+                print(frame, end="")
+                return 0
+            print("\x1b[2J\x1b[H" + frame, end="", flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def cmd_shard_server(args) -> int:
@@ -474,6 +549,10 @@ def _add_trace_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trace", help="export structured spans (JSON lines) to this file")
     p.add_argument("--trace-sample", type=float, default=1.0, dest="trace_sample",
                    help="fraction of traces to export, 0..1 (default 1.0)")
+    p.add_argument("--slowlog", help="append spans slower than --slow-ms to this "
+                   "file (JSON lines; analyse with `cerfix trace`)")
+    p.add_argument("--slow-ms", type=float, default=100.0, dest="slow_ms",
+                   help="slowlog threshold in milliseconds (default 100)")
 
 
 def _add_store_flags(p: argparse.ArgumentParser) -> None:
@@ -565,6 +644,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only show traces whose id starts with this prefix")
     p.add_argument("--audit", help="audit log (JSON lines) to join fixes onto spans")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "health",
+        help="scrape a cluster once and report the health rollup "
+             "(exit 0 only when status is ok)",
+    )
+    p.add_argument("--shard-urls", dest="shard_urls", required=True,
+                   help="shard-server urls, shard-id order; ';' separates "
+                        "shards with comma-separated replica lists")
+    p.add_argument("--service", help="entry-service url to include in the rollup")
+    p.add_argument("--timeout", type=float, default=2.0,
+                   help="per-endpoint scrape timeout in seconds (default 2)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full cluster snapshot as JSON")
+    p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard: rates, per-shard latency "
+             "percentiles, circuits, failovers",
+    )
+    p.add_argument("--shard-urls", dest="shard_urls", required=True,
+                   help="shard-server urls, shard-id order; ';' separates "
+                        "shards with comma-separated replica lists")
+    p.add_argument("--service", help="entry-service url to include")
+    p.add_argument("--timeout", type=float, default=2.0,
+                   help="per-endpoint scrape timeout in seconds (default 2)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh interval in seconds (default 2)")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="stop after N frames (0 = run until Ctrl-C)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("generate", help="generate master data and a dirty workload")
     p.add_argument("--scenario", choices=("uk", "hospital"), default="uk")

@@ -24,7 +24,10 @@ DELETE /api/sessions/<id>            drop a session
 GET   /api/audit/<tuple_id>          per-tuple change trace (Fig. 4)
 GET   /api/audit                     per-attribute statistics (Fig. 4)
 GET   /api/metrics                   service metrics (same schema as the
-                                     async entry service)
+                                     async entry service);
+                                     ``?format=prometheus`` (also at
+                                     ``/metrics``) answers the Prometheus
+                                     text exposition instead
 ====  =============================  ===========================================
 
 Run it programmatically (`serve(engine, port=0)` returns the bound
@@ -42,7 +45,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.engine import CerFix
 from repro.monitor.session import MonitorSession
+from repro.obs import promfmt
 from repro.obs.metrics import get_registry
+from repro.obs.monitor import install_process_gauges
 from repro.service.app import RoutingCore, classify_route, session_state
 from repro.service.metrics import ServiceMetrics
 
@@ -75,6 +80,7 @@ class CerFixWebApp:
         self._lock = threading.Lock()
         registry = get_registry()
         self.metrics.register(registry, "explorer")
+        install_process_gauges(registry)
         # The serial app admits one request at a time and has no session
         # cap; publish those limits as gauges so the registry dump says
         # so explicitly rather than by omission.
@@ -173,7 +179,23 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _respond_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _dispatch(self, method: str) -> None:
+        path, _, query = self.path.partition("?")
+        if method == "GET" and path in ("/metrics", "/api/metrics") and (
+            "format=prometheus" in query
+        ):
+            registry = get_registry()
+            registry.record_snapshot()
+            self._respond_text(200, promfmt.render(registry.dump()), promfmt.CONTENT_TYPE)
+            return
         body = None
         length = int(self.headers.get("Content-Length") or 0)
         if length:

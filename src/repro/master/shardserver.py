@@ -15,8 +15,11 @@ Wire protocol (all JSON)::
     GET  /healthz      {ok, shard_id, shards, tuples, digest, name}
     GET  /stats        request counters + the underlying store's stats
     GET  /metrics      the process-wide registry dump + this server's
-                       request counters (see :mod:`repro.obs.metrics`)
-                       — the scrape endpoint for the whole cluster
+                       request counters and delta rates (see
+                       :mod:`repro.obs.metrics`) — the scrape endpoint
+                       for the whole cluster;
+                       ``?format=prometheus`` answers the Prometheus
+                       text exposition instead (:mod:`repro.obs.promfmt`)
     GET  /relation     {schema, tuples, digest} — the canonical content
     POST /prebuild     warm this shard's indexes for every rule spec
     POST /probe_many   {"probes": [{"rule_id": ..., "values": {...}}],
@@ -50,8 +53,9 @@ from typing import Any, Sequence
 
 from repro.errors import MasterDataError
 from repro.core.ruleset import RuleSet
-from repro.obs import trace
+from repro.obs import promfmt, trace
 from repro.obs.metrics import get_registry
+from repro.obs.monitor import install_process_gauges
 from repro.master.store import (
     MasterMatch,
     ShardedMasterStore,
@@ -103,7 +107,17 @@ class ShardServerApp:
         self.requests = 0
         self.probes = 0
         self.misroutes = 0
-        get_registry().register_source(f"shard{shard_id}", self.counters)
+        registry = get_registry()
+        registry.register_source(f"shard{shard_id}", self.counters)
+        # The cluster monitor consumes flat instruments, not sources:
+        # mirror the request counters into registry counters and time
+        # every request into a histogram, and register the per-process
+        # self-gauges so a scrape answers rss/fds/threads/uptime too.
+        install_process_gauges(registry)
+        self._req_counter = registry.counter("cerfix.shard.requests")
+        self._probe_counter = registry.counter("cerfix.shard.probes")
+        self._misroute_counter = registry.counter("cerfix.shard.misroutes")
+        self._req_seconds = registry.histogram("cerfix.shard.request_seconds")
 
     def counters(self) -> dict[str, Any]:
         """This server's request counters (a registry source)."""
@@ -124,13 +138,31 @@ class ShardServerApp:
         ``X-Cerfix-Trace`` and activates the client's context around
         this call) — ``handle`` keeps its three-argument shape so tests
         and embedders can wrap it without caring about telemetry."""
-        return self._route(method, path, body)
+        start = time.perf_counter()
+        try:
+            return self._route(method, path, body)
+        finally:
+            self._req_seconds.observe(time.perf_counter() - start)
+
+    def metrics_prometheus(self) -> str:
+        """The registry as Prometheus text (``/metrics?format=prometheus``)."""
+        registry = get_registry()
+        registry.record_snapshot()
+        return promfmt.render(registry.dump())
 
     def _route(self, method: str, path: str, body: Any) -> tuple[int, Any]:
+        path = path.partition("?")[0]
         with self._lock:
             self.requests += 1
+        self._req_counter.inc()
         if method == "GET" and path == "/metrics":
-            return 200, {**get_registry().dump(), "shard": self.counters()}
+            registry = get_registry()
+            registry.record_snapshot()
+            return 200, {
+                **registry.dump(),
+                "shard": self.counters(),
+                "rates": registry.rates(),
+            }
         if method == "GET" and path == "/healthz":
             return 200, {
                 "ok": True,
@@ -186,6 +218,7 @@ class ShardServerApp:
             if match is None:
                 with self._lock:
                     self.misroutes += 1
+                self._misroute_counter.inc()
                 return 409, {
                     "error": f"probe {i}: key routes to shard {expected}, "
                     f"not this server's shard {self.shard_id} — client and "
@@ -195,6 +228,7 @@ class ShardServerApp:
             matches.append({"positions": list(match.positions), "values": list(match.values)})
         with self._lock:
             self.probes += len(matches)
+        self._probe_counter.inc(len(matches))
         return 200, {"matches": matches}
 
     def match_from_json(self, obj: dict) -> MasterMatch:
@@ -223,7 +257,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _respond_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _dispatch(self, method: str) -> None:
+        path, _, query = self.path.partition("?")
+        if method == "GET" and path == "/metrics" and "format=prometheus" in query:
+            try:
+                self._respond_text(
+                    200, self.app.metrics_prometheus(), promfmt.CONTENT_TYPE
+                )
+            except Exception as exc:
+                self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
         body = None
         length = int(self.headers.get("Content-Length") or 0)
         if length:

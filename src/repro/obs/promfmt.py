@@ -1,0 +1,178 @@
+"""Prometheus text exposition (format 0.0.4) for registry dumps.
+
+Renders a :meth:`MetricsRegistry.dump` snapshot — the JSON every
+``/metrics`` endpoint already serves — as the Prometheus text format,
+so a stock Prometheus server can scrape any CerFix process directly:
+
+* counters get the conventional ``_total`` suffix and a
+  ``# TYPE <name> counter`` line;
+* gauges keep their name with ``# TYPE <name> gauge``;
+* histograms are re-derived from the dump's per-bucket occupancies
+  into *cumulative* ``<name>_bucket{le="<seconds>"}`` samples (the
+  dump stores non-cumulative millisecond buckets), plus the required
+  ``+Inf`` bucket, ``_sum`` (seconds) and ``_count``;
+* dotted CerFix names are sanitized to the Prometheus charset
+  (``cerfix.remote.failovers`` → ``cerfix_remote_failovers_total``).
+
+``sources`` (free-form nested stats) are deliberately not rendered —
+they have no fixed schema; the flat instruments are the contract.
+
+:func:`render_labeled` renders several dumps into one page with a
+label set per dump (``{"shard": "0", "replica": "1"}``), which is what
+the cluster monitor uses to expose a whole fleet at once. The text
+format requires every sample of a metric family to sit in one
+contiguous group under a single ``# TYPE`` line, so rendering collects
+samples per family first and emits family-by-family.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, Tuple
+
+from .metrics import BUCKET_BOUNDS_MS
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    """Map an arbitrary metric name onto ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    out = _INVALID_CHARS.sub("_", name)
+    if not out:
+        return "_"
+    if _INVALID_FIRST.match(out):
+        out = "_" + out
+    return out
+
+
+def sanitize_label_name(name: str) -> str:
+    """Label names are narrower than metric names: no colons allowed."""
+    out = _INVALID_LABEL_CHARS.sub("_", name)
+    if not out:
+        return "_"
+    if _INVALID_FIRST.match(out):
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Dict[str, str] | None, extra: str = "") -> str:
+    parts = [
+        f'{sanitize_label_name(k)}="{escape_label_value(str(v))}"'
+        for k, v in (labels or {}).items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _parse_bucket_key(key: str) -> float:
+    """Dump bucket keys are ``"<=<ms>"`` or ``"+inf"``; answer the
+    upper bound in milliseconds (``inf`` for the overflow bucket)."""
+    if key == "+inf":
+        return float("inf")
+    return float(key[2:])
+
+
+class _Families:
+    """Samples grouped per metric family, first-seen order preserved."""
+
+    def __init__(self) -> None:
+        self._order: list[str] = []
+        self._families: Dict[str, tuple[str, list[str]]] = {}
+
+    def add(self, family: str, kind: str, sample: str) -> None:
+        entry = self._families.get(family)
+        if entry is None:
+            entry = (kind, [])
+            self._families[family] = entry
+            self._order.append(family)
+        entry[1].append(sample)
+
+    def text(self) -> str:
+        lines: list[str] = []
+        for family in self._order:
+            kind, samples = self._families[family]
+            lines.append(f"# TYPE {family} {kind}")
+            lines.extend(samples)
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _add_histogram(
+    fams: _Families,
+    name: str,
+    hist: Dict[str, Any],
+    labels: Dict[str, str] | None,
+) -> None:
+    count = int(hist.get("count", 0))
+    mean_ms = float(hist.get("mean_ms", 0.0))
+    occupancy: Dict[float, int] = {}
+    for key, n in hist.get("buckets", {}).items():
+        occupancy[_parse_bucket_key(key)] = int(n)
+    cumulative = 0
+    for bound_ms in BUCKET_BOUNDS_MS:
+        cumulative += occupancy.get(bound_ms, 0)
+        le = _format_value(bound_ms / 1000.0)
+        label_text = _labels_text(labels, f'le="{le}"')
+        fams.add(name, "histogram", f"{name}_bucket{label_text} {cumulative}")
+    label_text = _labels_text(labels, 'le="+Inf"')
+    fams.add(name, "histogram", f"{name}_bucket{label_text} {count}")
+    plain = _labels_text(labels)
+    total_s = _format_value(mean_ms * count / 1000.0)
+    fams.add(name, "histogram", f"{name}_sum{plain} {total_s}")
+    fams.add(name, "histogram", f"{name}_count{plain} {count}")
+
+
+def _add_dump(
+    fams: _Families,
+    dump: Dict[str, Any],
+    labels: Dict[str, str] | None,
+) -> None:
+    for raw_name, value in sorted(dump.get("counters", {}).items()):
+        name = sanitize_name(raw_name)
+        if not name.endswith("_total"):
+            name += "_total"
+        fams.add(name, "counter", f"{name}{_labels_text(labels)} {_format_value(value)}")
+    for raw_name, value in sorted(dump.get("gauges", {}).items()):
+        name = sanitize_name(raw_name)
+        fams.add(name, "gauge", f"{name}{_labels_text(labels)} {_format_value(value)}")
+    for raw_name, hist in sorted(dump.get("histograms", {}).items()):
+        _add_histogram(fams, sanitize_name(raw_name), hist, labels)
+
+
+def render(dump: Dict[str, Any], labels: Dict[str, str] | None = None) -> str:
+    """Render one registry dump as Prometheus text (trailing newline)."""
+    fams = _Families()
+    _add_dump(fams, dump, labels)
+    return fams.text()
+
+
+def render_labeled(
+    dumps: Iterable[Tuple[Dict[str, str], Dict[str, Any]]],
+) -> str:
+    """Render ``[(labels, dump), ...]`` into one page.
+
+    The same instrument from many replicas becomes one family with one
+    ``# TYPE`` line and a distinctly-labelled sample per replica.
+    """
+    fams = _Families()
+    for labels, dump in dumps:
+        _add_dump(fams, dump, labels)
+    return fams.text()

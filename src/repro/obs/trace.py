@@ -42,8 +42,13 @@ HEADER = "X-Cerfix-Trace"
 _ENABLED = False
 _PATH: str | None = None
 _SAMPLE = 1.0
-_FD: int | None = None
-_FD_PID: int | None = None
+_SINK: "_Sink | None" = None
+_SLOW: "_Sink | None" = None
+_SLOW_MS = 100.0
+
+# Default export-file cap: a long-running traced service must not fill
+# the disk. Override with CERFIX_TRACE_MAX_MB (0 disables rotation).
+DEFAULT_MAX_MB = 256.0
 
 _CURRENT: ContextVar[Any] = ContextVar("cerfix_current_span", default=None)
 
@@ -131,10 +136,16 @@ class Span:
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         _CURRENT.reset(self._token)
-        if self.sampled and _ENABLED:
-            if exc_type is not None:
-                self.attrs["error"] = exc_type.__name__
-            _export(self, time.perf_counter() - self._start)
+        dur_s = time.perf_counter() - self._start
+        if exc_type is not None and (_SINK is not None or _SLOW is not None):
+            self.attrs["error"] = exc_type.__name__
+        if self.sampled and _ENABLED and _SINK is not None:
+            _SINK.write(_record(self, dur_s))
+        # The slowlog ignores the sampling bit: a span slow enough to
+        # cross the threshold is exactly the one you cannot afford to
+        # have sampled out.
+        if _SLOW is not None and dur_s * 1000.0 >= _SLOW_MS:
+            _SLOW.write(_record(self, dur_s, slow_ms=_SLOW_MS))
         return False
 
     def annotate(self, **attrs: Any) -> None:
@@ -236,22 +247,73 @@ def parse_header(value: str | None) -> TraceCarrier | None:
 # -- configuration -----------------------------------------------------------
 
 
-def configure(path: str | os.PathLike, sample: float = 1.0) -> None:
-    """Enable tracing in this process, exporting spans to ``path``."""
-    global _ENABLED, _PATH, _SAMPLE
-    _close_fd()
+def _env_max_bytes() -> int:
+    """The rotation cap in bytes from ``CERFIX_TRACE_MAX_MB`` (0 = off)."""
+    raw = os.environ.get("CERFIX_TRACE_MAX_MB", "").strip()
+    if not raw:
+        return int(DEFAULT_MAX_MB * 1024 * 1024)
+    try:
+        return max(0, int(float(raw) * 1024 * 1024))
+    except ValueError:
+        return int(DEFAULT_MAX_MB * 1024 * 1024)
+
+
+def configure(
+    path: str | os.PathLike,
+    sample: float = 1.0,
+    max_mb: float | None = None,
+) -> None:
+    """Enable tracing in this process, exporting spans to ``path``.
+
+    The export file rotates once it reaches ``max_mb`` megabytes
+    (default :data:`DEFAULT_MAX_MB`, overridable per environment with
+    ``CERFIX_TRACE_MAX_MB``; 0 disables rotation): the current file is
+    renamed to ``<path>.1`` — replacing any previous ``.1`` — and a
+    fresh file is started, so a traced service holds at most ~2× the
+    cap on disk.
+    """
+    global _ENABLED, _PATH, _SAMPLE, _SINK
+    if _SINK is not None:
+        _SINK.close()
+    max_bytes = (
+        _env_max_bytes() if max_mb is None else max(0, int(max_mb * 1024 * 1024))
+    )
     _PATH = os.fspath(path)
+    _SINK = _Sink(_PATH, max_bytes)
     _SAMPLE = max(0.0, min(1.0, float(sample)))
+    _ENABLED = True
+
+
+def configure_slowlog(path: str | os.PathLike, threshold_ms: float = 100.0) -> None:
+    """Append spans slower than ``threshold_ms`` to a structured slowlog.
+
+    The slowlog is plain span JSONL (plus a ``slow_ms`` threshold
+    stamp) so ``cerfix trace`` reads it directly for offline
+    diagnosis. Enabling the slowlog turns span measurement on even if
+    no full trace export is configured; slow spans are logged
+    regardless of the sampling bit.
+    """
+    global _ENABLED, _SLOW, _SLOW_MS
+    if _SLOW is not None:
+        _SLOW.close()
+    _SLOW = _Sink(os.fspath(path), _env_max_bytes())
+    _SLOW_MS = float(threshold_ms)
     _ENABLED = True
 
 
 def disable() -> None:
     """Turn tracing off (spans already open export if sampled-in)."""
-    global _ENABLED, _PATH, _SAMPLE
+    global _ENABLED, _PATH, _SAMPLE, _SINK, _SLOW, _SLOW_MS
     _ENABLED = False
     _PATH = None
     _SAMPLE = 1.0
-    _close_fd()
+    if _SINK is not None:
+        _SINK.close()
+    _SINK = None
+    if _SLOW is not None:
+        _SLOW.close()
+    _SLOW = None
+    _SLOW_MS = 100.0
 
 
 def enabled() -> bool:
@@ -262,11 +324,24 @@ def export_path() -> str | None:
     return _PATH
 
 
+def slowlog_path() -> str | None:
+    return _SLOW.path if _SLOW is not None else None
+
+
 def configure_from_env() -> bool:
-    """Honour ``CERFIX_TRACE=path[|sample]`` if set; returns whether
+    """Honour ``CERFIX_TRACE=path[|sample]`` and
+    ``CERFIX_SLOW_SPAN=path[|threshold_ms]`` if set; returns whether
     tracing ended up enabled. Shard servers call this at startup so a
     spawned cluster inherits the client's tracing config through the
     environment."""
+    slow = os.environ.get("CERFIX_SLOW_SPAN", "").strip()
+    if slow:
+        path, _, thresh = slow.partition("|")
+        try:
+            threshold_ms = float(thresh) if thresh else 100.0
+        except ValueError:
+            threshold_ms = 100.0
+        configure_slowlog(path, threshold_ms)
     value = os.environ.get("CERFIX_TRACE", "").strip()
     if not value:
         return _ENABLED
@@ -284,31 +359,85 @@ def env_value(path: str, sample: float) -> str:
     return path if sample >= 1.0 else f"{path}|{sample:g}"
 
 
+def slow_env_value(path: str, threshold_ms: float) -> str:
+    """The ``CERFIX_SLOW_SPAN`` encoding of a slowlog config."""
+    return f"{path}|{threshold_ms:g}"
+
+
 # -- JSONL export ------------------------------------------------------------
 
 
-def _close_fd() -> None:
-    global _FD, _FD_PID
-    if _FD is not None:
+class _Sink:
+    """An ``O_APPEND`` JSONL writer: fork-safe, size-rotated.
+
+    Appends are single ``os.write`` lines, so many processes share one
+    file without torn lines. The fd is reopened whenever the PID
+    changes (forked workers must never share an offset). When the file
+    reaches ``max_bytes`` it is renamed to ``<path>.1`` and a fresh
+    file started — but only by the process whose fd still points at
+    the live file (inode check), so concurrent writers rotate once.
+    """
+
+    __slots__ = ("path", "max_bytes", "_fd", "_pid")
+
+    def __init__(self, path: str, max_bytes: int = 0):
+        self.path = path
+        self.max_bytes = max_bytes
+        self._fd: int | None = None
+        self._pid: int | None = None
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+        self._fd = None
+        self._pid = None
+
+    def _maybe_rotate(self) -> None:
+        if not self.max_bytes or self._fd is None:
+            return
         try:
-            os.close(_FD)
+            stat = os.fstat(self._fd)
+            if stat.st_size < self.max_bytes:
+                return
+            # Rotate only if our fd is still the live file — a sibling
+            # process may have already renamed it out from under us.
+            if os.stat(self.path).st_ino == stat.st_ino:
+                os.replace(self.path, self.path + ".1")
         except OSError:
             pass
-    _FD = None
-    _FD_PID = None
+        self.close()  # next write reopens (and re-creates) the live path
 
-
-def _export(s: Span, dur_s: float) -> None:
-    global _FD, _FD_PID
-    if _PATH is None:
-        return
-    pid = os.getpid()
-    if _FD is None or _FD_PID != pid:  # reopen after fork — never share offsets
+    def write(self, record: dict[str, Any]) -> None:
+        pid = os.getpid()
+        if self._fd is None or self._pid != pid:
+            self.close()
+            try:
+                self._fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+            except OSError:
+                self._fd = None
+                return
+            self._pid = pid
+        self._maybe_rotate()
+        if self._fd is None:
+            try:
+                self._fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+            except OSError:
+                return
+            self._pid = pid
         try:
-            _FD = os.open(_PATH, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            os.write(self._fd, (json.dumps(record, default=str) + "\n").encode("utf-8"))
         except OSError:
-            return
-        _FD_PID = pid
+            pass
+
+
+def _record(s: Span, dur_s: float, slow_ms: float | None = None) -> dict[str, Any]:
     record: dict[str, Any] = {
         "trace": s.trace_id,
         "span": s.span_id,
@@ -316,11 +445,10 @@ def _export(s: Span, dur_s: float) -> None:
         "name": s.name,
         "ts": round(s._wall, 6),
         "dur_ms": round(dur_s * 1000.0, 3),
-        "pid": pid,
+        "pid": os.getpid(),
     }
+    if slow_ms is not None:
+        record["slow_ms"] = slow_ms
     if s.attrs:
         record["attrs"] = s.attrs
-    try:
-        os.write(_FD, (json.dumps(record, default=str) + "\n").encode("utf-8"))
-    except OSError:
-        pass
+    return record

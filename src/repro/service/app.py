@@ -30,6 +30,7 @@ from repro.errors import CerFixError, MonitorError
 from repro.monitor.session import MonitorSession
 from repro.obs import trace
 from repro.obs.metrics import get_registry
+from repro.obs.monitor import install_process_gauges
 from repro.service.batcher import CoalescingMasterDataManager, ProbeBatcher, ProbeKeyer
 from repro.service.cache import LRUMemo, MemoView, SharedProbeCache
 from repro.service.limits import Admission, AdmissionController
@@ -351,6 +352,7 @@ class AsyncCerFixService:
         self._id_counter = itertools.count()
         registry = get_registry()
         self.metrics.register(registry, "service")
+        install_process_gauges(registry)
         registry.set_gauge("cerfix.service.max_sessions", max_sessions)
         registry.set_gauge("cerfix.service.max_inflight", max_inflight)
         registry.set_gauge("cerfix.service.max_session_pending", max_session_pending)

@@ -26,6 +26,8 @@ import json
 import threading
 from typing import Any
 
+from repro.obs import promfmt
+from repro.obs.metrics import get_registry
 from repro.service.app import AsyncCerFixService
 
 #: Bounds a hostile/buggy client can hit before we drop the connection.
@@ -89,10 +91,20 @@ def _encode_response(
     status: int, payload: Any, extra_headers: dict[str, str], *, keep_alive: bool
 ) -> bytes:
     data = json.dumps(payload, default=str).encode("utf-8")
-    reason = _REASONS
+    return _encode_raw(status, data, "application/json", extra_headers, keep_alive=keep_alive)
+
+
+def _encode_raw(
+    status: int,
+    data: bytes,
+    content_type: str,
+    extra_headers: dict[str, str],
+    *,
+    keep_alive: bool,
+) -> bytes:
     lines = [
-        f"HTTP/1.1 {status} {reason.get(status, 'OK')}",
-        "Content-Type: application/json",
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(data)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
@@ -172,6 +184,27 @@ class AsyncCerFixServer:
                 if request is None:
                     break
                 method, path, headers, raw = request
+                bare, _, query = path.partition("?")
+                if (
+                    method == "GET"
+                    and bare in ("/metrics", "/api/metrics")
+                    and "format=prometheus" in query
+                ):
+                    # Prometheus scrapes bypass the JSON routing table:
+                    # text exposition of the process-wide registry.
+                    registry = get_registry()
+                    registry.record_snapshot()
+                    text = promfmt.render(registry.dump()).encode("utf-8")
+                    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                    writer.write(
+                        _encode_raw(
+                            200, text, promfmt.CONTENT_TYPE, {}, keep_alive=keep_alive
+                        )
+                    )
+                    await writer.drain()
+                    if not keep_alive:
+                        break
+                    continue
                 body = None
                 if raw:
                     try:

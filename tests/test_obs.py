@@ -33,7 +33,12 @@ from repro.master.conformance import (
 from repro.master.remote import RemoteMasterStore
 from repro.master.shardserver import ShardCluster
 from repro.obs import trace
-from repro.obs.metrics import BUCKET_BOUNDS_MS, MetricsRegistry, get_registry
+from repro.obs.metrics import (
+    BUCKET_BOUNDS_MS,
+    MetricsRegistry,
+    bucket_percentile,
+    get_registry,
+)
 from repro.scenarios import uk_customers as uk
 
 
@@ -139,6 +144,123 @@ class TestRegistry:
         assert get_registry() is get_registry()
 
 
+class TestPercentileEdgeCases:
+    """Regressions: zero- and single-observation percentiles."""
+
+    def test_zero_observations_answer_zero(self):
+        reg = MetricsRegistry()
+        summary = reg.histogram("empty").to_json()
+        assert summary["count"] == 0
+        assert summary["p50_ms"] == summary["p95_ms"] == summary["p99_ms"] == 0.0
+        assert summary["mean_ms"] == 0.0 and summary["max_ms"] == 0.0
+
+    def test_single_observation_every_quantile_agrees(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("one")
+        h.observe(0.003)
+        summary = h.to_json()
+        assert summary["count"] == 1
+        assert summary["p50_ms"] == summary["p95_ms"] == summary["p99_ms"]
+        assert 0 < summary["p50_ms"] <= summary["max_ms"] * 1.0001
+
+    def test_single_zero_observation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("zero")
+        h.observe(0.0)
+        summary = h.to_json()
+        # clamped to the observed max: a 0ms observation answers 0ms,
+        # not the first bucket's upper bound
+        assert summary["p50_ms"] == summary["p99_ms"] == 0.0
+
+    def test_bucket_percentile_never_exceeds_max(self):
+        for q in (0.5, 0.95, 0.99):
+            assert bucket_percentile([0, 1], 1, 0.07, q) == pytest.approx(0.07)
+        assert bucket_percentile([], 0, 0.0, 0.99) == 0.0
+
+    def test_overflow_bucket_quantile_is_observed_max(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("over")
+        h.observe(BUCKET_BOUNDS_MS[-1] / 1000 * 10)
+        summary = h.to_json()
+        assert summary["p99_ms"] == summary["max_ms"]
+
+
+class TestCallableGauges:
+    def test_register_gauge_evaluated_at_dump(self):
+        reg = MetricsRegistry()
+        calls = []
+
+        def level():
+            calls.append(1)
+            return 42.0
+
+        reg.register_gauge("lazy", level)
+        assert calls == []
+        assert reg.dump()["gauges"]["lazy"] == 42.0
+        assert len(calls) == 1
+
+    def test_gauge_fn_errors_and_none_skipped(self):
+        reg = MetricsRegistry()
+        reg.register_gauge("broken", lambda: 1 / 0)
+        reg.register_gauge("absent", lambda: None)
+        assert reg.dump()["gauges"] == {}
+
+    def test_last_registration_wins(self):
+        reg = MetricsRegistry()
+        reg.register_gauge("g", lambda: 1.0)
+        reg.register_gauge("g", lambda: 2.0)
+        assert reg.dump()["gauges"]["g"] == 2.0
+
+
+class TestSnapshotHistory:
+    def test_ring_is_bounded(self):
+        reg = MetricsRegistry(history=3)
+        for i in range(5):
+            reg.record_snapshot(ts=float(i))
+        assert [s["ts"] for s in reg.history()] == [2.0, 3.0, 4.0]
+
+    def test_rates_need_two_snapshots(self):
+        reg = MetricsRegistry()
+        reg.record_snapshot(ts=0.0)
+        assert reg.rates() == {"window_s": 0.0, "counters_per_s": {}, "histograms": {}}
+
+    def test_counter_delta_rates(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 10)
+        reg.record_snapshot(ts=100.0)
+        reg.inc("a", 30)
+        reg.inc("b", 4)  # born inside the window: delta from 0
+        reg.record_snapshot(ts=102.0)
+        rates = reg.rates()
+        assert rates["window_s"] == 2.0
+        assert rates["counters_per_s"] == {"a": 15.0, "b": 2.0}
+
+    def test_histogram_window_percentiles_are_delta(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for _ in range(100):
+            h.observe(5.0)  # ancient slow history
+        reg.record_snapshot(ts=0.0)
+        for _ in range(100):
+            h.observe(0.001)  # the window itself is fast
+        reg.record_snapshot(ts=10.0)
+        windowed = reg.rates()["histograms"]["lat"]
+        assert windowed["count_per_s"] == 10.0
+        assert windowed["p99_ms"] < 100.0  # lifetime p99 would be ~5000ms
+        assert reg.histogram("lat").to_json()["p99_ms"] >= 5000.0
+
+    def test_window_selects_oldest_inside(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 1)
+        reg.record_snapshot(ts=0.0)
+        reg.inc("a", 1)
+        reg.record_snapshot(ts=8.0)
+        reg.inc("a", 2)
+        reg.record_snapshot(ts=10.0)
+        assert reg.rates(window_s=3.0)["counters_per_s"] == {"a": 1.0}
+        assert reg.rates()["counters_per_s"] == {"a": 0.3}
+
+
 # ---------------------------------------------------------------------------
 # Trace primitives and propagation encodings
 # ---------------------------------------------------------------------------
@@ -194,6 +316,96 @@ class TestTracePrimitives:
         trace.disable()
         names = {s["name"] for s in _read_spans(path)}
         assert names == {"outer", "inner"}
+
+
+class TestTraceRotation:
+    def test_export_rotates_at_cap(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace.configure(path, max_mb=200 / (1024 * 1024))  # ~1 record per file
+        for i in range(20):
+            with trace.span("work", i=i):
+                pass
+        trace.disable()
+        rotated = path.with_name(path.name + ".1")
+        assert rotated.exists()
+        # the cap bounds BOTH files: live restarted small, one .1 kept
+        assert path.stat().st_size <= 400
+        assert rotated.stat().st_size <= 400
+        # rotated-out records still parse (cerfix trace reads them)
+        assert all(s["name"] == "work" for s in _read_spans(rotated))
+
+    def test_max_mb_env_honoured(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("CERFIX_TRACE_MAX_MB", str(200 / (1024 * 1024)))
+        monkeypatch.setenv("CERFIX_TRACE", str(path))
+        trace.configure_from_env()
+        for i in range(20):
+            with trace.span("work", i=i):
+                pass
+        trace.disable()
+        assert path.with_name(path.name + ".1").exists()
+
+    def test_zero_cap_disables_rotation(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace.configure(path, max_mb=0)
+        for i in range(20):
+            with trace.span("work", i=i):
+                pass
+        trace.disable()
+        assert not path.with_name(path.name + ".1").exists()
+        assert len(_read_spans(path)) == 20
+
+
+class TestSlowlog:
+    def test_only_slow_spans_logged(self, tmp_path):
+        import time as _time
+
+        path = tmp_path / "slow.jsonl"
+        trace.configure_slowlog(path, threshold_ms=5.0)
+        with trace.span("fast"):
+            pass
+        with trace.span("slow"):
+            _time.sleep(0.02)
+        trace.disable()
+        records = _read_spans(path)
+        assert [r["name"] for r in records] == ["slow"]
+        assert records[0]["slow_ms"] == 5.0
+        assert records[0]["dur_ms"] >= 5.0
+
+    def test_slowlog_ignores_sampling(self, tmp_path):
+        import time as _time
+
+        # sample=0: nothing exports to the trace file, but a slow span
+        # must still reach the slowlog — it is exactly the span you
+        # cannot afford to have sampled out.
+        trace.configure(tmp_path / "t.jsonl", sample=0.0)
+        slow_path = tmp_path / "slow.jsonl"
+        trace.configure_slowlog(slow_path, threshold_ms=5.0)
+        with trace.span("slow-unsampled"):
+            _time.sleep(0.02)
+        trace.disable()
+        assert [r["name"] for r in _read_spans(slow_path)] == ["slow-unsampled"]
+        # the sink opens lazily, so the sampled-out trace file was never created
+        assert not (tmp_path / "t.jsonl").exists()
+
+    def test_slowlog_env_roundtrip(self, tmp_path, monkeypatch):
+        path = tmp_path / "slow.jsonl"
+        monkeypatch.setenv("CERFIX_SLOW_SPAN", trace.slow_env_value(str(path), 25.0))
+        assert trace.configure_from_env() is True
+        assert trace.slowlog_path() == str(path)
+
+    def test_slowlog_readable_by_tracecli(self, tmp_path, capsys):
+        import time as _time
+
+        from repro.obs import tracecli
+
+        path = tmp_path / "slow.jsonl"
+        trace.configure_slowlog(path, threshold_ms=5.0)
+        with trace.span("slow-stage"):
+            _time.sleep(0.02)
+        trace.disable()
+        spans = tracecli.load_spans(path)
+        assert [s.name for s in spans] == ["slow-stage"]
 
 
 # ---------------------------------------------------------------------------
