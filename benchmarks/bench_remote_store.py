@@ -44,9 +44,17 @@ QUICK = os.environ.get("CERFIX_BENCH_QUICK", "") == "1"
 
 SHARDS = 3
 REPLICAS = 2
-MASTER_SIZE = 300 if QUICK else 2_000
-PROBE_INPUTS = 80 if QUICK else 400
-PROBE_ROUNDS = 1 if QUICK else 5
+# The quick geometry doubles as the full sweep's anchor point: a full
+# run replays it verbatim (test_remote_quick_anchor_rows) so the
+# committed dump always shares (mode, probes) rows with CI's quick
+# run — the intersection ``check_bench_json.py --remote-baseline``
+# guards against probe-throughput regressions.
+ANCHOR_MASTER = 300
+ANCHOR_INPUTS = 80
+ANCHOR_ROUNDS = 1
+MASTER_SIZE = ANCHOR_MASTER if QUICK else 2_000
+PROBE_INPUTS = ANCHOR_INPUTS if QUICK else 400
+PROBE_ROUNDS = ANCHOR_ROUNDS if QUICK else 5
 BATCH_ROWS = 100 if QUICK else 1_000
 CHUNK_SIZES = (64, 512)
 #: naive must cross the network at least this many times more often
@@ -81,6 +89,12 @@ def table():
         f"(best of 3); a killed replica costs <= 1 jittered retry-storm per "
         f"failed request before its circuit parks it, answers bit-identical"
     )
+    if not QUICK:
+        result.note(
+            f"the trailing naive/probe_many rows at {ANCHOR_INPUTS} inputs x "
+            f"{ANCHOR_ROUNDS} round replay the quick (CI) geometry against a "
+            f"{ANCHOR_MASTER}-row master — the --remote-baseline anchor points"
+        )
     save_table(result, "b5_remote_store.txt")
     save_json(result, "BENCH_remote.json")
 
@@ -231,6 +245,58 @@ def test_remote_replicated_steady_state_and_failover(table, world):
         )
     finally:
         rcluster.close()
+
+
+def test_remote_quick_anchor_rows(table, world):
+    """Full sweeps replay the quick-geometry probe workload so the
+    committed dump always shares exact (mode, probes) rows with CI's
+    quick run — the intersection the ``--remote-baseline`` guard in
+    check_bench_json.py compares. Same seeds, same sizes, own cluster:
+    the rows are byte-for-byte the workload the bench-smoke leg times."""
+    if QUICK:
+        pytest.skip("quick-mode rows already use the anchor geometry")
+    master = uk.generate_master(ANCHOR_MASTER, seed=31)
+    ruleset = uk.paper_ruleset()
+    inputs = uk.generate_workload(master, ANCHOR_INPUTS, rate=0.0, seed=32).clean
+    rules = [r for r in ruleset if not r.is_constant]
+    rows = [r.to_dict() for r in inputs.rows()]
+    requests = [
+        (rule, values)
+        for _ in range(ANCHOR_ROUNDS)
+        for values in rows
+        for rule in rules
+    ]
+    cluster = ShardCluster.in_process(ruleset, master, SHARDS)
+    try:
+        naive = RemoteMasterStore(cluster.urls)
+
+        def probe_naive():
+            for rule, values in requests:
+                naive.probe(rule, values)
+            return len(requests)
+
+        t_naive, n = time_call(probe_naive, repeat=1)
+        naive_trips = _round_trips(naive)
+        naive.close()
+        table.add(
+            "naive per-probe", n, naive_trips, "1.0x",
+            f"{t_naive:.2f}", f"{n / t_naive:.0f}",
+        )
+        for chunk in CHUNK_SIZES:
+            batched = RemoteMasterStore(cluster.urls, max_batch=chunk)
+            t_batched, _ = time_call(lambda: batched.probe_many(requests), repeat=1)
+            trips = _round_trips(batched)
+            batched.close()
+            table.add(
+                f"probe_many (chunk {chunk})",
+                len(requests),
+                trips,
+                f"{naive_trips / trips:.1f}x",
+                f"{t_batched:.2f}",
+                f"{len(requests) / t_batched:.0f}",
+            )
+    finally:
+        cluster.close()
 
 
 def test_remote_batch_pipeline_end_to_end(table, world):

@@ -23,6 +23,12 @@ comparable):
   still fails — batch fell against the stream measured in the *same*
   run, and no amount of machine noise explains that away.
 
+With ``--remote-baseline`` the same guard covers the B5 remote dump,
+keyed on (mode, probes) with ``naive per-probe`` as the anchor (the
+full B5 sweep replays the quick-geometry workload so the intersection
+with CI's quick run is never empty — see
+:func:`check_remote_regression`).
+
 The wide tolerance absorbs scheduling noise; a real perf bug blows
 straight through it.
 
@@ -32,6 +38,8 @@ Usage::
     python benchmarks/check_bench_json.py --all   # every BENCH_*.json in cwd
     python benchmarks/check_bench_json.py BENCH_batch.json \
         --baseline committed_BENCH_batch.json --max-regression 0.30
+    python benchmarks/check_bench_json.py BENCH_remote.json \
+        --remote-baseline committed_BENCH_remote.json
 
 Checks per file: valid JSON; ``experiment``/``headers``/``rows``/
 ``machine`` present; headers non-empty strings; at least one row; every
@@ -156,6 +164,83 @@ def check_regression(
     return problems
 
 
+def _remote_throughputs(obj: dict) -> dict[tuple[str, int], float]:
+    """probes/s per (mode, probes) configuration (B5 remote dumps).
+
+    Rows without a parseable probes/s cell (the end-to-end pipeline row
+    reports tuples, the failover row reports failover counts in other
+    columns) are skipped — they are trajectory records, not guard rows.
+    """
+    out: dict[tuple[str, int], float] = {}
+    for row in obj.get("rows", ()):
+        if not isinstance(row, dict):
+            continue
+        try:
+            key = (str(row["mode"]), int(row["probes"]))
+            out[key] = float(str(row["probes/s"]).replace(",", ""))
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+def check_remote_regression(
+    fresh_path: Path, baseline_path: Path, max_regression: float
+) -> list[str]:
+    """Remote probe-throughput drops beyond tolerance (empty = good).
+
+    The B5 analogue of :func:`check_regression`: configurations are
+    keyed on (mode, probes) — probe throughput depends on workload
+    size, so only same-size rows compare — and the full sweep replays
+    the quick geometry precisely so this intersection is never empty.
+    ``naive per-probe`` rows are compared absolutely; batched/replicated
+    rows are anchored on the naive row at the same probes count from
+    the *same* fresh dump (capped at 1.0): a slower network stack or
+    machine lowers the bar proportionally, while a batching regression
+    (chunking disabled, router degraded to per-probe trips) still
+    fails — batched fell against naive measured in the same run.
+    """
+    try:
+        fresh = _remote_throughputs(json.loads(fresh_path.read_text(encoding="utf-8")))
+    except (OSError, ValueError) as exc:
+        return [f"fresh dump unreadable: {exc}"]
+    try:
+        base = _remote_throughputs(
+            json.loads(baseline_path.read_text(encoding="utf-8"))
+        )
+    except (OSError, ValueError) as exc:
+        return [f"baseline unreadable: {exc}"]
+
+    shared = sorted(set(fresh) & set(base))
+    if not shared:
+        return [
+            f"no comparable (mode, probes) configurations between "
+            f"{fresh_path} and {baseline_path} — refresh the committed "
+            f"baseline with a full sweep (it replays the quick geometry)"
+        ]
+    anchor_mode = "naive per-probe"
+    fresh_naive = {p: v for (m, p), v in fresh.items() if m == anchor_mode}
+    base_naive = {p: v for (m, p), v in base.items() if m == anchor_mode}
+
+    problems = []
+    floor_share = 1.0 - max_regression
+    for mode, probes in shared:
+        got = fresh[(mode, probes)]
+        if mode == anchor_mode:
+            scale, anchor = 1.0, ""
+        else:
+            f_anchor, b_anchor = fresh_naive.get(probes), base_naive.get(probes)
+            scale = min(1.0, f_anchor / b_anchor) if f_anchor and b_anchor else 1.0
+            anchor = f" (naive-anchored x{scale:.2f})"
+        expected = base[(mode, probes)] * scale
+        if got < expected * floor_share:
+            problems.append(
+                f"{mode} @ {probes} probes: {got:.0f} probes/s is below "
+                f"{floor_share:.0%} of the baseline {expected:.0f} "
+                f"probes/s{anchor}"
+            )
+    return problems
+
+
 def check_obs_overhead(path: Path, max_overhead: float) -> list[str]:
     """Telemetry-off / being-scraped overhead beyond tolerance (empty = good).
 
@@ -214,6 +299,14 @@ def main(argv: list[str] | None = None) -> int:
         "(compared with the first file given)",
     )
     parser.add_argument(
+        "--remote-baseline",
+        type=Path,
+        dest="remote_baseline",
+        help="committed B5 remote dump to guard probe throughput against "
+        "(compared with the first file given, keyed on (mode, probes), "
+        "batched rows anchored on the fresh naive per-probe row)",
+    )
+    parser.add_argument(
         "--max-regression",
         type=float,
         default=0.30,
@@ -261,6 +354,22 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  - {problem}")
         else:
             print(f"ok   {fresh} within {args.max_regression:.0%} of {args.baseline}")
+
+    if args.remote_baseline is not None:
+        fresh = files[0]
+        problems = check_remote_regression(
+            fresh, args.remote_baseline, args.max_regression
+        )
+        if problems:
+            failed += 1
+            print(f"FAIL {fresh} vs remote baseline {args.remote_baseline}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(
+                f"ok   {fresh} within {args.max_regression:.0%} of "
+                f"{args.remote_baseline} (remote probe throughput)"
+            )
 
     if args.obs_overhead is not None:
         target = files[0]

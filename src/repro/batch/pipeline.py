@@ -117,6 +117,7 @@ class BatchCleaner:
         cache_path: str | Path | None = None,
         tuple_ids: Sequence[str] | None = None,
         max_rounds: int | None = None,
+        root_span: bool = True,
     ) -> BatchResult:
         """Clean ``dirty`` and return the repaired relation + report.
 
@@ -131,6 +132,11 @@ class BatchCleaner:
         content, rule set) pair — anything else degrades to a cold
         start — and saves the cache back on completion. The report's
         ``persistence`` line says which happened.
+
+        ``root_span=False`` suppresses the ``clean-run`` span for
+        callers that already own one — the paged DB cleaner wraps a
+        whole run in its own ``clean-run`` and nests each call here
+        under a ``page`` span instead.
         """
         got, want = set(dirty.schema.names), set(self.ruleset.input_schema.names)
         if got != want:
@@ -145,22 +151,36 @@ class BatchCleaner:
         unknown = [a for a in validated if a not in self.ruleset.input_schema]
         if unknown:
             raise CerFixError(f"validated attributes {unknown} not in the input schema")
-        with trace.span(
-            "clean-run", rows=len(dirty), workers=workers, backend=backend
-        ):
-            return self._clean(
-                dirty,
-                truth,
-                workers=workers,
-                backend=backend,
-                shards=shards,
-                dedupe=dedupe,
-                validated=validated,
-                journal_path=journal_path,
-                cache_path=cache_path,
-                tuple_ids=tuple_ids,
-                max_rounds=max_rounds,
-            )
+        if root_span:
+            with trace.span(
+                "clean-run", rows=len(dirty), workers=workers, backend=backend
+            ):
+                return self._clean(
+                    dirty,
+                    truth,
+                    workers=workers,
+                    backend=backend,
+                    shards=shards,
+                    dedupe=dedupe,
+                    validated=validated,
+                    journal_path=journal_path,
+                    cache_path=cache_path,
+                    tuple_ids=tuple_ids,
+                    max_rounds=max_rounds,
+                )
+        return self._clean(
+            dirty,
+            truth,
+            workers=workers,
+            backend=backend,
+            shards=shards,
+            dedupe=dedupe,
+            validated=validated,
+            journal_path=journal_path,
+            cache_path=cache_path,
+            tuple_ids=tuple_ids,
+            max_rounds=max_rounds,
+        )
 
     def _clean(
         self,

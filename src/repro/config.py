@@ -56,6 +56,17 @@ The optional ``service`` section configures the async entry service
 (``cerfix serve --async`` — see :mod:`repro.service`); its keys mirror
 :class:`~repro.service.app.AsyncCerFixService`'s constructor and only
 affect capacity and backpressure, never fixes.
+
+The optional ``dirty`` section points at the DB-native dirty relation
+(``cerfix clean --db``/``cerfix undo`` — see :mod:`repro.dirty`)::
+
+    "dirty": {"db": "dirty.db", "table": "dirty", "page_rows": 4096}
+
+``db`` resolves against the instance directory; ``table`` defaults to
+``"dirty"``; ``page_rows`` bounds per-page memory (overridable by the
+``CERFIX_PAGE_ROWS`` environment variable and the ``--page-rows``
+flag). Page size never affects fixes — the paged path is bit-identical
+to the in-memory path — only memory and archive granularity.
 """
 
 from __future__ import annotations
@@ -125,6 +136,43 @@ def _validate_service(section: dict) -> dict[str, Any]:
     return out
 
 
+def _validate_dirty(section: dict) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, raw in section.items():
+        if key == "db":
+            if not isinstance(raw, str) or not raw:
+                raise ValidationError(
+                    f"dirty option 'db' must be a non-empty path, got {raw!r}"
+                )
+            out[key] = raw
+        elif key == "table":
+            if not isinstance(raw, str) or not raw:
+                raise ValidationError(
+                    f"dirty option 'table' must be a non-empty name, got {raw!r}"
+                )
+            out[key] = raw
+        elif key == "page_rows":
+            try:
+                value = int(raw)
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"dirty option 'page_rows' must be an integer, got {raw!r}"
+                ) from None
+            if value < 1:
+                raise ValidationError(
+                    f"dirty option 'page_rows' must be >= 1, got {value}"
+                )
+            out[key] = value
+        else:
+            raise ValidationError(
+                f"unknown dirty option {key!r} "
+                f"(expected one of ['db', 'page_rows', 'table'])"
+            )
+    if out and "db" not in out:
+        raise ValidationError("dirty section needs a 'db' path")
+    return out
+
+
 def _schema_from_json(obj: dict) -> Schema:
     try:
         return schema_from_json(obj)
@@ -149,6 +197,8 @@ class InstanceConfig:
     #: Async entry service options (``cerfix serve --async``); keys mirror
     #: :class:`~repro.service.app.AsyncCerFixService` (see _SERVICE_KEYS).
     service: dict[str, Any] = field(default_factory=dict)
+    #: DB-native dirty relation: {"db": ..., "table": ..., "page_rows": ...}.
+    dirty: dict[str, Any] = field(default_factory=dict)
     options: dict[str, Any] = field(default_factory=dict)
 
     # -- (de)serialisation ---------------------------------------------------
@@ -165,6 +215,7 @@ class InstanceConfig:
             "precompute_regions": self.precompute_regions,
             "store": self.store,
             "service": self.service,
+            "dirty": self.dirty,
             "options": self.options,
         }
 
@@ -233,6 +284,7 @@ class InstanceConfig:
             precompute_regions=int(obj.get("precompute_regions", 0)),
             store=store,
             service=_validate_service(dict(obj.get("service", {}))),
+            dirty=_validate_dirty(dict(obj.get("dirty", {}))),
             options=dict(obj.get("options", {})),
         )
 

@@ -1,0 +1,37 @@
+"""DB-native dirty data: paged cleaning, reversible archive, undo.
+
+The dirty relation lives in a database table (sqlite first, behind the
+:mod:`repro.dirty.backend` seam) and streams through the batch pipeline
+in fixed-size pages, so tables larger than memory clean end to end with
+bit-identical fixes. Every cell change lands in a reversible archive in
+the same file; ``undo`` restores the exact pre-run table,
+digest-verified, and dry runs are enforced read-only.
+"""
+
+from repro.dirty.archive import CellChange, ChangeArchive, RunRecord
+from repro.dirty.backend import DbBackend, SqliteBackend, resolve_backend
+from repro.dirty.cleaner import (
+    DbCleaner,
+    DbCleanResult,
+    list_runs,
+    resolve_page_rows,
+    undo_run,
+)
+from repro.dirty.table import DEFAULT_PAGE_ROWS, DirtyTable, Page
+
+__all__ = [
+    "CellChange",
+    "ChangeArchive",
+    "RunRecord",
+    "DbBackend",
+    "SqliteBackend",
+    "resolve_backend",
+    "DbCleaner",
+    "DbCleanResult",
+    "list_runs",
+    "resolve_page_rows",
+    "undo_run",
+    "DEFAULT_PAGE_ROWS",
+    "DirtyTable",
+    "Page",
+]

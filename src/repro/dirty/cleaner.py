@@ -1,0 +1,509 @@
+"""The paged DB cleaner: certain fixes over a table that outgrows RAM.
+
+:class:`DbCleaner` streams the dirty table through the existing batch
+pipeline one fixed-size page at a time, so peak memory is bounded by
+``page_rows`` regardless of table size. Each page runs through
+:meth:`~repro.batch.pipeline.BatchCleaner.clean` (dedup, sharding,
+probe caching and checkpointing all apply within the page), then the
+page's cell fixes, their reversible archive rows and the run's progress
+counter commit in **one** database transaction — the run record in
+``cerfix_clean_runs`` is therefore always consistent with the table:
+a crash at any instant leaves either a fully-committed page or none of
+it, and :func:`undo_run` can unwind exactly what was applied.
+
+Two recovery layers compose on resume (``resume=<run-id>``): whole
+pages already committed are skipped by the run record's ``pages_done``,
+and the in-flight page re-runs against its *per-page checkpoint
+journal*, so shards that finished before the crash are replayed, not
+recomputed — mid-page resume, as the batch suite pins down. Page
+journals live under ``<db>.clean-journal/<run-id>/`` and the directory
+is removed once the run commits: a leftover journal directory always
+means an interrupted run.
+
+Because fixes are *certain* (scheduling-independent, as the batch
+pipeline guarantees), the paged path produces bit-identical output to
+the in-memory path; the conformance tests assert it. Per-tuple audit
+ids follow the row key (``r<rowid>``), so audit replay and the archive
+agree on which physical row every change touched.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+
+from repro.batch.pipeline import BatchCleaner
+from repro.dirty.archive import CellChange, ChangeArchive, RunRecord, new_run_id
+from repro.dirty.table import DEFAULT_PAGE_ROWS, DirtyTable, Page
+from repro.errors import DirtyDataError
+from repro.obs import trace
+from repro.obs.metrics import get_registry
+from repro.relational.schema import Schema
+
+#: Environment override for the page size — CI forces a tiny value so
+#: multi-page streaming and resume exercise on small fixtures.
+PAGE_ROWS_ENV = "CERFIX_PAGE_ROWS"
+
+
+def resolve_page_rows(page_rows: int | None) -> int:
+    """Explicit argument → ``CERFIX_PAGE_ROWS`` → default."""
+    if page_rows is None:
+        raw = os.environ.get(PAGE_ROWS_ENV, "").strip()
+        if raw:
+            try:
+                page_rows = int(raw)
+            except ValueError:
+                raise DirtyDataError(
+                    f"{PAGE_ROWS_ENV}={raw!r} is not an integer"
+                ) from None
+        else:
+            page_rows = DEFAULT_PAGE_ROWS
+    if page_rows < 1:
+        raise DirtyDataError(f"page size must be >= 1, got {page_rows}")
+    return page_rows
+
+
+@dataclass
+class DbCleanResult:
+    """Outcome of one paged clean (or dry run) over a database table."""
+
+    run_id: str | None
+    table: str
+    db: str
+    rows: int
+    pages: int
+    page_rows: int
+    changed_cells: int
+    dry_run: bool
+    resumed_pages: int
+    elapsed_seconds: float
+    #: Per-cell changes, populated on dry runs only — committed runs
+    #: keep them in the database archive, which scales; a report does not.
+    changes: list[CellChange] = field(default_factory=list)
+
+    def describe(self) -> str:
+        what = "dry run" if self.dry_run else f"run {self.run_id}"
+        line = (
+            f"{what}: {self.rows} rows in {self.pages} pages "
+            f"(page_rows={self.page_rows}), {self.changed_cells} cells "
+            f"{'would change' if self.dry_run else 'changed'} "
+            f"in {self.elapsed_seconds:.2f}s"
+        )
+        if self.resumed_pages:
+            line += f"; resumed past {self.resumed_pages} committed pages"
+        return line
+
+
+class DbCleaner:
+    """Paged cleaning of one :class:`~repro.dirty.table.DirtyTable`."""
+
+    def __init__(
+        self,
+        batch: BatchCleaner,
+        table: DirtyTable,
+        *,
+        page_rows: int | None = None,
+        journal_dir: str | Path | None = None,
+    ):
+        self.batch = batch
+        self.table = table
+        self.archive = ChangeArchive(table)
+        self.page_rows = resolve_page_rows(page_rows)
+        if journal_dir is not None:
+            self.journal_dir = Path(journal_dir)
+        elif hasattr(table.backend, "path"):
+            self.journal_dir = Path(f"{table.backend.path}.clean-journal")
+        else:
+            self.journal_dir = None
+
+    # -- public ------------------------------------------------------------
+
+    def clean(
+        self,
+        *,
+        workers: int = 1,
+        backend: str = "thread",
+        shards: int | None = None,
+        dedupe: bool = True,
+        validated: tuple[str, ...] = (),
+        max_rounds: int | None = None,
+        dry_run: bool = False,
+        resume: str | None = None,
+    ) -> DbCleanResult:
+        """Clean the table in pages; commit fixes + archive, or report only.
+
+        ``dry_run=True`` opens the database **read-only** (any write
+        would raise), records nothing, and returns every would-be change
+        in the result. ``resume`` continues an interrupted run by id.
+        """
+        if dry_run and resume is not None:
+            raise DirtyDataError("cannot combine dry_run with resume")
+        start = time.perf_counter()
+        conn = self.table.backend.connect(readonly=dry_run)
+        try:
+            schema = self._page_schema(conn)
+            row_count = self.table.count(conn)
+            pages_total = math.ceil(row_count / self.page_rows)
+            with trace.span(
+                "clean-run",
+                db=self.table.backend.describe(),
+                table=self.table.table,
+                rows=row_count,
+                pages=pages_total,
+                page_rows=self.page_rows,
+                dry_run=dry_run,
+            ):
+                if dry_run:
+                    return self._dry_run(
+                        conn,
+                        schema,
+                        row_count,
+                        pages_total,
+                        start,
+                        workers=workers,
+                        backend=backend,
+                        shards=shards,
+                        dedupe=dedupe,
+                        validated=validated,
+                        max_rounds=max_rounds,
+                    )
+                return self._commit_run(
+                    conn,
+                    schema,
+                    row_count,
+                    pages_total,
+                    start,
+                    workers=workers,
+                    backend=backend,
+                    shards=shards,
+                    dedupe=dedupe,
+                    validated=validated,
+                    max_rounds=max_rounds,
+                    resume=resume,
+                )
+        finally:
+            conn.close()
+
+    # -- the two run shapes ------------------------------------------------
+
+    def _dry_run(
+        self,
+        conn,
+        schema: Schema,
+        row_count: int,
+        pages_total: int,
+        start: float,
+        *,
+        workers: int,
+        backend: str,
+        shards: int | None,
+        dedupe: bool,
+        validated: tuple[str, ...],
+        max_rounds: int | None,
+    ) -> DbCleanResult:
+        changes: list[CellChange] = []
+        pages_seen = 0
+        for page in self.table.pages(conn, self.page_rows, schema=schema):
+            page_changes = self._clean_page(
+                page,
+                seq_start=len(changes),
+                workers=workers,
+                backend=backend,
+                shards=shards,
+                dedupe=dedupe,
+                validated=validated,
+                max_rounds=max_rounds,
+                journal_path=None,
+            )
+            changes.extend(page_changes)
+            pages_seen += 1
+        reg = get_registry()
+        reg.inc("cerfix.dbclean.dry_runs")
+        reg.inc("cerfix.dbclean.pages", pages_seen)
+        reg.inc("cerfix.dbclean.rows", row_count)
+        return DbCleanResult(
+            run_id=None,
+            table=self.table.table,
+            db=self.table.backend.describe(),
+            rows=row_count,
+            pages=pages_seen,
+            page_rows=self.page_rows,
+            changed_cells=len(changes),
+            dry_run=True,
+            resumed_pages=0,
+            elapsed_seconds=time.perf_counter() - start,
+            changes=changes,
+        )
+
+    def _commit_run(
+        self,
+        conn,
+        schema: Schema,
+        row_count: int,
+        pages_total: int,
+        start: float,
+        *,
+        workers: int,
+        backend: str,
+        shards: int | None,
+        dedupe: bool,
+        validated: tuple[str, ...],
+        max_rounds: int | None,
+        resume: str | None,
+    ) -> DbCleanResult:
+        self.archive.ensure(conn)
+        fingerprint = self._fingerprint(validated, max_rounds, row_count)
+        if resume is not None:
+            record = self._resumable(conn, resume, fingerprint, row_count)
+            run_id = record.run_id
+            skip = record.pages_done
+            seq = changed = record.changed_cells
+        else:
+            run_id = new_run_id()
+            self.archive.begin_run(
+                conn,
+                RunRecord(
+                    run_id=run_id,
+                    table_name=self.table.table,
+                    status="running",
+                    fingerprint=fingerprint,
+                    page_rows=self.page_rows,
+                    pages_total=pages_total,
+                    pages_done=0,
+                    row_count=row_count,
+                    pre_digest=self.table.digest(conn),
+                    post_digest=None,
+                    started_at=time.time(),
+                    finished_at=None,
+                    changed_cells=0,
+                ),
+            )
+            skip = seq = changed = 0
+        pages_run = rows_run = cells_run = 0
+        for page in self.table.pages(
+            conn, self.page_rows, schema=schema, skip_pages=skip
+        ):
+            page_changes = self._clean_page(
+                page,
+                seq_start=seq,
+                workers=workers,
+                backend=backend,
+                shards=shards,
+                dedupe=dedupe,
+                validated=validated,
+                max_rounds=max_rounds,
+                journal_path=self._page_journal(run_id, page.index),
+            )
+            conn.execute("BEGIN")
+            try:
+                self.table.apply_cell_writes(
+                    conn, [(c.row_key, c.column, c.new) for c in page_changes]
+                )
+                self.archive.record_page(
+                    conn, run_id, page_changes, pages_done=page.index + 1
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            self._drop_page_journal(run_id, page.index)
+            seq += len(page_changes)
+            changed += len(page_changes)
+            pages_run += 1
+            rows_run += len(page)
+            cells_run += len(page_changes)
+        post_digest = self.table.digest(conn)
+        self.archive.finish_run(conn, run_id, post_digest)
+        self._drop_run_journal(run_id)
+        reg = get_registry()
+        reg.inc("cerfix.dbclean.runs")
+        reg.inc("cerfix.dbclean.pages", pages_run)
+        reg.inc("cerfix.dbclean.rows", rows_run)
+        reg.inc("cerfix.dbclean.changed_cells", cells_run)
+        return DbCleanResult(
+            run_id=run_id,
+            table=self.table.table,
+            db=self.table.backend.describe(),
+            rows=row_count,
+            pages=skip + pages_run,
+            page_rows=self.page_rows,
+            changed_cells=changed,
+            dry_run=False,
+            resumed_pages=skip,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    # -- per-page ----------------------------------------------------------
+
+    def _clean_page(
+        self,
+        page: Page,
+        *,
+        seq_start: int,
+        workers: int,
+        backend: str,
+        shards: int | None,
+        dedupe: bool,
+        validated: tuple[str, ...],
+        max_rounds: int | None,
+        journal_path: Path | None,
+    ) -> list[CellChange]:
+        """Run one page through the batch pipeline; diff input vs output.
+
+        The page's relation is read in input-schema column order, and
+        the batch assembler emits rows in that same order, so the diff
+        is positional. Change provenance (rule, source, span) comes from
+        the audit events the batch replay just recorded under this
+        page's row-key tuple ids.
+        """
+        names = page.relation.schema.names
+        with trace.span("page", page=page.index, rows=len(page)):
+            result = self.batch.clean(
+                page.relation,
+                None,
+                workers=workers,
+                backend=backend,
+                shards=shards,
+                dedupe=dedupe,
+                validated=validated,
+                journal_path=journal_path,
+                tuple_ids=[f"r{k}" for k in page.keys],
+                max_rounds=max_rounds,
+                root_span=False,
+            )
+        before = page.relation.raw_tuples()
+        after = result.relation.raw_tuples()
+        changes: list[CellChange] = []
+        seq = seq_start
+        for key, old_row, new_row in zip(page.keys, before, after):
+            if old_row == new_row:
+                continue
+            provenance = self._provenance(f"r{key}")
+            for col, old, new in zip(names, old_row, new_row):
+                if old == new:
+                    continue
+                rule_id, source, trace_id, span_id = provenance.get(
+                    col, (None, None, None, None)
+                )
+                changes.append(
+                    CellChange(
+                        seq=seq,
+                        page=page.index,
+                        row_key=key,
+                        column=col,
+                        old=old,
+                        new=new,
+                        rule_id=rule_id,
+                        source=source,
+                        trace_id=trace_id,
+                        span_id=span_id,
+                    )
+                )
+                seq += 1
+        return changes
+
+    def _provenance(self, tuple_id: str) -> dict[str, tuple]:
+        """attr → (rule_id, source, trace_id, span_id) of the *final*
+        audit event — the one whose ``new`` survived into the output."""
+        out: dict[str, tuple] = {}
+        for e in self.batch.audit.by_tuple(tuple_id):
+            out[e.attr] = (e.rule_id, e.source, e.trace_id, e.span_id)
+        return out
+
+    # -- run identity and resume -------------------------------------------
+
+    def _page_schema(self, conn) -> Schema:
+        """The table read in input-schema column order (validated)."""
+        want = self.batch.ruleset.input_schema.names
+        got = self.table.columns(conn)
+        if set(got) != set(want):
+            raise DirtyDataError(
+                f"table {self.table.table!r} does not match the input schema: "
+                f"missing {sorted(set(want) - set(got))}, "
+                f"unexpected {sorted(set(got) - set(want))}"
+            )
+        return Schema(self.table.table, want)
+
+    def _fingerprint(
+        self, validated: tuple[str, ...], max_rounds: int | None, row_count: int
+    ) -> str:
+        """Identity a resume must match: engine configuration (rules,
+        master content, mode, strategy, ...) plus the page geometry the
+        committed-pages offset depends on."""
+        context = self.batch._context_key(validated, max_rounds, include_master=True)
+        raw = repr((context, self.table.table, self.page_rows, row_count))
+        return sha256(raw.encode("utf-8")).hexdigest()
+
+    def _resumable(
+        self, conn, run_id: str, fingerprint: str, row_count: int
+    ) -> RunRecord:
+        record = self.archive.get_run(conn, run_id)
+        if record.status != "running":
+            raise DirtyDataError(
+                f"run {run_id} is {record.status}, not resumable (only an "
+                f"interrupted 'running' run can resume)"
+            )
+        if record.page_rows != self.page_rows:
+            raise DirtyDataError(
+                f"refusing to resume {run_id}: it ran with page_rows="
+                f"{record.page_rows}, this run has {self.page_rows}"
+            )
+        if record.fingerprint != fingerprint or record.row_count != row_count:
+            raise DirtyDataError(
+                f"refusing to resume {run_id}: the table or the engine "
+                f"configuration changed since the run started"
+            )
+        return record
+
+    # -- page journals -----------------------------------------------------
+
+    def _page_journal(self, run_id: str, page_index: int) -> Path | None:
+        if self.journal_dir is None:
+            return None
+        path = self.journal_dir / run_id / f"page-{page_index}.journal"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def _drop_page_journal(self, run_id: str, page_index: int) -> None:
+        path = self._page_journal(run_id, page_index)
+        if path is not None and path.exists():
+            path.unlink()
+
+    def _drop_run_journal(self, run_id: str) -> None:
+        if self.journal_dir is None:
+            return
+        shutil.rmtree(self.journal_dir / run_id, ignore_errors=True)
+        try:
+            self.journal_dir.rmdir()  # only removes when empty
+        except OSError:
+            pass
+
+
+def undo_run(table: DirtyTable, run_id: str) -> RunRecord:
+    """Restore the exact pre-run table for ``run_id``, digest-verified."""
+    archive = ChangeArchive(table)
+    conn = table.backend.connect()
+    try:
+        with trace.span(
+            "undo-run", db=table.backend.describe(), run_id=run_id
+        ):
+            record = archive.undo(conn, run_id)
+    finally:
+        conn.close()
+    get_registry().inc("cerfix.dbclean.undos")
+    return record
+
+
+def list_runs(table: DirtyTable) -> list[RunRecord]:
+    """All recorded clean runs of this database, oldest first."""
+    archive = ChangeArchive(table)
+    conn = table.backend.connect(readonly=True)
+    try:
+        return archive.list_runs(conn)
+    finally:
+        conn.close()

@@ -269,6 +269,84 @@ class CerFix:
             max_rounds=max_rounds,
         )
 
+    def clean_table(
+        self,
+        db: Any,
+        *,
+        table: str = "dirty",
+        page_rows: int | None = None,
+        dry_run: bool = False,
+        resume: str | None = None,
+        workers: int = 1,
+        backend: str = "thread",
+        shards: int | None = None,
+        dedupe: bool = True,
+        validated: Sequence[str] = (),
+        max_rounds: int | None = None,
+        cache_size: int = 4096,
+        journal_dir: Any = None,
+    ):
+        """Clean a dirty relation where it lives: in a database table.
+
+        The DB-native counterpart of :meth:`clean_relation` — ``db`` is
+        a sqlite path (or a :class:`~repro.dirty.backend.DbBackend`) and
+        the table streams through the batch pipeline in fixed-size
+        pages (``page_rows``, or ``CERFIX_PAGE_ROWS``), so relations
+        larger than memory clean end to end with fixes bit-identical to
+        the in-memory path. Every cell change is archived reversibly in
+        the same file; ``dry_run=True`` reports without committing
+        anything (the connection is read-only), ``resume=<run-id>``
+        continues an interrupted run — committed pages are skipped and
+        the in-flight page resumes from its checkpoint journal. Undo a
+        committed run with :meth:`undo`. Returns a
+        :class:`~repro.dirty.cleaner.DbCleanResult`.
+        """
+        from repro.dirty.cleaner import DbCleaner
+        from repro.dirty.table import DirtyTable
+
+        batch = BatchCleaner(
+            self.ruleset,
+            self.master,
+            mode=self.mode,
+            scenario=self.scenario,
+            strategy=self.strategy,
+            regions=self.regions,
+            audit=self.audit,
+            use_index=self.use_index,
+            max_combos=self.max_combos,
+            cache_size=cache_size,
+        )
+        cleaner = DbCleaner(
+            batch,
+            DirtyTable(db, table),
+            page_rows=page_rows,
+            journal_dir=journal_dir,
+        )
+        return cleaner.clean(
+            workers=workers,
+            backend=backend,
+            shards=shards,
+            dedupe=dedupe,
+            validated=tuple(validated),
+            max_rounds=max_rounds,
+            dry_run=dry_run,
+            resume=resume,
+        )
+
+    def undo(self, db: Any, run_id: str, *, table: str = "dirty"):
+        """Restore the exact pre-run table of a recorded clean run.
+
+        Digest-verified both ways: refuses if the table was modified
+        after the run committed, and only commits the restore once the
+        rebuilt table matches the recorded pre-run digest. Re-undoing an
+        already-undone run is a no-op. Returns the updated
+        :class:`~repro.dirty.archive.RunRecord`.
+        """
+        from repro.dirty.cleaner import undo_run
+        from repro.dirty.table import DirtyTable
+
+        return undo_run(DirtyTable(db, table), run_id)
+
     def serve_async(
         self,
         host: str = "127.0.0.1",

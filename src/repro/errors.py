@@ -70,6 +70,16 @@ class MasterDataError(CerFixError):
     """Master data violates an assumption (e.g. schema mismatch on load)."""
 
 
+class DirtyDataError(CerFixError):
+    """A DB-native dirty-relation operation failed or was refused.
+
+    Examples: the dirty table is missing or its columns do not match the
+    input schema, a cell value cannot round-trip the database losslessly,
+    an undo was requested against a table that was mutated after the run
+    (digest mismatch), or a resume named an unknown/mismatched run.
+    """
+
+
 class MonitorError(CerFixError):
     """A data-monitor session was driven incorrectly.
 

@@ -12,6 +12,10 @@ Subcommands::
                     [--cache FILE]  # cross-run probe-cache persistence
                     [--store single|sharded|sqlite|remote [--store-shards N]
                      [--store-path DB] [--shard-urls URL,..[;URL,..]]]
+    cerfix clean    [--scenario ...|--instance DIR] --db FILE [--table T]
+                    [--page-rows N] [--dry-run] [--resume RUN_ID]
+                    [--validated A,B]             # DB-native paged cleaning
+    cerfix undo     [--instance DIR] --db FILE (RUN_ID | --list) [--table T]
     cerfix monitor  [--scenario ...]              # interactive, stdin-driven
     cerfix serve    [--scenario ...|--instance DIR] [--port N]
                     [--async [--max-sessions N] [--cache-size N]]
@@ -220,12 +224,54 @@ def cmd_fix(args) -> int:
     return 0
 
 
+def _dirty_target(args, config=None, base: Path | None = None):
+    """(db, table, page_rows) from flags, instance document, or both.
+
+    Flags win over the instance's ``dirty`` section; the section's
+    relative ``db`` path resolves against the instance directory.
+    """
+    db = getattr(args, "db", None)
+    table = getattr(args, "table", None)
+    page_rows = getattr(args, "page_rows", None)
+    section = getattr(config, "dirty", None) or {}
+    if db is None and section.get("db"):
+        db = str((base / section["db"]) if base is not None else section["db"])
+    if table is None:
+        table = section.get("table", "dirty")
+    if page_rows is None:
+        page_rows = section.get("page_rows")
+    return db, table, page_rows
+
+
+def _instance_engine(args):
+    """(engine, config, instance dir) when ``--instance`` was given."""
+    if not getattr(args, "instance", None):
+        return None
+    from repro.config import load_instance
+
+    engine, config = load_instance(args.instance)
+    base = Path(args.instance)
+    if base.is_file():
+        base = base.parent
+    return engine, config, base
+
+
 def cmd_clean(args) -> int:
-    """Whole-relation cleaning through the batch pipeline."""
+    """Whole-relation cleaning: batch pipeline (--input) or paged DB (--db)."""
     import json as _json
 
     _configure_trace(args)
-    engine = _engine(args)
+    loaded = _instance_engine(args)
+    if loaded is not None:
+        engine, config, base = loaded
+        db, table, page_rows = _dirty_target(args, config, base)
+        _require_one_source(args, db)
+    else:
+        db, table, page_rows = _dirty_target(args)
+        _require_one_source(args, db)
+        engine = _engine(args)
+    if db is not None:
+        return _clean_db(args, engine, db, table, page_rows)
     dirty = read_csv(args.input, schema=engine.ruleset.input_schema)
     truth = (
         read_csv(args.truth, schema=engine.ruleset.input_schema) if args.truth else None
@@ -257,6 +303,90 @@ def cmd_clean(args) -> int:
         print(f"audit log written to {args.log}")
     if getattr(args, "trace", None):
         print(f"trace spans written to {args.trace} (analyse with `cerfix trace {args.trace}`)")
+    return 0
+
+
+def _require_one_source(args, db) -> None:
+    if (args.input is None) == (db is None):
+        raise CerFixError(
+            "give exactly one dirty-data source: --input CSV (in-memory "
+            "batch path) or --db FILE (paged DB-native path; an instance "
+            "document's 'dirty' section also provides it)"
+        )
+
+
+def _clean_db(args, engine: CerFix, db: str, table: str, page_rows) -> int:
+    """The paged DB-native path of ``cerfix clean``."""
+    if args.truth:
+        raise CerFixError(
+            "--truth drives an oracle user and only applies to --input; the "
+            "DB path runs rule-only repairs (use --validated for trusted columns)"
+        )
+    validated = tuple(a for a in (args.validated or "").split(",") if a)
+    result = engine.clean_table(
+        db,
+        table=table,
+        page_rows=page_rows,
+        dry_run=args.dry_run,
+        resume=args.resume,
+        workers=args.workers,
+        backend=args.backend,
+        shards=args.shards,
+        dedupe=not args.no_dedupe,
+        validated=validated,
+        journal_dir=args.journal,
+    )
+    print(result.describe())
+    if result.dry_run:
+        rows = [
+            (c.row_key, c.column, repr(c.old), repr(c.new), c.rule_id or "")
+            for c in result.changes[:20]
+        ]
+        if rows:
+            title = f"first {len(rows)} of {len(result.changes)} would-be changes"
+            print(format_table(("row", "column", "old", "new", "rule"), rows,
+                               title=title, max_width=64))
+        print("dry run: nothing was committed")
+    else:
+        print(f"reversible archive recorded in {db}; "
+              f"undo with `cerfix undo --db {db} {result.run_id}`")
+    if args.log:
+        engine.audit.to_jsonl(args.log)
+        print(f"audit log written to {args.log}")
+    if getattr(args, "trace", None):
+        print(f"trace spans written to {args.trace} (analyse with `cerfix trace {args.trace}`)")
+    return 0
+
+
+def cmd_undo(args) -> int:
+    """Restore the pre-run table of a recorded clean run (digest-verified)."""
+    from repro.dirty import DirtyTable, list_runs, undo_run
+
+    loaded = _instance_engine(args)
+    if loaded is not None:
+        _, config, base = loaded
+        db, table, _ = _dirty_target(args, config, base)
+    else:
+        db, table, _ = _dirty_target(args)
+    if db is None:
+        raise CerFixError(
+            "--db FILE is required (or an --instance with a 'dirty' section)"
+        )
+    dirty_table = DirtyTable(db, table)
+    if args.list:
+        rows = [
+            (r.run_id, r.status, f"{r.pages_done}/{r.pages_total}",
+             r.changed_cells, r.row_count)
+            for r in list_runs(dirty_table)
+        ]
+        print(format_table(("run", "status", "pages", "cells", "rows"), rows,
+                           title=f"clean runs of {db}:{table}"))
+        return 0
+    if not args.run_id:
+        raise CerFixError("give a RUN_ID to undo, or --list to see recorded runs")
+    record = undo_run(dirty_table, args.run_id)
+    print(f"run {record.run_id} undone: {record.changed_cells} cells restored, "
+          f"table digest-verified against the pre-run state")
     return 0
 
 
@@ -598,10 +728,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log", help="write the audit log (JSON lines) here")
     p.set_defaults(func=cmd_fix)
 
-    p = sub.add_parser("clean", help="clean a whole CSV through the batch pipeline")
+    p = sub.add_parser(
+        "clean",
+        help="clean a whole relation: a CSV through the batch pipeline "
+             "(--input) or a database table in pages (--db)",
+    )
     _add_scenario_flags(p)
     _add_store_flags(p)
-    p.add_argument("--input", required=True)
+    p.add_argument("--input", help="dirty CSV (in-memory batch path)")
+    p.add_argument("--db", help="sqlite file holding the dirty table "
+                   "(paged DB-native path; fixes archive reversibly)")
+    p.add_argument("--table", default=None,
+                   help="dirty table name for --db (default: dirty)")
+    p.add_argument("--page-rows", type=int, default=None, dest="page_rows",
+                   help="rows per page for --db (default: CERFIX_PAGE_ROWS or 4096)")
+    p.add_argument("--dry-run", action="store_true", dest="dry_run",
+                   help="--db: validate and report without committing anything "
+                        "(the database is opened read-only)")
+    p.add_argument("--resume", help="--db: resume an interrupted run by run id")
+    p.add_argument("--instance", help="load engine and dirty-table location "
+                   "from a saved instance directory")
     p.add_argument("--truth", help="ground-truth CSV driving an oracle user (optional)")
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--backend", choices=("thread", "process"), default="thread")
@@ -617,6 +763,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log", help="write the audit log (JSON lines) here")
     _add_trace_flags(p)
     p.set_defaults(func=cmd_clean)
+
+    p = sub.add_parser(
+        "undo",
+        help="restore the exact pre-run dirty table of a recorded clean "
+             "run (digest-verified); --list shows recorded runs",
+    )
+    p.add_argument("run_id", nargs="?", help="run id to undo (from `cerfix clean --db`)")
+    p.add_argument("--db", help="sqlite file holding the dirty table and archive")
+    p.add_argument("--table", default=None,
+                   help="dirty table name (default: dirty)")
+    p.add_argument("--instance", help="take the dirty-table location from a "
+                   "saved instance directory")
+    p.add_argument("--list", action="store_true",
+                   help="list recorded clean runs instead of undoing")
+    p.set_defaults(func=cmd_undo)
 
     p = sub.add_parser(
         "shard-server",
